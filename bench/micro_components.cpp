@@ -1,0 +1,151 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's substrate
+ * components: cache probes, TAGE predictions, rename throughput,
+ * issue-queue wakeup/select, full-core simulation rate, and the
+ * synthesis models. These guard the simulator's own performance
+ * (the methodology needs large instruction windows, paper Sec. 7).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/tage.hh"
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "core/core.hh"
+#include "core/issue_queue.hh"
+#include "core/rename_map.hh"
+#include "memory/memory_system.hh"
+#include "secure/factory.hh"
+#include "synth/timing_model.hh"
+#include "trace/spec_suite.hh"
+
+namespace
+{
+
+void
+BM_CacheProbe(benchmark::State &state)
+{
+    sb::Cache cache("bench", sb::CacheConfig{});
+    sb::Rng rng(7);
+    sb::Cycle now = 0;
+    for (auto _ : state) {
+        const sb::Addr addr = rng.below(1 << 20);
+        ++now;
+        auto hit = cache.probe(addr, now);
+        if (!hit)
+            cache.insert(addr, now, now + 20);
+        benchmark::DoNotOptimize(hit);
+    }
+}
+BENCHMARK(BM_CacheProbe);
+
+void
+BM_MemorySystemAccess(benchmark::State &state)
+{
+    sb::MemorySystem mem(sb::CoreConfig::mega());
+    sb::Rng rng(7);
+    sb::Cycle now = 0;
+    for (auto _ : state) {
+        now += 2;
+        auto res = mem.access(rng.below(1 << 22), rng.below(64), now,
+                              false);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_MemorySystemAccess);
+
+void
+BM_TagePredict(benchmark::State &state)
+{
+    sb::TagePredictor tage(10);
+    sb::Rng rng(7);
+    std::uint64_t hist = 0;
+    for (auto _ : state) {
+        const std::uint64_t pc = rng.below(512);
+        const bool taken = tage.predict(pc, hist);
+        hist = (hist << 1) | taken;
+        tage.update(pc, hist, (pc & 3) != 0);
+        benchmark::DoNotOptimize(taken);
+    }
+}
+BENCHMARK(BM_TagePredict);
+
+void
+BM_RenameAllocate(benchmark::State &state)
+{
+    sb::RenameMap map(sb::numArchRegs, 128);
+    sb::Rng rng(7);
+    for (auto _ : state) {
+        const sb::ArchReg reg = rng.below(sb::numArchRegs);
+        sb::PhysReg stale;
+        const sb::PhysReg fresh = map.allocate(reg, stale);
+        map.release(stale);
+        benchmark::DoNotOptimize(fresh);
+    }
+}
+BENCHMARK(BM_RenameAllocate);
+
+void
+BM_IssueQueueWakeup(benchmark::State &state)
+{
+    sb::IssueQueue iq(40);
+    std::vector<sb::DynInstPtr> insts;
+    for (unsigned i = 0; i < 40; ++i) {
+        auto inst = std::make_shared<sb::DynInst>();
+        inst->seq = i + 1;
+        inst->uop.op = sb::Op::Add;
+        inst->uop.dst = 1;
+        inst->uop.src1 = 2;
+        inst->uop.src2 = 3;
+        inst->psrc1 = i % 64;
+        inst->psrc2 = (i * 7) % 64;
+        iq.insert(inst, false, false);
+        insts.push_back(inst);
+    }
+    sb::Rng rng(7);
+    for (auto _ : state) {
+        iq.wakeup(static_cast<sb::PhysReg>(rng.below(64)));
+        benchmark::DoNotOptimize(iq.size());
+    }
+}
+BENCHMARK(BM_IssueQueueWakeup);
+
+/** Full-core simulation throughput (instructions per second). */
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    const sb::Workload w = sb::SpecSuite::make("538.imagick");
+    const sb::Scheme scheme = static_cast<sb::Scheme>(state.range(0));
+    for (auto _ : state) {
+        sb::SchemeConfig scfg;
+        scfg.scheme = scheme;
+        sb::Core core(sb::CoreConfig::mega(), scfg,
+                      sb::makeScheme(scfg), w.program);
+        auto r = core.run(20000, 1'000'000);
+        benchmark::DoNotOptimize(r.instructions);
+        state.SetItemsProcessed(state.items_processed()
+                                + r.instructions);
+    }
+}
+BENCHMARK(BM_CoreSimulation)
+    ->Arg(static_cast<int>(sb::Scheme::Baseline))
+    ->Arg(static_cast<int>(sb::Scheme::SttRename))
+    ->Arg(static_cast<int>(sb::Scheme::SttIssue))
+    ->Arg(static_cast<int>(sb::Scheme::Nda))
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_TimingModel(benchmark::State &state)
+{
+    const sb::CoreConfig cfg = sb::CoreConfig::mega();
+    for (auto _ : state) {
+        auto b = sb::TimingModel::analyze(cfg, sb::Scheme::SttRename);
+        benchmark::DoNotOptimize(b.frequencyMhz);
+    }
+}
+BENCHMARK(BM_TimingModel);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Scheme explorer: sweep any benchmark across every (configuration x
+ * scheme) cell and report IPC, synthesis frequency, and the combined
+ * performance — the full paper-style comparison for one workload,
+ * including the NDA-Strict extension and the two-taint-store
+ * ablation.
+ *
+ * Usage: scheme_explorer [benchmark]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "synth/area_model.hh"
+#include "synth/power_model.hh"
+#include "synth/timing_model.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace sb;
+
+    const std::string bench = argc > 1 ? argv[1] : "520.omnetpp";
+    std::printf("Scheme explorer: %s\n\n", bench.c_str());
+
+    struct Variant
+    {
+        std::string label;
+        SchemeConfig cfg;
+    };
+    std::vector<Variant> variants;
+    for (Scheme s : {Scheme::Baseline, Scheme::SttRename,
+                     Scheme::SttIssue, Scheme::Nda, Scheme::NdaStrict}) {
+        SchemeConfig c;
+        c.scheme = s;
+        variants.push_back({schemeName(s), c});
+    }
+    {
+        SchemeConfig c;
+        c.scheme = Scheme::SttRename;
+        c.twoTaintStores = true;
+        variants.push_back({"STT-Rename+2taint", c});
+    }
+
+    const auto configs = CoreConfig::boomPresets();
+    std::vector<RunSpec> specs;
+    for (const auto &cfg : configs) {
+        for (const auto &v : variants) {
+            RunSpec s;
+            s.core = cfg;
+            s.scheme = v.cfg;
+            s.workload = bench;
+            s.measureInsts = 100000;
+            specs.push_back(std::move(s));
+        }
+    }
+    ExperimentRunner runner;
+    const auto outcomes = runner.runAll(specs);
+
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+        const auto &cfg = configs[ci];
+        std::printf("--- %s (width %u) ---\n", cfg.name.c_str(),
+                    cfg.coreWidth);
+        TextTable t;
+        t.header({"scheme", "IPC", "rel IPC", "rel MHz", "rel perf",
+                  "rel power"});
+        const double base_ipc =
+            outcomes[ci * variants.size()].ipc;
+        for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+            const auto &o = outcomes[ci * variants.size() + vi];
+            const Scheme s = variants[vi].cfg.scheme;
+            const double rel_ipc = o.ipc / base_ipc;
+            const double rel_mhz =
+                TimingModel::relativeFrequency(cfg, s);
+            t.row({variants[vi].label, TextTable::num(o.ipc, 3),
+                   TextTable::pct(rel_ipc), TextTable::pct(rel_mhz),
+                   TextTable::pct(rel_ipc * rel_mhz),
+                   TextTable::num(PowerModel::relative(cfg, s), 3)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Spectre-v1 end-to-end demonstration (the BOOM-attacks stand-in,
+ * paper Sec. 7): leaks a multi-byte secret through the cache covert
+ * channel on the unprotected baseline, then shows STT-Rename,
+ * STT-Issue, and NDA blocking the same attack.
+ *
+ * Usage: spectre_attack [config] [secret-string]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "harness/attack.hh"
+
+namespace
+{
+
+sb::CoreConfig
+configByName(const std::string &name)
+{
+    if (name == "small")
+        return sb::CoreConfig::small();
+    if (name == "medium")
+        return sb::CoreConfig::medium();
+    if (name == "large")
+        return sb::CoreConfig::large();
+    if (name == "mega")
+        return sb::CoreConfig::mega();
+    sb_fatal("unknown config: ", name);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace sb;
+
+    const std::string config_name = argc > 1 ? argv[1] : "mega";
+    const std::string secret = argc > 2 ? argv[2] : "SB!25";
+    const CoreConfig cfg = configByName(config_name);
+
+    std::printf("Spectre-v1 on the %s BOOM configuration; secret = "
+                "\"%s\"\n\n", cfg.name.c_str(), secret.c_str());
+
+    const Scheme schemes[] = {Scheme::Baseline, Scheme::SttRename,
+                              Scheme::SttIssue, Scheme::Nda};
+    for (Scheme s : schemes) {
+        SchemeConfig scfg;
+        scfg.scheme = s;
+        std::string timing_out, oracle_out;
+        std::uint64_t violations = 0;
+        bool any_leak = false;
+        for (std::size_t i = 0; i < secret.size(); ++i) {
+            const auto byte = static_cast<std::uint8_t>(secret[i]);
+            const AttackResult res =
+                runSpectreV1(cfg, scfg, byte, 1000 + i);
+            timing_out += res.timingByte > 0
+                              ? static_cast<char>(res.timingByte)
+                              : '?';
+            oracle_out += res.oracleByte > 0
+                              ? static_cast<char>(res.oracleByte)
+                              : '?';
+            violations += res.transmitViolations;
+            any_leak |= res.leaked;
+        }
+        std::printf("%-11s timing probe: \"%s\"   residency oracle: "
+                    "\"%s\"   -> %s (monitor transmit-violations: "
+                    "%llu)\n",
+                    schemeName(s), timing_out.c_str(),
+                    oracle_out.c_str(),
+                    any_leak ? "SECRET LEAKED" : "leak blocked",
+                    static_cast<unsigned long long>(violations));
+    }
+
+    std::printf("\nThe attack: a bounds-check branch is trained "
+                "in-range, then given an out-of-range index while the\n"
+                "bound is delayed behind a cold pointer chase. The "
+                "transient gadget reads the secret and encodes it\n"
+                "into the set-state of a probe array; a serialised "
+                "timing probe (commit-to-commit gaps) recovers it.\n");
+    return 0;
+}

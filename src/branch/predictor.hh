@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Branch direction predictor interface.
+ *
+ * Predictors are pure functions of (pc, global history): the core owns
+ * the speculative global-history register, snapshots it per branch,
+ * and restores it on mispredict, so the predictor itself holds no
+ * speculative state. Updates happen at commit with the history the
+ * branch was predicted under, mirroring BOOM.
+ *
+ * The modelled ISA has only direct branches (targets are static), so
+ * no BTB is required: the fetch stage redirects using the static
+ * target, paying a one-cycle taken-branch bubble.
+ */
+
+#ifndef SB_BRANCH_PREDICTOR_HH
+#define SB_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sb
+{
+
+/** Direction predictor interface (history passed in by the core). */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict taken/not-taken for @p pc under history @p hist. */
+    virtual bool predict(std::uint64_t pc, std::uint64_t hist) = 0;
+
+    /** Train with the committed outcome under the predict-time history. */
+    virtual void update(std::uint64_t pc, std::uint64_t hist,
+                        bool taken) = 0;
+};
+
+/** 2-bit-counter bimodal predictor (ablation / unit-test baseline). */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(unsigned entries = 4096)
+        : table(entries, 1) {}
+
+    bool
+    predict(std::uint64_t pc, std::uint64_t) override
+    {
+        return table[pc % table.size()] >= 2;
+    }
+
+    void
+    update(std::uint64_t pc, std::uint64_t, bool taken) override
+    {
+        auto &ctr = table[pc % table.size()];
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+    }
+
+  private:
+    std::vector<std::uint8_t> table;
+};
+
+} // namespace sb
+
+#endif // SB_BRANCH_PREDICTOR_HH

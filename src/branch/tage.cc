@@ -1,0 +1,132 @@
+#include "branch/tage.hh"
+
+#include "common/logging.hh"
+
+namespace sb
+{
+
+TagePredictor::TagePredictor(unsigned log_entries)
+    : logEntries(log_entries),
+      base(1u << (log_entries + 2), 1),
+      statGroup("tage")
+{
+    sb_assert(log_entries >= 4 && log_entries <= 16,
+              "unreasonable TAGE table size");
+    for (unsigned len : {8u, 16u, 32u, 64u}) {
+        Component c;
+        c.historyLength = len;
+        c.entries.resize(1u << log_entries);
+        components.push_back(std::move(c));
+    }
+}
+
+std::uint64_t
+TagePredictor::fold(std::uint64_t hist, unsigned len, unsigned bits)
+{
+    if (len < 64)
+        hist &= (1ULL << len) - 1;
+    std::uint64_t folded = 0;
+    for (unsigned i = 0; i < len; i += bits)
+        folded ^= (hist >> i);
+    return folded & ((1ULL << bits) - 1);
+}
+
+unsigned
+TagePredictor::index(const Component &c, std::uint64_t pc,
+                     std::uint64_t hist) const
+{
+    const std::uint64_t h = fold(hist, c.historyLength, logEntries);
+    return (pc ^ (pc >> logEntries) ^ h) & (c.entries.size() - 1);
+}
+
+std::uint16_t
+TagePredictor::tag(const Component &c, std::uint64_t pc,
+                   std::uint64_t hist) const
+{
+    const std::uint64_t h = fold(hist, c.historyLength, 9);
+    return static_cast<std::uint16_t>((pc ^ (pc >> 7) ^ (h << 1)) & 0x1ff);
+}
+
+int
+TagePredictor::provider(std::uint64_t pc, std::uint64_t hist) const
+{
+    for (int i = static_cast<int>(components.size()) - 1; i >= 0; --i) {
+        const Component &c = components[i];
+        const TaggedEntry &e = c.entries[index(c, pc, hist)];
+        if (e.tag == tag(c, pc, hist))
+            return i;
+    }
+    return -1;
+}
+
+bool
+TagePredictor::predict(std::uint64_t pc, std::uint64_t hist)
+{
+    ++statGroup.counter("lookups");
+    const int p = provider(pc, hist);
+    if (p >= 0) {
+        const Component &c = components[p];
+        return c.entries[index(c, pc, hist)].ctr >= 0;
+    }
+    return base[pc % base.size()] >= 2;
+}
+
+void
+TagePredictor::update(std::uint64_t pc, std::uint64_t hist, bool taken)
+{
+    const int p = provider(pc, hist);
+    const bool predicted = predict(pc, hist);
+    const bool correct = predicted == taken;
+
+    if (p >= 0) {
+        Component &c = components[p];
+        TaggedEntry &e = c.entries[index(c, pc, hist)];
+        if (taken && e.ctr < 3)
+            ++e.ctr;
+        else if (!taken && e.ctr > -4)
+            --e.ctr;
+        if (correct && e.useful < 3)
+            ++e.useful;
+        else if (!correct && e.useful > 0)
+            --e.useful;
+    } else {
+        auto &ctr = base[pc % base.size()];
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+    }
+
+    // Allocate in a longer-history component on a misprediction.
+    if (!correct && p < static_cast<int>(components.size()) - 1) {
+        // Deterministic pseudo-random start slot among candidates.
+        allocSeed = allocSeed * 6364136223846793005ULL + 1442695040888963407ULL;
+        const unsigned start = p + 1
+            + static_cast<unsigned>((allocSeed >> 33)
+                                    % (components.size() - p - 1));
+        bool allocated = false;
+        for (unsigned i = start; i < components.size() && !allocated; ++i) {
+            Component &c = components[i];
+            TaggedEntry &e = c.entries[index(c, pc, hist)];
+            if (e.useful == 0) {
+                e.tag = tag(c, pc, hist);
+                e.ctr = taken ? 0 : -1;
+                e.useful = 0;
+                allocated = true;
+                ++statGroup.counter("allocations");
+            }
+        }
+        if (!allocated) {
+            // Decay usefulness so future allocations can succeed.
+            for (unsigned i = p + 1; i < components.size(); ++i) {
+                Component &c = components[i];
+                TaggedEntry &e = c.entries[index(c, pc, hist)];
+                if (e.useful > 0)
+                    --e.useful;
+            }
+        }
+        ++statGroup.counter("mispredict_updates");
+    }
+}
+
+} // namespace sb

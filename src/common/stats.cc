@@ -1,0 +1,90 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sb
+{
+
+Histogram::Histogram(unsigned num_buckets, unsigned bucket_width)
+    : buckets(num_buckets, 0), width(bucket_width)
+{
+    sb_assert(num_buckets > 0 && bucket_width > 0,
+              "histogram must have geometry");
+}
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    unsigned idx = value / width;
+    if (idx >= buckets.size())
+        idx = buckets.size() - 1;
+    ++buckets[idx];
+    ++samples;
+    sum += value;
+}
+
+double
+Histogram::mean() const
+{
+    return samples == 0 ? 0.0
+                        : static_cast<double>(sum)
+                              / static_cast<double>(samples);
+}
+
+std::uint64_t
+Histogram::bucketCount(unsigned idx) const
+{
+    sb_assert(idx < buckets.size(), "histogram bucket out of range");
+    return buckets[idx];
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return ctrs[name];
+}
+
+Histogram &
+StatGroup::histogram(const std::string &name, unsigned num_buckets,
+                     unsigned bucket_width)
+{
+    auto it = hists.find(name);
+    if (it == hists.end()) {
+        it = hists.emplace(name, Histogram(num_buckets, bucket_width)).first;
+    }
+    return it->second;
+}
+
+std::uint64_t
+StatGroup::value(const std::string &name) const
+{
+    auto it = ctrs.find(name);
+    return it == ctrs.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : ctrs)
+        kv.second.reset();
+}
+
+std::string
+StatGroup::render() const
+{
+    std::ostringstream oss;
+    for (const auto &kv : ctrs)
+        oss << groupName << '.' << kv.first << ' ' << kv.second.value()
+            << '\n';
+    for (const auto &kv : hists) {
+        oss << groupName << '.' << kv.first << ".mean " << kv.second.mean()
+            << '\n';
+        oss << groupName << '.' << kv.first << ".count " << kv.second.count()
+            << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace sb

@@ -1,0 +1,83 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sb
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    sb_assert(cells.size() == head.size(),
+              "table row width ", cells.size(), " != header width ",
+              head.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+TextTable::pct(double ratio, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << (ratio * 100.0)
+        << '%';
+    return oss.str();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(head.size(), 0);
+    for (std::size_t i = 0; i < head.size(); ++i)
+        widths[i] = head[i].size();
+    for (const auto &r : rows)
+        for (std::size_t i = 0; i < r.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+
+    auto line = [&](char fill, char join) {
+        std::string s = "+";
+        for (auto w : widths) {
+            s += std::string(w + 2, fill);
+            s += join;
+        }
+        s.back() = '+';
+        return s + "\n";
+    };
+    auto fmt_row = [&](const std::vector<std::string> &cells) {
+        std::string s = "|";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            s += ' ';
+            s += cells[i];
+            s += std::string(widths[i] - cells[i].size() + 1, ' ');
+            s += '|';
+        }
+        return s + "\n";
+    };
+
+    std::string out = line('-', '+');
+    out += fmt_row(head);
+    out += line('=', '+');
+    for (const auto &r : rows)
+        out += fmt_row(r);
+    out += line('-', '+');
+    return out;
+}
+
+} // namespace sb

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harness to print the
+ * paper's tables and figure data series in a uniform format.
+ */
+
+#ifndef SB_COMMON_TABLE_HH
+#define SB_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace sb
+{
+
+/** Column-aligned ASCII table with a header row. */
+class TextTable
+{
+  public:
+    /** Set the header row (defines the column count). */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header width. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 3);
+
+    /** Convenience: format a ratio as a percentage string. */
+    static std::string pct(double ratio, int precision = 1);
+
+    /** Render the table with box-drawing separators. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace sb
+
+#endif // SB_COMMON_TABLE_HH

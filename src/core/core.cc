@@ -1,0 +1,824 @@
+#include "core/core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sb
+{
+
+Core::Core(const CoreConfig &config, const SchemeConfig &scheme_config,
+           std::unique_ptr<SecureScheme> scheme, const Program &prog)
+    : cfg(config),
+      schemeCfg(scheme_config),
+      schemePtr(scheme ? std::move(scheme)
+                       : std::make_unique<SecureScheme>()),
+      program(&prog),
+      mem(config),
+      predictor(10),
+      renameMap(numArchRegs, config.numPhysRegs),
+      secMonitor(config.numPhysRegs),
+      workingMem(prog.memory),
+      regVal(config.numPhysRegs, 0),
+      wakeupDone(config.numPhysRegs, 1),
+      iq(config.iqEntries),
+      lsu(config.ldqEntries, config.stqEntries),
+      pc(prog.entry),
+      statGroup("core")
+{
+    sb_assert(cfg.coreWidth >= 1 && cfg.issueWidth >= 1
+                  && cfg.memPorts >= 1,
+              "core widths must be positive");
+    frontendExtraDelay =
+        cfg.frontendStages > 5 ? cfg.frontendStages - 5 : 0;
+    schemePtr->attach(*this);
+}
+
+unsigned
+Core::opLatency(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::Nop:
+      case OpClass::IntAlu:
+        return cfg.aluLatency;
+      case OpClass::IntMul:
+        return cfg.mulLatency;
+      case OpClass::IntDiv:
+        return cfg.divLatency;
+      case OpClass::FpAlu:
+      case OpClass::FpMul:
+        return cfg.fpLatency;
+      case OpClass::FpDiv:
+        return cfg.fpDivLatency;
+      case OpClass::Branch:
+        return cfg.branchResolveLatency;
+      case OpClass::MemRead:
+      case OpClass::MemWrite:
+        return 1; // Address generation; memory adds its own latency.
+    }
+    sb_panic("unknown op class");
+}
+
+bool
+Core::speculativeSchedulingEnabled() const
+{
+    return cfg.speculativeScheduling
+           && schemePtr->allowsSpeculativeScheduling();
+}
+
+Word
+Core::readArchReg(ArchReg reg) const
+{
+    return regVal[renameMap.lookup(reg)];
+}
+
+void
+Core::scheduleWakeup(PhysReg preg, Cycle at, const DynInstPtr &producer)
+{
+    applyWakeup(preg, at, producer);
+}
+
+void
+Core::applyWakeup(PhysReg preg, Cycle at, const DynInstPtr &producer)
+{
+    if (at <= cycle) {
+        if (!producer || !producer->squashed) {
+            wakeupDone[preg] = 1;
+            iq.wakeup(preg);
+        }
+        return;
+    }
+    wakeups.push(WakeupEvent{at, preg, producer});
+}
+
+RunResult
+Core::run(std::uint64_t max_insts, std::uint64_t max_cycles)
+{
+    const std::uint64_t target = committedCount + max_insts;
+    const Cycle limit = cycle + max_cycles;
+    while (!haltedFlag && committedCount < target && cycle < limit)
+        tick();
+    // After a halt, keep ticking until committed stores have drained
+    // to memory, so the functional image reflects all committed work.
+    while (haltedFlag && lsu.sqSize() > 0 && cycle < limit)
+        tick();
+    RunResult r;
+    r.cycles = cycle;
+    r.instructions = committedCount;
+    r.halted = haltedFlag;
+    return r;
+}
+
+void
+Core::tick()
+{
+    ++cycle;
+    ++statGroup.counter("cycles");
+    memPortsUsed = 0;
+    shadows.latchPrev();
+
+    commitPhase();
+    writebackPhase();
+    executePhase();
+    shadowPhase();
+    schemePtr->tick();
+    selectPhase();
+    dispatchPhase();
+    renamePhase();
+    decodePhase();
+    fetchPhase();
+
+    std::swap(execNow, execNext);
+    execNext.clear();
+
+    // Forward-progress watchdog: a stuck pipeline is a simulator bug.
+    if (!haltedFlag && !rob.empty()
+        && cycle - lastCommitCycle > 100000) {
+        const DynInstPtr &head = rob.front();
+        sb_panic("no commit for 100000 cycles; head seq=", head->seq,
+                 " pc=", head->pc, " op=", head->uop.disassemble(),
+                 " completed=", head->completed,
+                 " inIq=", head->inIq, " vp=",
+                 shadows.visibilityPoint());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+Core::commitPhase()
+{
+    drainStores();
+
+    unsigned n = 0;
+    while (n < cfg.coreWidth && !rob.empty()) {
+        DynInstPtr inst = rob.front();
+        if (!inst->completed)
+            break;
+
+        if (inst->isStore())
+            lsu.markStoreCommitted(*inst);
+        if (inst->isLoad()) {
+            lsu.releaseLoad(*inst);
+            ++statGroup.counter("committed_loads");
+        }
+        if (inst->isBranch()) {
+            sb_assert(branchesInFlight > 0, "branch count underflow");
+            --branchesInFlight;
+            if (inst->uop.op != Op::Jmp) {
+                predictor.update(inst->pc, inst->histSnapshot,
+                                 inst->actualTaken);
+            }
+            ++statGroup.counter("committed_branches");
+        }
+        if (inst->isStore())
+            ++statGroup.counter("committed_stores");
+        if (inst->stalePdst != invalidPhysReg)
+            renameMap.release(inst->stalePdst);
+
+        inst->committed = true;
+        ++committedCount;
+        ++statGroup.counter("committed_insts");
+        lastCommitCycle = cycle;
+        if (commitHook)
+            commitHook(*inst, cycle);
+
+        rob.pop_front();
+        ++n;
+
+        if (inst->uop.isHalt()) {
+            haltedFlag = true;
+            break;
+        }
+    }
+}
+
+void
+Core::drainStores()
+{
+    while (memPortsUsed < cfg.memPorts) {
+        SqEntry *entry = lsu.drainableStore();
+        if (!entry)
+            break;
+        const DynInstPtr &st = entry->inst;
+        MemAccessResult res = mem.access(st->effAddr, st->pc, cycle, true);
+        if (!res.accepted)
+            break;
+        workingMem.write(st->effAddr, entry->data);
+        lsu.popDrainedStore();
+        ++memPortsUsed;
+        ++statGroup.counter("store_drains");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writeback: wakeup events and completion events
+// ---------------------------------------------------------------------
+
+void
+Core::writebackPhase()
+{
+    while (!wakeups.empty() && wakeups.top().at <= cycle) {
+        WakeupEvent ev = wakeups.top();
+        wakeups.pop();
+        if (ev.producer && ev.producer->squashed)
+            continue;
+        wakeupDone[ev.preg] = 1;
+        iq.wakeup(ev.preg);
+    }
+
+    while (!completions.empty() && completions.top().at <= cycle) {
+        CompletionEvent ev = completions.top();
+        completions.pop();
+        DynInstPtr inst = ev.inst;
+        if (inst->squashed)
+            continue;
+        inst->completed = true;
+        trace("complete", *inst);
+        if (inst->isLoad()) {
+            const bool still_spec = shadows.isSpeculative(inst->seq);
+            inst->specAtComplete = still_spec;
+            secMonitor.onLoadData(*inst, still_spec);
+            regVal[inst->pdst] = inst->result;
+            const Cycle ready =
+                speculativeSchedulingEnabled() ? cycle : cycle + 1;
+            if (!schemePtr->deferBroadcast(inst, ready)) {
+                applyWakeup(inst->pdst, ready, inst);
+            } else {
+                ++statGroup.counter("deferred_broadcasts");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execute (instructions selected last cycle)
+// ---------------------------------------------------------------------
+
+void
+Core::executePhase()
+{
+    // Oldest first so an older mispredict squashes younger work
+    // before it takes effect.
+    std::sort(execNow.begin(), execNow.end(),
+              [](const DynInstPtr &a, const DynInstPtr &b) {
+                  return a->seq < b->seq;
+              });
+    for (const DynInstPtr &inst : execNow) {
+        if (inst->squashed)
+            continue;
+        trace("execute", *inst);
+        if (inst->isBranch()) {
+            executeBranch(inst);
+        } else if (inst->isLoad()) {
+            executeLoadAddr(inst);
+        } else if (inst->isStore()) {
+            // A store may have both halves scheduled this cycle.
+            if (inst->addrIssued && !inst->effAddrValid)
+                executeStoreAddr(inst);
+            if (inst->dataIssued && !inst->storeDataDone)
+                executeStoreData(inst);
+        } else {
+            sb_panic("unexpected op in execute: ",
+                     inst->uop.disassemble());
+        }
+    }
+}
+
+void
+Core::executeBranch(const DynInstPtr &inst)
+{
+    const Word s1 =
+        inst->uop.hasSrc1() ? regVal[inst->psrc1] : 0;
+    const Word s2 =
+        inst->uop.hasSrc2() ? regVal[inst->psrc2] : 0;
+    inst->src1Val = s1;
+    inst->src2Val = s2;
+    secMonitor.onConsume(*inst, shadows.visibilityPoint(), true, true,
+                         true);
+
+    inst->actualTaken = evalBranch(inst->uop, s1, s2);
+    inst->resolved = true;
+    inst->completed = true;
+
+    const std::uint32_t correct_next =
+        inst->actualTaken ? inst->uop.target : inst->pc + 1;
+    const std::uint32_t predicted_next =
+        inst->predTaken ? inst->uop.target : inst->pc + 1;
+    if (correct_next != predicted_next) {
+        inst->mispredicted = true;
+        ++statGroup.counter("branch_mispredicts");
+        trace("mispredict", *inst);
+        squash(inst->seq, correct_next);
+        if (inst->uop.op != Op::Jmp) {
+            ghist = (inst->histSnapshot << 1)
+                    | (inst->actualTaken ? 1u : 0u);
+        }
+    }
+}
+
+void
+Core::executeLoadAddr(const DynInstPtr &inst)
+{
+    inst->src1Val = regVal[inst->psrc1];
+    inst->effAddr =
+        inst->src1Val + static_cast<Word>(inst->uop.imm);
+    inst->effAddrValid = true;
+    secMonitor.onConsume(*inst, shadows.visibilityPoint(), true, false,
+                         true);
+    loadMemoryStage(inst);
+}
+
+void
+Core::loadMemoryStage(const DynInstPtr &inst)
+{
+    const ForwardOutcome fwd = lsu.checkForwarding(*inst);
+    if (fwd.kind == ForwardOutcome::Kind::StallData) {
+        // Sleep until the matching store's data half executes.
+        ++statGroup.counter("forward_stalls");
+        forwardWaiters[fwd.source].push_back(inst);
+        return;
+    }
+    if (fwd.bypassedUnknown) {
+        inst->bypassedUnknownStore = true;
+        ++statGroup.counter("disambiguation_bypasses");
+    }
+    if (fwd.kind == ForwardOutcome::Kind::Forward) {
+        inst->forwarded = true;
+        inst->l1Hit = true;
+        ++statGroup.counter("load_forwards");
+        finishLoad(inst, cycle + cfg.l1d.latency, fwd.data, fwd.source);
+        return;
+    }
+    MemAccessResult res = mem.access(inst->effAddr, inst->pc, cycle,
+                                     false);
+    if (!res.accepted) {
+        ++statGroup.counter("mshr_retries");
+        retryLoads.push_back(inst);
+        return;
+    }
+    inst->l1Hit = res.l1Hit;
+    if (!res.l1Hit)
+        ++statGroup.counter("load_l1_misses");
+    Word value;
+    if (!lsu.functionalBypass(*inst, value))
+        value = workingMem.read(inst->effAddr);
+    finishLoad(inst, res.completeAt, value, invalidSeqNum);
+}
+
+void
+Core::finishLoad(const DynInstPtr &inst, Cycle complete_at, Word value,
+                 SeqNum forward_source)
+{
+    inst->result = value;
+    inst->completeAt = complete_at;
+    lsu.loadDataReturned(*inst, forward_source);
+    completions.push(CompletionEvent{complete_at, inst});
+}
+
+void
+Core::executeStoreAddr(const DynInstPtr &inst)
+{
+    inst->src1Val = regVal[inst->psrc1];
+    inst->effAddr =
+        inst->src1Val + static_cast<Word>(inst->uop.imm);
+    inst->effAddrValid = true;
+    secMonitor.onConsume(*inst, shadows.visibilityPoint(), true, false,
+                         true);
+
+    if (DynInstPtr victim = lsu.checkViolation(*inst)) {
+        // Memory-order violation (store-to-load forwarding error,
+        // paper Sec. 9.2): flush from the load and refetch it.
+        ++statGroup.counter("mem_order_violations");
+        trace("violation", *victim);
+        squash(victim->seq - 1, victim->pc);
+    }
+    if (inst->storeDataDone)
+        inst->completed = true;
+}
+
+void
+Core::executeStoreData(const DynInstPtr &inst)
+{
+    inst->src2Val = regVal[inst->psrc2];
+    inst->storeDataDone = true;
+    secMonitor.onConsume(*inst, shadows.visibilityPoint(), false, true,
+                         false);
+    lsu.storeDataReady(*inst, inst->src2Val);
+    if (inst->effAddrValid)
+        inst->completed = true;
+    // Wake loads that stalled on this store's data.
+    auto waiters = forwardWaiters.find(inst->seq);
+    if (waiters != forwardWaiters.end()) {
+        for (auto &load : waiters->second) {
+            if (!load->squashed)
+                retryLoads.push_back(load);
+        }
+        forwardWaiters.erase(waiters);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shadow tracking
+// ---------------------------------------------------------------------
+
+void
+Core::shadowPhase()
+{
+    std::vector<DynInstPtr> now_safe;
+    shadows.update(lastRenamedSeq + 1, now_safe);
+    // Schemes observe the visibility point directly (and drain their
+    // own pending queues in tick()); the monitor needs no callback.
+    statGroup.counter("loads_became_safe") += now_safe.size();
+}
+
+// ---------------------------------------------------------------------
+// Select / issue
+// ---------------------------------------------------------------------
+
+void
+Core::selectPhase()
+{
+    // Retry loads stalled on MSHRs or forwarding data first: they
+    // already own an issue, only the memory port is re-arbitrated.
+    std::size_t retries = retryLoads.size();
+    while (retries-- > 0 && !retryLoads.empty()
+           && memPortsUsed < cfg.memPorts) {
+        DynInstPtr load = retryLoads.front();
+        retryLoads.pop_front();
+        if (load->squashed)
+            continue;
+        ++memPortsUsed;
+        loadMemoryStage(load);
+    }
+
+    unsigned slots = cfg.issueWidth;
+    unsigned fp_slots = cfg.fpPorts;
+    std::vector<DynInstPtr> fully_issued;
+
+    for (IqEntry *entry : iq.inOrder()) {
+        if (slots == 0)
+            break;
+        DynInstPtr inst = entry->inst;
+        if (inst->squashed) {
+            fully_issued.push_back(inst);
+            continue;
+        }
+
+        if (inst->isStore()) {
+            bool addr_ready = entry->src1Ready && !inst->addrIssued;
+            bool data_ready = entry->src2Ready && !inst->dataIssued;
+            if (addr_ready && schemePtr->selectVeto(*inst, true)) {
+                addr_ready = false;
+                ++statGroup.counter("scheme_select_blocks");
+                trace("block-addr", *inst);
+            }
+            if (data_ready && schemePtr->selectVeto(*inst, false)) {
+                data_ready = false;
+                ++statGroup.counter("scheme_select_blocks");
+                trace("block-data", *inst);
+            }
+            if (addr_ready && memPortsUsed >= cfg.memPorts)
+                addr_ready = false;
+            if (!addr_ready && !data_ready)
+                continue;
+
+            --slots;
+            bool killed = false;
+            bool scheduled = false;
+            if (addr_ready) {
+                ++memPortsUsed;
+                if (schemePtr->onSelect(*inst, true)) {
+                    inst->addrIssued = true;
+                    scheduled = true;
+                    trace("issue-addr", *inst);
+                } else {
+                    trace("kill", *inst);
+                    // Taint unit killed the issue: the slot and the
+                    // memory port are wasted this cycle (Fig. 4).
+                    killed = true;
+                    ++statGroup.counter("scheme_issue_kills");
+                }
+            }
+            if (data_ready && !killed) {
+                if (schemePtr->onSelect(*inst, false)) {
+                    inst->dataIssued = true;
+                    scheduled = true;
+                    trace("issue-data", *inst);
+                } else {
+                    trace("kill", *inst);
+                    ++statGroup.counter("scheme_issue_kills");
+                }
+            }
+            if (scheduled)
+                execNext.push_back(inst);
+            if (inst->addrIssued && inst->dataIssued)
+                fully_issued.push_back(inst);
+            continue;
+        }
+
+        // Non-store instructions.
+        if (!entry->src1Ready || !entry->src2Ready)
+            continue;
+        const OpClass cls = inst->uop.opClass();
+        if (schemePtr->selectVeto(*inst, inst->isLoad())) {
+            ++statGroup.counter("scheme_select_blocks");
+            trace("block", *inst);
+            continue;
+        }
+        if (cls == OpClass::MemRead && memPortsUsed >= cfg.memPorts)
+            continue;
+        if (cls == OpClass::IntDiv && divBusyUntil > cycle)
+            continue;
+        if (cls == OpClass::FpDiv && fdivBusyUntil > cycle)
+            continue;
+        const bool is_fp = cls == OpClass::FpAlu || cls == OpClass::FpMul
+                           || cls == OpClass::FpDiv;
+        if (is_fp && fp_slots == 0)
+            continue;
+
+        --slots;
+        if (is_fp)
+            --fp_slots;
+        if (cls == OpClass::MemRead)
+            ++memPortsUsed;
+        if (!schemePtr->onSelect(*inst, inst->isLoad())) {
+            ++statGroup.counter("scheme_issue_kills");
+            trace("kill", *inst);
+            continue; // Entry stays; ready is masked by the scheme.
+        }
+        trace("issue", *inst);
+        if (cls == OpClass::IntDiv)
+            divBusyUntil = cycle + cfg.divLatency;
+        if (cls == OpClass::FpDiv)
+            fdivBusyUntil = cycle + cfg.fpDivLatency;
+
+        inst->addrIssued = true;
+        if (inst->isLoad() || inst->isBranch()) {
+            execNext.push_back(inst);
+        } else {
+            executeAluAtSelect(inst);
+        }
+        fully_issued.push_back(inst);
+    }
+
+    for (const DynInstPtr &inst : fully_issued)
+        iq.remove(inst);
+}
+
+void
+Core::executeAluAtSelect(const DynInstPtr &inst)
+{
+    const Word s1 =
+        inst->uop.hasSrc1() ? regVal[inst->psrc1] : 0;
+    const Word s2 =
+        inst->uop.hasSrc2() ? regVal[inst->psrc2] : 0;
+    inst->src1Val = s1;
+    inst->src2Val = s2;
+    secMonitor.onConsume(*inst, shadows.visibilityPoint(), true, true,
+                         false);
+    inst->result = evalAlu(inst->uop, s1, s2);
+    inst->executed = true;
+    if (inst->pdst != invalidPhysReg)
+        regVal[inst->pdst] = inst->result;
+
+    const unsigned lat = opLatency(inst->uop.opClass());
+    completions.push(CompletionEvent{cycle + lat, inst});
+    if (inst->pdst != invalidPhysReg) {
+        if (!schemePtr->deferBroadcast(inst, cycle + lat)) {
+            applyWakeup(inst->pdst, cycle + lat, inst);
+        } else {
+            ++statGroup.counter("deferred_broadcasts");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch and rename
+// ---------------------------------------------------------------------
+
+void
+Core::dispatchPhase()
+{
+    unsigned n = 0;
+    while (n < cfg.coreWidth && !dispatchQueue.empty()) {
+        DynInstPtr inst = dispatchQueue.front();
+        if (iq.full()) {
+            ++statGroup.counter("iq_full_stalls");
+            break;
+        }
+        const bool s1 = !inst->uop.hasSrc1() || wakeupDone[inst->psrc1];
+        const bool s2 = !inst->uop.hasSrc2() || wakeupDone[inst->psrc2];
+        iq.insert(inst, s1, s2);
+        dispatchQueue.pop_front();
+        ++n;
+    }
+}
+
+void
+Core::renamePhase()
+{
+    std::vector<DynInstPtr> group;
+    unsigned n = 0;
+    while (n < cfg.coreWidth && !decodeQueue.empty()) {
+        DecodeSlot &slot = decodeQueue.front();
+        if (slot.readyAt > cycle)
+            break;
+        DynInstPtr inst = slot.inst;
+
+        if (rob.size() >= cfg.robEntries) {
+            ++statGroup.counter("rob_full_stalls");
+            break;
+        }
+        if (dispatchQueue.size() >= 2 * cfg.coreWidth)
+            break;
+        if (inst->uop.hasDst() && renameMap.freeCount() == 0) {
+            ++statGroup.counter("freelist_stalls");
+            break;
+        }
+        if (inst->isBranch() && branchesInFlight >= cfg.maxBranches) {
+            ++statGroup.counter("branch_cap_stalls");
+            break;
+        }
+        if (inst->isLoad() && lsu.lqFull()) {
+            ++statGroup.counter("lsu_full_stalls");
+            break;
+        }
+        if (inst->isStore() && lsu.sqFull()) {
+            ++statGroup.counter("lsu_full_stalls");
+            break;
+        }
+
+        if (inst->uop.hasSrc1())
+            inst->psrc1 = renameMap.lookup(inst->uop.src1);
+        if (inst->uop.hasSrc2())
+            inst->psrc2 = renameMap.lookup(inst->uop.src2);
+        if (inst->uop.hasDst()) {
+            inst->pdst = renameMap.allocate(inst->uop.dst,
+                                            inst->stalePdst);
+            wakeupDone[inst->pdst] = 0;
+            secMonitor.onAllocate(inst->pdst);
+        }
+        inst->renamed = true;
+        lastRenamedSeq = inst->seq;
+        trace("rename", *inst);
+
+        rob.push_back(inst);
+        if (inst->isLoad())
+            lsu.allocateLoad(inst);
+        if (inst->isStore())
+            lsu.allocateStore(inst);
+        shadows.onRename(inst);
+        if (inst->isBranch())
+            ++branchesInFlight;
+
+        if (inst->uop.op == Op::Nop || inst->uop.isHalt()) {
+            inst->completed = true;
+        } else {
+            dispatchQueue.push_back(inst);
+        }
+        group.push_back(inst);
+        decodeQueue.pop_front();
+        ++n;
+    }
+    if (!group.empty())
+        schemePtr->onRenameGroup(group);
+}
+
+void
+Core::decodePhase()
+{
+    unsigned n = 0;
+    const std::size_t cap = 4 * cfg.coreWidth;
+    while (n < cfg.coreWidth && !fetchQueue.empty()
+           && decodeQueue.size() < cap) {
+        DecodeSlot slot;
+        slot.inst = fetchQueue.front();
+        slot.readyAt = cycle + 1 + frontendExtraDelay;
+        decodeQueue.push_back(std::move(slot));
+        fetchQueue.pop_front();
+        ++n;
+    }
+}
+
+void
+Core::fetchPhase()
+{
+    if (haltedFlag || fetchHalted || cycle < fetchStallUntil)
+        return;
+    unsigned n = 0;
+    while (n < cfg.fetchWidth
+           && fetchQueue.size() < cfg.fetchBufferEntries) {
+        if (pc >= program->code.size()) {
+            // Wrong-path runoff past the program end: wait for the
+            // inevitable squash.
+            fetchHalted = true;
+            break;
+        }
+        const MicroOp &uop = program->code[pc];
+        auto inst = std::make_shared<DynInst>();
+        inst->seq = nextSeq++;
+        inst->pc = pc;
+        inst->uop = uop;
+
+        if (uop.isBranch()) {
+            if (uop.op == Op::Jmp) {
+                inst->predTaken = true;
+            } else {
+                inst->histSnapshot = ghist;
+                inst->predTaken = predictor.predict(pc, ghist);
+                ghist = (ghist << 1) | (inst->predTaken ? 1u : 0u);
+            }
+            fetchQueue.push_back(inst);
+            ++n;
+            if (inst->predTaken) {
+                pc = uop.target;
+                break; // Redirect: resume at the target next cycle.
+            }
+            ++pc;
+        } else if (uop.isHalt()) {
+            fetchQueue.push_back(inst);
+            fetchHalted = true;
+            break;
+        } else {
+            fetchQueue.push_back(inst);
+            ++pc;
+            ++n;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Squash
+// ---------------------------------------------------------------------
+
+void
+Core::squash(SeqNum from_seq, std::uint32_t new_pc)
+{
+    std::uint64_t count = 0;
+
+    for (auto &inst : fetchQueue) {
+        inst->squashed = true;
+        ++count;
+    }
+    fetchQueue.clear();
+    for (auto &slot : decodeQueue) {
+        slot.inst->squashed = true;
+        ++count;
+    }
+    decodeQueue.clear();
+    for (auto &inst : dispatchQueue) {
+        sb_assert(inst->seq > from_seq, "dispatch queue squash overlap");
+        inst->squashed = true;
+        ++count;
+    }
+    dispatchQueue.clear();
+
+    std::uint64_t ghist_restore = ghist;
+    while (!rob.empty() && rob.back()->seq > from_seq) {
+        DynInstPtr inst = rob.back();
+        inst->squashed = true;
+        schemePtr->onSquashWalk(*inst);
+        if (inst->pdst != invalidPhysReg) {
+            renameMap.unwind(inst->uop.dst, inst->pdst,
+                             inst->stalePdst);
+        }
+        if (inst->isBranch()) {
+            sb_assert(branchesInFlight > 0, "branch count underflow");
+            --branchesInFlight;
+            if (inst->uop.op != Op::Jmp)
+                ghist_restore = inst->histSnapshot;
+        }
+        rob.pop_back();
+        ++count;
+    }
+    lsu.squash(from_seq);
+    iq.squash(from_seq);
+    schemePtr->onSquash(from_seq);
+    // Waiter lists keyed by squashed stores can be dropped whole
+    // (their waiters are younger and squashed with them).
+    for (auto it = forwardWaiters.begin();
+         it != forwardWaiters.end();) {
+        if (it->first > from_seq)
+            it = forwardWaiters.erase(it);
+        else
+            ++it;
+    }
+
+    // Every sequence number below nextSeq is now renamed, committed,
+    // or squashed, so the visibility-point cap may advance to the
+    // next instruction to be fetched (monotonicity is preserved
+    // because nextSeq only grows).
+    lastRenamedSeq = nextSeq - 1;
+
+    ghist = ghist_restore;
+    pc = new_pc;
+    fetchStallUntil = cycle + 1;
+    fetchHalted = false;
+    statGroup.counter("squashed_insts") += count;
+    ++statGroup.counter("squashes");
+}
+
+} // namespace sb

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * BOOM-class out-of-order core model.
+ *
+ * A cycle-level model of the SonicBOOM pipeline with the structures
+ * the paper's microarchitectures modify made explicit:
+ *
+ *   fetch -> decode -> rename (RAT/free list) -> dispatch -> unified
+ *   issue queue (wakeup/select) -> execute / LSU -> writeback ->
+ *   in-order commit (ROB)
+ *
+ * including speculative L1-hit scheduling, partial store issue,
+ * optimistic memory disambiguation with violation flushes, branch
+ * mispredict recovery by exact walk-back, and C/D-shadow tracking
+ * with an in-order visibility point. Secure speculation schemes plug
+ * in through the SecureScheme hook interface.
+ *
+ * Stages are evaluated back-to-front each tick so an instruction
+ * advances at most one stage per cycle and same-cycle wakeup/select
+ * behaves like hardware.
+ */
+
+#ifndef SB_CORE_CORE_HH
+#define SB_CORE_CORE_HH
+
+#include <deque>
+#include <map>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "branch/tage.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/dyn_inst.hh"
+#include "core/issue_queue.hh"
+#include "core/lsu.hh"
+#include "core/rename_map.hh"
+#include "core/scheme_iface.hh"
+#include "core/security_monitor.hh"
+#include "core/shadow_tracker.hh"
+#include "isa/program.hh"
+#include "memory/memory_system.hh"
+
+namespace sb
+{
+
+/** Result of a simulation run. */
+struct RunResult
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    bool halted = false;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions)
+                                 / static_cast<double>(cycles);
+    }
+};
+
+/** The out-of-order core. */
+class Core
+{
+  public:
+    /**
+     * @param config core geometry (Table 1 presets in CoreConfig).
+     * @param scheme_config scheme selection and ablation knobs.
+     * @param scheme hook implementation; nullptr = unsafe baseline.
+     * @param program the program to run (copied functionally).
+     */
+    Core(const CoreConfig &config, const SchemeConfig &scheme_config,
+         std::unique_ptr<SecureScheme> scheme, const Program &program);
+
+    /** Run until @p max_insts commits, @p max_cycles, or a halt. */
+    RunResult run(std::uint64_t max_insts, std::uint64_t max_cycles);
+
+    /** Advance one cycle. */
+    void tick();
+
+    // --- Accessors ------------------------------------------------------
+    Cycle now() const { return cycle; }
+    bool halted() const { return haltedFlag; }
+    std::uint64_t committedInstructions() const { return committedCount; }
+    const CoreConfig &config() const { return cfg; }
+    const SchemeConfig &schemeConfig() const { return schemeCfg; }
+    StatGroup &stats() { return statGroup; }
+    const SecurityMonitor &monitor() const { return secMonitor; }
+    MemorySystem &memorySystem() { return mem; }
+    SecureScheme &scheme() { return *schemePtr; }
+
+    /** Visibility point (oldest unresolved C/D shadow). */
+    SeqNum visibilityPoint() const
+    {
+        return shadows.visibilityPoint();
+    }
+
+    /** Visibility point as of the previous cycle (rename-broadcast
+     *  latency: STT-Rename sees untaints one cycle late, Sec. 9.1). */
+    SeqNum visibilityPointPrev() const
+    {
+        return shadows.visibilityPointPrev();
+    }
+
+    /** Is @p seq younger than an open shadow? */
+    bool isSpeculative(SeqNum seq) const
+    {
+        return shadows.isSpeculative(seq);
+    }
+
+    /**
+     * Schedule a wakeup broadcast of @p preg at cycle @p at (used by
+     * schemes that own deferred broadcasts, e.g. NDA).
+     */
+    void scheduleWakeup(PhysReg preg, Cycle at, const DynInstPtr &producer);
+
+    /** Per-commit observer (used by examples, e.g. the attack PoC). */
+    using CommitHook = std::function<void(const DynInst &, Cycle)>;
+    void setCommitHook(CommitHook hook) { commitHook = std::move(hook); }
+
+    /**
+     * Pipeline-event observer (the stand-in for the paper's
+     * TraceDoctor instrumentation): called with an event name at
+     * rename / block / kill / issue / execute / complete / squash.
+     */
+    using TraceHook =
+        std::function<void(const char *, const DynInst &, Cycle)>;
+    void setTraceHook(TraceHook hook) { traceHook = std::move(hook); }
+
+    /** Read an architectural register (through the RAT; for tests). */
+    Word readArchReg(ArchReg reg) const;
+
+    /** Read functional memory (committed state; for tests/examples). */
+    Word readMemory(Addr addr) const { return workingMem.read(addr); }
+
+  private:
+    // --- Pipeline phases (called back-to-front from tick()) -----------
+    void commitPhase();
+    void drainStores();
+    void writebackPhase();
+    void executePhase();
+    void shadowPhase();
+    void selectPhase();
+    void dispatchPhase();
+    void renamePhase();
+    void decodePhase();
+    void fetchPhase();
+
+    // --- Helpers ----------------------------------------------------------
+    void executeLoadAddr(const DynInstPtr &inst);
+    void loadMemoryStage(const DynInstPtr &inst);
+    void executeStoreAddr(const DynInstPtr &inst);
+    void executeStoreData(const DynInstPtr &inst);
+    void executeBranch(const DynInstPtr &inst);
+    void executeAluAtSelect(const DynInstPtr &inst);
+    void finishLoad(const DynInstPtr &inst, Cycle complete_at,
+                    Word value, SeqNum forward_source);
+
+    /** Latency of an op class from the configuration. */
+    unsigned opLatency(OpClass cls) const;
+
+    /** Apply (or enqueue) a wakeup broadcast. */
+    void applyWakeup(PhysReg preg, Cycle at, const DynInstPtr &producer);
+
+    /**
+     * Squash everything younger than @p from_seq and refetch at
+     * @p new_pc. Restores RAT/free-list/taint by walk-back.
+     */
+    void squash(SeqNum from_seq, std::uint32_t new_pc);
+
+    bool speculativeSchedulingEnabled() const;
+
+    // --- Configuration -----------------------------------------------------
+    CoreConfig cfg;
+    SchemeConfig schemeCfg;
+    std::unique_ptr<SecureScheme> schemePtr;
+    const Program *program;
+
+    // --- Substrate ----------------------------------------------------------
+    MemorySystem mem;
+    TagePredictor predictor;
+    RenameMap renameMap;
+    ShadowTracker shadows;
+    SecurityMonitor secMonitor;
+    MemoryImage workingMem;   ///< Committed functional memory.
+
+    // --- Register state --------------------------------------------------
+    std::vector<Word> regVal;
+    std::vector<std::uint8_t> wakeupDone;
+
+    // --- Pipeline buffers ---------------------------------------------------
+    struct DecodeSlot
+    {
+        DynInstPtr inst;
+        Cycle readyAt = 0;
+    };
+    std::deque<DynInstPtr> fetchQueue;
+    std::deque<DecodeSlot> decodeQueue;
+    std::deque<DynInstPtr> dispatchQueue;
+    std::deque<DynInstPtr> rob;
+    IssueQueue iq;
+    Lsu lsu;
+
+    // --- Event machinery ------------------------------------------------------
+    struct CompletionEvent
+    {
+        Cycle at;
+        DynInstPtr inst;
+        bool operator>(const CompletionEvent &o) const { return at > o.at; }
+    };
+    struct WakeupEvent
+    {
+        Cycle at;
+        PhysReg preg;
+        DynInstPtr producer;
+        bool operator>(const WakeupEvent &o) const { return at > o.at; }
+    };
+    std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
+                        std::greater<CompletionEvent>> completions;
+    std::priority_queue<WakeupEvent, std::vector<WakeupEvent>,
+                        std::greater<WakeupEvent>> wakeups;
+    std::vector<DynInstPtr> execNow;   ///< Executing this cycle.
+    std::vector<DynInstPtr> execNext;  ///< Selected, executes next cycle.
+    std::deque<DynInstPtr> retryLoads; ///< MSHR-reject retries.
+    /** Loads sleeping on a store's data half (keyed by store seq);
+     *  spin-retrying would starve the memory ports of exactly the
+     *  store halves needed for forward progress. */
+    std::map<SeqNum, std::vector<DynInstPtr>> forwardWaiters;
+
+    // --- Front-end state -------------------------------------------------------
+    std::uint32_t pc = 0;
+    std::uint64_t ghist = 0;
+    Cycle fetchStallUntil = 0;
+    bool fetchHalted = false;
+    unsigned frontendExtraDelay = 0;
+
+    // --- Execution state ---------------------------------------------------------
+    Cycle cycle = 0;
+    SeqNum nextSeq = 1;
+    SeqNum lastRenamedSeq = 0;
+    unsigned branchesInFlight = 0;
+    unsigned memPortsUsed = 0;
+    Cycle divBusyUntil = 0;
+    Cycle fdivBusyUntil = 0;
+    bool haltedFlag = false;
+    std::uint64_t committedCount = 0;
+    Cycle lastCommitCycle = 0;
+
+    /** Emit a trace event if a hook is attached. */
+    void
+    trace(const char *event, const DynInst &inst)
+    {
+        if (traceHook)
+            traceHook(event, inst, cycle);
+    }
+
+    StatGroup statGroup;
+    CommitHook commitHook;
+    TraceHook traceHook;
+};
+
+} // namespace sb
+
+#endif // SB_CORE_CORE_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Dynamic instruction record.
+ *
+ * One DynInst is created per fetched micro-op and carries all
+ * per-instance pipeline state: rename mappings, issue/execute status,
+ * functional values, branch resolution, LSU indices, and the secure
+ * schemes' taint fields (YRoT = youngest root of taint, paper
+ * Sec. 3.1).
+ */
+
+#ifndef SB_CORE_DYN_INST_HH
+#define SB_CORE_DYN_INST_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "isa/microop.hh"
+
+namespace sb
+{
+
+/** One in-flight dynamic instruction. */
+struct DynInst
+{
+    // --- Identity -----------------------------------------------------
+    SeqNum seq = 0;           ///< Global program-order sequence number.
+    std::uint32_t pc = 0;     ///< Static code index.
+    MicroOp uop;
+
+    // --- Rename -------------------------------------------------------
+    PhysReg pdst = invalidPhysReg;
+    PhysReg psrc1 = invalidPhysReg;
+    PhysReg psrc2 = invalidPhysReg;
+    PhysReg stalePdst = invalidPhysReg; ///< Previous mapping of dst.
+    bool renamed = false;
+
+    // --- Pipeline status ------------------------------------------------
+    bool inIq = false;
+    bool addrIssued = false;  ///< Loads & store address halves.
+    bool dataIssued = false;  ///< Store data halves; ALU "the" issue.
+    bool executed = false;    ///< Functional work done.
+    bool storeDataDone = false; ///< Store data half has executed.
+    bool completed = false;   ///< Result final; eligible to commit.
+    bool squashed = false;
+    bool committed = false;
+
+    // --- Functional values ----------------------------------------------
+    Word src1Val = 0;
+    Word src2Val = 0;
+    Word result = 0;
+    Addr effAddr = 0;
+    bool effAddrValid = false;
+
+    // --- Branch state -----------------------------------------------------
+    bool predTaken = false;
+    bool actualTaken = false;
+    bool resolved = false;
+    bool mispredicted = false;
+    std::uint64_t histSnapshot = 0; ///< Global history before this branch.
+
+    // --- Memory state -----------------------------------------------------
+    int lqIdx = -1;
+    int sqIdx = -1;
+    bool l1Hit = false;
+    bool forwarded = false;          ///< Got data from the store queue.
+    bool bypassedUnknownStore = false;
+    Cycle completeAt = 0;
+
+    // --- Secure-scheme state (STT / NDA) -----------------------------------
+    /** Unified YRoT assigned at rename (STT-Rename). */
+    YRoT yrot = invalidSeqNum;
+    /** Per-operand YRoTs (two-taint store ablation, Sec. 9.2). */
+    YRoT yrotAddr = invalidSeqNum;
+    YRoT yrotData = invalidSeqNum;
+    /** Back-propagated YRoT masking ready in the IQ (STT-Issue). */
+    YRoT yrotMask = invalidSeqNum;
+    /** taint-RAT value this instruction overwrote (walk-back undo). */
+    YRoT staleYrot = invalidSeqNum;
+    /** Load registered as speculative at rename (has a taint root). */
+    bool specAtRename = false;
+    /** Load was still speculative when its data returned. */
+    bool specAtComplete = false;
+
+    // --- Convenience ------------------------------------------------------
+    bool isLoad() const { return uop.isLoad(); }
+    bool isStore() const { return uop.isStore(); }
+    bool isBranch() const { return uop.isBranch(); }
+
+    /** Stores issue in two halves; everything else in one. */
+    bool
+    fullyIssued() const
+    {
+        if (isStore())
+            return addrIssued && dataIssued;
+        return addrIssued || dataIssued;
+    }
+};
+
+using DynInstPtr = std::shared_ptr<DynInst>;
+
+} // namespace sb
+
+#endif // SB_CORE_DYN_INST_HH

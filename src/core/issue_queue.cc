@@ -1,0 +1,67 @@
+#include "core/issue_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sb
+{
+
+void
+IssueQueue::insert(const DynInstPtr &inst, bool src1_ready, bool src2_ready)
+{
+    sb_assert(!full(), "insert into full issue queue");
+    IqEntry e;
+    e.inst = inst;
+    e.src1Ready = src1_ready || !inst->uop.hasSrc1();
+    e.src2Ready = src2_ready || !inst->uop.hasSrc2();
+    inst->inIq = true;
+    entries.push_back(std::move(e));
+}
+
+void
+IssueQueue::wakeup(PhysReg preg)
+{
+    for (auto &e : entries) {
+        if (e.inst->uop.hasSrc1() && e.inst->psrc1 == preg)
+            e.src1Ready = true;
+        if (e.inst->uop.hasSrc2() && e.inst->psrc2 == preg)
+            e.src2Ready = true;
+    }
+}
+
+void
+IssueQueue::squash(SeqNum seq)
+{
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [seq](const IqEntry &e) {
+                                     return e.inst->seq > seq
+                                            || e.inst->squashed;
+                                 }),
+                  entries.end());
+}
+
+void
+IssueQueue::remove(const DynInstPtr &inst)
+{
+    auto it = std::find_if(entries.begin(), entries.end(),
+                           [&](const IqEntry &e) { return e.inst == inst; });
+    sb_assert(it != entries.end(), "removing instruction not in IQ");
+    inst->inIq = false;
+    entries.erase(it);
+}
+
+std::vector<IqEntry *>
+IssueQueue::inOrder()
+{
+    std::vector<IqEntry *> out;
+    out.reserve(entries.size());
+    for (auto &e : entries)
+        out.push_back(&e);
+    std::sort(out.begin(), out.end(), [](const IqEntry *a, const IqEntry *b) {
+        return a->inst->seq < b->inst->seq;
+    });
+    return out;
+}
+
+} // namespace sb

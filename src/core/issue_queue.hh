@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unified issue queue with broadcast wakeup and oldest-first select
+ * support. Stores occupy one entry but expose two independently
+ * issueable halves (address and data), modelling BOOM's partial store
+ * issue (paper Sec. 9.2). Selection policy lives in the core; the
+ * queue provides storage, wakeup, and age-ordered iteration.
+ */
+
+#ifndef SB_CORE_ISSUE_QUEUE_HH
+#define SB_CORE_ISSUE_QUEUE_HH
+
+#include <vector>
+
+#include "core/dyn_inst.hh"
+
+namespace sb
+{
+
+/** One issue-queue slot. */
+struct IqEntry
+{
+    DynInstPtr inst;
+    bool src1Ready = false;
+    bool src2Ready = false;
+};
+
+/** Fixed-capacity unified issue queue. */
+class IssueQueue
+{
+  public:
+    explicit IssueQueue(unsigned capacity) : cap(capacity) {}
+
+    bool full() const { return entries.size() >= cap; }
+    std::size_t size() const { return entries.size(); }
+    unsigned capacity() const { return cap; }
+
+    /** Insert a dispatched instruction with its initial ready bits. */
+    void insert(const DynInstPtr &inst, bool src1_ready, bool src2_ready);
+
+    /** Broadcast: wake every entry sourcing @p preg. */
+    void wakeup(PhysReg preg);
+
+    /** Remove entries younger than @p seq (squash). */
+    void squash(SeqNum seq);
+
+    /** Remove one fully issued instruction. */
+    void remove(const DynInstPtr &inst);
+
+    /** Entries sorted oldest-first (rebuilt each call). */
+    std::vector<IqEntry *> inOrder();
+
+    void clear() { entries.clear(); }
+
+  private:
+    unsigned cap;
+    std::vector<IqEntry> entries;
+};
+
+} // namespace sb
+
+#endif // SB_CORE_ISSUE_QUEUE_HH

@@ -1,0 +1,194 @@
+#include "core/lsu.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sb
+{
+
+Lsu::Lsu(unsigned lq_capacity, unsigned sq_capacity)
+    : lqCap(lq_capacity), sqCap(sq_capacity)
+{
+    sb_assert(lqCap > 0 && sqCap > 0, "LSU needs queue capacity");
+}
+
+void
+Lsu::allocateLoad(const DynInstPtr &inst)
+{
+    sb_assert(!lqFull(), "LQ overflow");
+    sb_assert(lq.empty() || lq.back().inst->seq < inst->seq,
+              "LQ must stay program-ordered");
+    LqEntry e;
+    e.inst = inst;
+    lq.push_back(std::move(e));
+}
+
+void
+Lsu::allocateStore(const DynInstPtr &inst)
+{
+    sb_assert(!sqFull(), "SQ overflow");
+    sb_assert(sq.empty() || sq.back().inst->seq < inst->seq,
+              "SQ must stay program-ordered");
+    SqEntry e;
+    e.inst = inst;
+    sq.push_back(std::move(e));
+}
+
+ForwardOutcome
+Lsu::checkForwarding(const DynInst &load) const
+{
+    sb_assert(load.effAddrValid, "forwarding scan before address gen");
+    ForwardOutcome out;
+    const Addr target = wordAddr(load.effAddr);
+
+    // Scan youngest-older-store first.
+    for (auto it = sq.rbegin(); it != sq.rend(); ++it) {
+        const SqEntry &e = *it;
+        if (e.inst->seq > load.seq)
+            continue;
+        if (!e.inst->effAddrValid) {
+            // Unknown address: optimistically bypass, remember it.
+            out.bypassedUnknown = true;
+            continue;
+        }
+        if (wordAddr(e.inst->effAddr) != target)
+            continue;
+        if (e.dataValid) {
+            out.kind = ForwardOutcome::Kind::Forward;
+            out.data = e.data;
+            out.source = e.inst->seq;
+            return out;
+        }
+        // Address matches but the data half has not issued: the load
+        // must wait (retry) rather than read stale memory.
+        out.kind = ForwardOutcome::Kind::StallData;
+        out.source = e.inst->seq;
+        return out;
+    }
+    out.kind = ForwardOutcome::Kind::NoMatch;
+    return out;
+}
+
+void
+Lsu::loadDataReturned(const DynInst &load, SeqNum source)
+{
+    for (auto &e : lq) {
+        if (e.inst->seq == load.seq) {
+            e.dataReturned = true;
+            e.forwardedFrom = source;
+            return;
+        }
+    }
+    sb_panic("loadDataReturned: load not in LQ");
+}
+
+void
+Lsu::storeDataReady(const DynInst &store, Word data)
+{
+    for (auto &e : sq) {
+        if (e.inst->seq == store.seq) {
+            e.dataValid = true;
+            e.data = data;
+            return;
+        }
+    }
+    sb_panic("storeDataReady: store not in SQ");
+}
+
+DynInstPtr
+Lsu::checkViolation(const DynInst &store) const
+{
+    sb_assert(store.effAddrValid, "violation scan before address gen");
+    const Addr target = wordAddr(store.effAddr);
+    for (const auto &e : lq) {
+        if (e.inst->seq < store.seq || e.inst->squashed)
+            continue;
+        if (!e.dataReturned || !e.inst->effAddrValid)
+            continue;
+        if (wordAddr(e.inst->effAddr) != target)
+            continue;
+        // The load already has data. It is stale unless it forwarded
+        // from this store or from a younger one.
+        if (e.forwardedFrom == invalidSeqNum
+            || e.forwardedFrom < store.seq) {
+            return e.inst;
+        }
+    }
+    return nullptr;
+}
+
+void
+Lsu::markStoreCommitted(const DynInst &store)
+{
+    for (auto &e : sq) {
+        if (e.inst->seq == store.seq) {
+            sb_assert(e.inst->effAddrValid && e.dataValid,
+                      "committing incomplete store");
+            e.committed = true;
+            return;
+        }
+    }
+    sb_panic("markStoreCommitted: store not in SQ");
+}
+
+SqEntry *
+Lsu::drainableStore()
+{
+    if (!sq.empty() && sq.front().committed)
+        return &sq.front();
+    return nullptr;
+}
+
+void
+Lsu::popDrainedStore()
+{
+    sb_assert(!sq.empty() && sq.front().committed, "bad SQ drain");
+    sq.pop_front();
+}
+
+void
+Lsu::releaseLoad(const DynInst &load)
+{
+    sb_assert(!lq.empty(), "releasing load from empty LQ");
+    sb_assert(lq.front().inst->seq == load.seq,
+              "loads must commit in order");
+    lq.pop_front();
+}
+
+bool
+Lsu::functionalBypass(const DynInst &load, Word &data) const
+{
+    const Addr target = wordAddr(load.effAddr);
+    for (auto it = sq.rbegin(); it != sq.rend(); ++it) {
+        const SqEntry &e = *it;
+        if (e.inst->seq > load.seq)
+            continue;
+        if (e.inst->effAddrValid && e.dataValid
+            && wordAddr(e.inst->effAddr) == target) {
+            data = e.data;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Lsu::squash(SeqNum seq)
+{
+    while (!lq.empty() && lq.back().inst->seq > seq)
+        lq.pop_back();
+    while (!sq.empty() && sq.back().inst->seq > seq) {
+        sb_assert(!sq.back().committed, "squashing a committed store");
+        sq.pop_back();
+    }
+}
+
+void
+Lsu::clear()
+{
+    lq.clear();
+    sq.clear();
+}
+
+} // namespace sb

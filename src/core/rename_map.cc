@@ -1,0 +1,48 @@
+#include "core/rename_map.hh"
+
+namespace sb
+{
+
+RenameMap::RenameMap(unsigned arch_regs, unsigned phys_regs)
+    : rat(arch_regs), physCount(phys_regs)
+{
+    sb_assert(phys_regs > arch_regs,
+              "need more physical than architectural registers");
+    // Identity-map the first arch_regs physical registers; the rest
+    // start on the free list.
+    for (unsigned i = 0; i < arch_regs; ++i)
+        rat[i] = static_cast<PhysReg>(i);
+    freeList.reserve(phys_regs - arch_regs);
+    for (unsigned i = phys_regs; i-- > arch_regs;)
+        freeList.push_back(static_cast<PhysReg>(i));
+}
+
+PhysReg
+RenameMap::allocate(ArchReg reg, PhysReg &stale)
+{
+    sb_assert(reg < rat.size(), "RAT allocate out of range");
+    sb_assert(!freeList.empty(), "allocate with empty free list");
+    const PhysReg fresh = freeList.back();
+    freeList.pop_back();
+    stale = rat[reg];
+    rat[reg] = fresh;
+    return fresh;
+}
+
+void
+RenameMap::release(PhysReg reg)
+{
+    sb_assert(reg != invalidPhysReg, "releasing invalid register");
+    freeList.push_back(reg);
+}
+
+void
+RenameMap::unwind(ArchReg reg, PhysReg allocated, PhysReg stale)
+{
+    sb_assert(reg < rat.size(), "RAT unwind out of range");
+    sb_assert(rat[reg] == allocated, "unwind out of order");
+    rat[reg] = stale;
+    freeList.push_back(allocated);
+}
+
+} // namespace sb

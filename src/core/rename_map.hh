@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Register alias table (RAT) and physical-register free list
+ * (paper Fig. 2).
+ *
+ * Mispredict recovery uses exact walk-back through the ROB (each
+ * DynInst remembers the mapping it replaced), which is functionally
+ * equivalent to the RAT checkpoints the paper costs in its area
+ * model; the synthesis model charges checkpoint storage separately.
+ */
+
+#ifndef SB_CORE_RENAME_MAP_HH
+#define SB_CORE_RENAME_MAP_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace sb
+{
+
+/** RAT + free list. */
+class RenameMap
+{
+  public:
+    RenameMap(unsigned arch_regs, unsigned phys_regs);
+
+    /** Current mapping of an architectural register. */
+    PhysReg
+    lookup(ArchReg reg) const
+    {
+        sb_assert(reg < rat.size(), "RAT lookup out of range");
+        return rat[reg];
+    }
+
+    /** Free physical registers available for allocation. */
+    unsigned freeCount() const { return freeList.size(); }
+
+    /**
+     * Allocate a new physical register for @p reg.
+     * @param[out] stale the mapping being replaced (for walk-back).
+     */
+    PhysReg allocate(ArchReg reg, PhysReg &stale);
+
+    /** Return a physical register to the free list. */
+    void release(PhysReg reg);
+
+    /**
+     * Walk-back undo of one allocation (youngest first): restore the
+     * previous mapping and free the allocated register.
+     */
+    void unwind(ArchReg reg, PhysReg allocated, PhysReg stale);
+
+    unsigned numPhysRegs() const { return physCount; }
+
+  private:
+    std::vector<PhysReg> rat;
+    std::vector<PhysReg> freeList;
+    unsigned physCount;
+};
+
+} // namespace sb
+
+#endif // SB_CORE_RENAME_MAP_HH

@@ -1,0 +1,93 @@
+#include "core/security_monitor.hh"
+
+#include "common/logging.hh"
+
+namespace sb
+{
+
+SecurityMonitor::SecurityMonitor(unsigned num_phys_regs)
+    : regs(num_phys_regs)
+{
+}
+
+void
+SecurityMonitor::onAllocate(PhysReg reg)
+{
+    sb_assert(reg < regs.size(), "monitor register out of range");
+    regs[reg] = RegState{};
+}
+
+void
+SecurityMonitor::onLoadData(const DynInst &load, bool still_speculative)
+{
+    if (load.pdst == invalidPhysReg)
+        return;
+    RegState &s = regs[load.pdst];
+    if (still_speculative) {
+        s.root = load.seq;
+        s.producerLoad = load.seq;
+    } else {
+        s.root = invalidSeqNum;
+        s.producerLoad = invalidSeqNum;
+    }
+}
+
+SeqNum
+SecurityMonitor::liveRoot(PhysReg reg, SeqNum vp) const
+{
+    const SeqNum root = regs[reg].root;
+    // A root older than the visibility point is bound-to-commit: its
+    // data is architecturally sanctioned, hence no longer a secret.
+    if (root != invalidSeqNum && root > vp)
+        return root;
+    return invalidSeqNum;
+}
+
+void
+SecurityMonitor::onConsume(const DynInst &inst, SeqNum vp, bool use_src1,
+                           bool use_src2, bool transmits)
+{
+    SeqNum taint = invalidSeqNum;
+    bool spec_producer = false;
+
+    auto check_src = [&](PhysReg reg) {
+        if (reg == invalidPhysReg)
+            return;
+        const SeqNum r = liveRoot(reg, vp);
+        if (r != invalidSeqNum
+            && (taint == invalidSeqNum || r > taint)) {
+            taint = r;
+        }
+        const SeqNum pl = regs[reg].producerLoad;
+        if (pl != invalidSeqNum && pl > vp)
+            spec_producer = true;
+    };
+
+    if (use_src1 && inst.uop.hasSrc1())
+        check_src(inst.psrc1);
+    if (use_src2 && inst.uop.hasSrc2())
+        check_src(inst.psrc2);
+
+    if (spec_producer)
+        ++consumeViol;
+    if (transmits && taint != invalidSeqNum)
+        ++transmitViol;
+
+    // Propagate taint to the destination (loads handled separately in
+    // onLoadData, which overwrites with the load's own root).
+    if (inst.pdst != invalidPhysReg && !inst.isLoad()) {
+        regs[inst.pdst].root = taint;
+        regs[inst.pdst].producerLoad = invalidSeqNum;
+    }
+}
+
+void
+SecurityMonitor::reset()
+{
+    for (auto &r : regs)
+        r = RegState{};
+    transmitViol = 0;
+    consumeViol = 0;
+}
+
+} // namespace sb

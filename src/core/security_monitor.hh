@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ground-truth security invariant monitor.
+ *
+ * Independently of any scheme's own bookkeeping, the monitor tracks
+ * the true speculative data flow through the physical register file
+ * and counts violations of the two obligations (paper Sec. 2):
+ *
+ *  - STT obligation: no *transmitter* (load/store address, branch)
+ *    executes with an operand that transitively derives from a load
+ *    that is still speculative ("tainted").
+ *  - NDA obligation: no instruction at all consumes a value produced
+ *    directly by a load that is still speculative.
+ *
+ * The unprotected baseline is expected to violate both; STT designs
+ * must have zero transmitter violations; NDA must have zero
+ * consumption violations (which implies zero transmitter violations).
+ */
+
+#ifndef SB_CORE_SECURITY_MONITOR_HH
+#define SB_CORE_SECURITY_MONITOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/dyn_inst.hh"
+
+namespace sb
+{
+
+/** Ground-truth taint tracker and obligation checker. */
+class SecurityMonitor
+{
+  public:
+    explicit SecurityMonitor(unsigned num_phys_regs);
+
+    /** A physical register was newly allocated: clear its state. */
+    void onAllocate(PhysReg reg);
+
+    /** A load's data arrived; taint its dest if still speculative. */
+    void onLoadData(const DynInst &load, bool still_speculative);
+
+    /**
+     * An instruction consumed operands. @p vp is the current
+     * visibility point (roots older than it are no longer secret).
+     * @param use_src1 / @p use_src2 which operands this event reads.
+     * @param transmits whether the use is observable (transmitter).
+     */
+    void onConsume(const DynInst &inst, SeqNum vp, bool use_src1,
+                   bool use_src2, bool transmits);
+
+    std::uint64_t transmitViolations() const { return transmitViol; }
+    std::uint64_t consumeViolations() const { return consumeViol; }
+
+    void reset();
+
+  private:
+    struct RegState
+    {
+        /** Youngest speculative-load root this value derives from. */
+        SeqNum root = invalidSeqNum;
+        /** Load that directly produced this value, if any. */
+        SeqNum producerLoad = invalidSeqNum;
+    };
+
+    /** Taint root of a register, invalid if effectively clean. */
+    SeqNum liveRoot(PhysReg reg, SeqNum vp) const;
+
+    std::vector<RegState> regs;
+    std::uint64_t transmitViol = 0;
+    std::uint64_t consumeViol = 0;
+};
+
+} // namespace sb
+
+#endif // SB_CORE_SECURITY_MONITOR_HH

@@ -1,0 +1,71 @@
+#include "core/shadow_tracker.hh"
+
+#include "common/logging.hh"
+
+namespace sb
+{
+
+void
+ShadowTracker::onRename(const DynInstPtr &inst)
+{
+    if (inst->isBranch()) {
+        branches.push_back(inst);
+    } else if (inst->isStore()) {
+        stores.push_back(inst);
+    } else if (inst->isLoad()) {
+        // Only loads renamed under an open shadow are speculative;
+        // older instructions all renamed earlier, so no later shadow
+        // can appear behind this load.
+        if (isSpeculative(inst->seq)) {
+            inst->specAtRename = true;
+            specLoads.push_back(inst);
+        }
+    }
+}
+
+void
+ShadowTracker::update(SeqNum next_seq, std::vector<DynInstPtr> &now_safe)
+{
+    // Retire resolved / squashed shadow sources from the front.
+    while (!branches.empty()
+           && (branches.front()->squashed || branches.front()->resolved)) {
+        branches.pop_front();
+    }
+    while (!stores.empty()
+           && (stores.front()->squashed || stores.front()->effAddrValid)) {
+        stores.pop_front();
+    }
+
+    SeqNum new_vp = next_seq;
+    if (!branches.empty())
+        new_vp = std::min(new_vp, branches.front()->seq);
+    if (!stores.empty())
+        new_vp = std::min(new_vp, stores.front()->seq);
+    sb_assert(new_vp >= vp, "visibility point must be monotonic");
+    vp = new_vp;
+
+    while (!specLoads.empty()) {
+        const DynInstPtr &front = specLoads.front();
+        if (front->squashed) {
+            specLoads.pop_front();
+            continue;
+        }
+        if (front->seq > vp)
+            break;
+        // seq == vp cannot happen (vp points at a branch or store).
+        now_safe.push_back(front);
+        specLoads.pop_front();
+    }
+}
+
+void
+ShadowTracker::reset()
+{
+    branches.clear();
+    stores.clear();
+    specLoads.clear();
+    vp = 0;
+    vpPrev = 0;
+}
+
+} // namespace sb

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Speculation-shadow tracking (paper Sec. 6).
+ *
+ * Tracks C-shadows (unresolved branches) and D-shadows (stores whose
+ * address is not yet known). Shadows resolve in program order: the
+ * visibility point is the sequence number of the oldest unresolved
+ * shadow, and every instruction older than it is bound-to-commit.
+ * Speculative loads are registered at rename and handed back (oldest
+ * first) as the visibility point passes them, which drives STT's
+ * untaint broadcast and NDA's delayed broadcast.
+ */
+
+#ifndef SB_CORE_SHADOW_TRACKER_HH
+#define SB_CORE_SHADOW_TRACKER_HH
+
+#include <deque>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+
+namespace sb
+{
+
+/** In-order C/D-shadow tracker with a monotonic visibility point. */
+class ShadowTracker
+{
+  public:
+    /** Register a renamed instruction (branches, stores, loads). */
+    void onRename(const DynInstPtr &inst);
+
+    /**
+     * Advance the visibility point.
+     * @param next_seq the next sequence number to be assigned; the
+     *        visibility point equals it when no shadows are live.
+     * @param[out] now_safe loads that just became non-speculative,
+     *        oldest first (appended).
+     */
+    void update(SeqNum next_seq, std::vector<DynInstPtr> &now_safe);
+
+    /** Current visibility point. */
+    SeqNum visibilityPoint() const { return vp; }
+
+    /** Visibility point as of the end of the previous cycle. */
+    SeqNum visibilityPointPrev() const { return vpPrev; }
+
+    /** Latch the previous-cycle visibility point (call at tick start). */
+    void latchPrev() { vpPrev = vp; }
+
+    /** Is an instruction speculative (younger than an open shadow)? */
+    bool isSpeculative(SeqNum seq) const { return seq > vp; }
+
+    /** Count of live speculative loads (diagnostics). */
+    std::size_t speculativeLoads() const { return specLoads.size(); }
+
+    /** Drop all state (full reset). */
+    void reset();
+
+  private:
+    std::deque<DynInstPtr> branches;  ///< Unresolved C-shadow sources.
+    std::deque<DynInstPtr> stores;    ///< Unknown-address D-shadow sources.
+    std::deque<DynInstPtr> specLoads; ///< Loads awaiting the point.
+    SeqNum vp = 0;
+    SeqNum vpPrev = 0;
+};
+
+} // namespace sb
+
+#endif // SB_CORE_SHADOW_TRACKER_HH

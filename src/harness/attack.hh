@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Spectre-v1 proof-of-concept on the simulated core (the stand-in
+ * for the BOOM-attacks suite the paper uses to verify its schemes).
+ *
+ * The attack program trains a bounds-check branch in-range, then
+ * supplies an out-of-range index while the bound itself is delayed
+ * behind a three-hop cold pointer chase (~300-cycle speculation
+ * window). The transient gadget reads a secret byte and encodes it
+ * into the set-state of a 256-slot probe array; a serialised timing
+ * probe then recovers the byte from commit-time load latencies. A
+ * cache-residency oracle cross-checks the timing receiver.
+ */
+
+#ifndef SB_HARNESS_ATTACK_HH
+#define SB_HARNESS_ATTACK_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "isa/program.hh"
+
+namespace sb
+{
+
+/** Outcome of one attack attempt. */
+struct AttackResult
+{
+    /** Byte recovered via the timing probe, -1 if no clear signal. */
+    int timingByte = -1;
+    /** Byte recovered via the cache-residency oracle, -1 if none. */
+    int oracleByte = -1;
+    /** True if either receiver recovered the actual secret. */
+    bool leaked = false;
+    /** Ground-truth monitor counts for the run. */
+    std::uint64_t transmitViolations = 0;
+    std::uint64_t consumeViolations = 0;
+    /** Median / minimum probe gaps (diagnostics). */
+    double medianGap = 0.0;
+    double minGap = 0.0;
+};
+
+/** Attack program plus the static PCs the harness needs. */
+struct SpectreProgram
+{
+    Program program;
+    /** First load of the pre-probe serialisation barrier. */
+    std::uint32_t barrierPc = 0;
+    /** First probe load (slot v=1); one probe group is 4 ops. */
+    std::uint32_t firstProbePc = 0;
+};
+
+/** Build the Spectre-v1 attack program for @p secret_byte (1..255). */
+SpectreProgram buildSpectreV1Program(std::uint8_t secret_byte,
+                                     std::uint64_t seed);
+
+/**
+ * Run the attack against a core protected by @p scheme_config.
+ * The unsafe baseline is expected to leak; STT-Rename, STT-Issue and
+ * NDA must not.
+ */
+AttackResult runSpectreV1(const CoreConfig &core_config,
+                          const SchemeConfig &scheme_config,
+                          std::uint8_t secret_byte,
+                          std::uint64_t seed = 42);
+
+} // namespace sb
+
+#endif // SB_HARNESS_ATTACK_HH

@@ -1,0 +1,108 @@
+#include "harness/experiment.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "common/logging.hh"
+#include "core/core.hh"
+#include "secure/factory.hh"
+#include "trace/spec_suite.hh"
+
+namespace sb
+{
+
+std::uint64_t
+RunOutcome::stat(const std::string &name) const
+{
+    auto it = stats.find(name);
+    return it == stats.end() ? 0 : it->second;
+}
+
+ExperimentRunner::ExperimentRunner(unsigned threads)
+    : numThreads(threads ? threads
+                         : std::max(1u,
+                                    std::thread::hardware_concurrency()))
+{
+}
+
+RunOutcome
+ExperimentRunner::runOne(const RunSpec &spec)
+{
+    const Workload workload = SpecSuite::make(spec.workload);
+    Core core(spec.core, spec.scheme, makeScheme(spec.scheme),
+              workload.program);
+
+    // Warmup: fill caches, train the predictor, reach steady state.
+    core.run(spec.warmupInsts, spec.maxCycles);
+    core.stats().reset();
+    const Cycle cycles0 = core.now();
+    const std::uint64_t insts0 = core.committedInstructions();
+
+    core.run(spec.measureInsts, spec.maxCycles);
+
+    RunOutcome out;
+    out.workload = spec.workload;
+    out.coreName = spec.core.name;
+    out.scheme = spec.scheme.scheme;
+    out.cycles = core.now() - cycles0;
+    out.instructions = core.committedInstructions() - insts0;
+    out.ipc = out.cycles == 0
+                  ? 0.0
+                  : static_cast<double>(out.instructions)
+                        / static_cast<double>(out.cycles);
+    out.transmitViolations = core.monitor().transmitViolations();
+    out.consumeViolations = core.monitor().consumeViolations();
+    for (const auto &kv : core.stats().counters())
+        out.stats[kv.first] = kv.second.value();
+    return out;
+}
+
+std::vector<RunOutcome>
+ExperimentRunner::runAll(const std::vector<RunSpec> &specs) const
+{
+    std::vector<RunOutcome> results(specs.size());
+    std::atomic<std::size_t> next{0};
+
+    auto worker = [&]() {
+        while (true) {
+            const std::size_t idx =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (idx >= specs.size())
+                return;
+            results[idx] = runOne(specs[idx]);
+        }
+    };
+
+    const unsigned n =
+        std::min<std::size_t>(numThreads, specs.size());
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+std::vector<RunSpec>
+suiteSpecs(const std::vector<CoreConfig> &configs,
+           const std::vector<SchemeConfig> &schemes,
+           std::uint64_t measure_insts)
+{
+    std::vector<RunSpec> specs;
+    for (const auto &core : configs) {
+        for (const auto &scheme : schemes) {
+            for (const auto &name : SpecSuite::benchmarkNames()) {
+                RunSpec s;
+                s.core = core;
+                s.scheme = scheme;
+                s.workload = name;
+                s.measureInsts = measure_insts;
+                specs.push_back(std::move(s));
+            }
+        }
+    }
+    return specs;
+}
+
+} // namespace sb

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Experiment runner: executes (core config x scheme x workload)
+ * simulations, with warmup, in parallel across host threads.
+ */
+
+#ifndef SB_HARNESS_EXPERIMENT_HH
+#define SB_HARNESS_EXPERIMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace sb
+{
+
+/** One simulation to run. */
+struct RunSpec
+{
+    CoreConfig core;
+    SchemeConfig scheme;
+    std::string workload;            ///< SPEC stand-in name.
+    std::uint64_t warmupInsts = 30000;
+    std::uint64_t measureInsts = 120000;
+    std::uint64_t maxCycles = 40'000'000;
+};
+
+/** Measured outcome of one simulation (measurement window only). */
+struct RunOutcome
+{
+    std::string workload;
+    std::string coreName;
+    Scheme scheme = Scheme::Baseline;
+
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;
+
+    /** Ground-truth monitor counts over the whole run. */
+    std::uint64_t transmitViolations = 0;
+    std::uint64_t consumeViolations = 0;
+
+    /** All core counters harvested from the measurement window. */
+    std::map<std::string, std::uint64_t> stats;
+
+    std::uint64_t stat(const std::string &name) const;
+};
+
+/** Thread-pooled runner. */
+class ExperimentRunner
+{
+  public:
+    /** @param threads worker count; 0 = hardware concurrency. */
+    explicit ExperimentRunner(unsigned threads = 0);
+
+    /** Execute every spec (order of results matches input order). */
+    std::vector<RunOutcome> runAll(const std::vector<RunSpec> &specs) const;
+
+    /** Execute one spec synchronously. */
+    static RunOutcome runOne(const RunSpec &spec);
+
+  private:
+    unsigned numThreads;
+};
+
+/** Convenience: specs for (configs x schemes x whole suite). */
+std::vector<RunSpec> suiteSpecs(const std::vector<CoreConfig> &configs,
+                                const std::vector<SchemeConfig> &schemes,
+                                std::uint64_t measure_insts = 120000);
+
+} // namespace sb
+
+#endif // SB_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,79 @@
+#include "harness/reporting.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sb
+{
+
+SuiteAggregate
+aggregate(const std::vector<RunOutcome> &outcomes)
+{
+    sb_assert(!outcomes.empty(), "aggregate of no outcomes");
+    SuiteAggregate agg;
+    agg.coreName = outcomes.front().coreName;
+    agg.scheme = outcomes.front().scheme;
+
+    double sum_cycles = 0.0;
+    double sum_insts = 0.0;
+    for (const auto &o : outcomes) {
+        sb_assert(o.coreName == agg.coreName && o.scheme == agg.scheme,
+                  "aggregate over mixed outcomes");
+        sum_cycles += static_cast<double>(o.cycles);
+        sum_insts += static_cast<double>(o.instructions);
+        agg.perBench[o.workload] = o.ipc;
+    }
+    // Paper Sec. 8.1: arithmetic mean of cycles and of instructions,
+    // separately; the suite IPC is their ratio.
+    agg.meanIpc = sum_cycles == 0.0 ? 0.0 : sum_insts / sum_cycles;
+    return agg;
+}
+
+std::vector<RunOutcome>
+filter(const std::vector<RunOutcome> &all, const std::string &core_name,
+       Scheme scheme)
+{
+    std::vector<RunOutcome> out;
+    for (const auto &o : all) {
+        if (o.coreName == core_name && o.scheme == scheme)
+            out.push_back(o);
+    }
+    return out;
+}
+
+LinearFit
+fitLine(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    sb_assert(xs.size() == ys.size() && xs.size() >= 2,
+              "fitLine needs >= 2 points");
+    const double n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    sb_assert(std::abs(denom) > 1e-12, "degenerate fit");
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    return fit;
+}
+
+std::string
+bar(double normalized, unsigned width)
+{
+    const double clamped = std::clamp(normalized, 0.0, 1.25);
+    const unsigned filled =
+        static_cast<unsigned>(std::lround(clamped * width));
+    std::string s;
+    for (unsigned i = 0; i < filled; ++i)
+        s += '#';
+    return s;
+}
+
+} // namespace sb

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Result aggregation and rendering helpers shared by the benchmark
+ * binaries: SPEC-style suite means (arithmetic mean of cycles and of
+ * instructions, per paper Sec. 8.1 / [11]), normalisation against the
+ * unsafe baseline, least-squares trend fitting for the width-scaling
+ * figures, and simple ASCII bar charts for figure-style output.
+ */
+
+#ifndef SB_HARNESS_REPORTING_HH
+#define SB_HARNESS_REPORTING_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "harness/experiment.hh"
+
+namespace sb
+{
+
+/** Suite-level aggregate for one (config, scheme) cell. */
+struct SuiteAggregate
+{
+    std::string coreName;
+    Scheme scheme = Scheme::Baseline;
+    /** SPEC mean IPC: mean(instructions) / mean(cycles). */
+    double meanIpc = 0.0;
+    /** Per-benchmark IPC, keyed by benchmark name. */
+    std::map<std::string, double> perBench;
+};
+
+/** Compute the suite aggregate over outcomes of one (config, scheme). */
+SuiteAggregate aggregate(const std::vector<RunOutcome> &outcomes);
+
+/** Select outcomes matching (core, scheme) from a mixed result set. */
+std::vector<RunOutcome> filter(const std::vector<RunOutcome> &all,
+                               const std::string &core_name,
+                               Scheme scheme);
+
+/** Least-squares line fit y = a + b x. */
+struct LinearFit
+{
+    double intercept = 0.0;
+    double slope = 0.0;
+
+    double at(double x) const { return intercept + slope * x; }
+
+    /**
+     * The paper's "less pessimistic" projection (Sec. 1, Table 3):
+     * extrapolate from the last observed point with half the slope.
+     */
+    double
+    atHalfSlope(double x, double last_x, double last_y) const
+    {
+        return last_y + 0.5 * slope * (x - last_x);
+    }
+};
+
+LinearFit fitLine(const std::vector<double> &xs,
+                  const std::vector<double> &ys);
+
+/** Render a normalised-value bar (figure-style ASCII output). */
+std::string bar(double normalized, unsigned width = 40);
+
+} // namespace sb
+
+#endif // SB_HARNESS_REPORTING_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The simulated micro-op ISA.
+ *
+ * A small RISC-V-flavoured micro-op set with full functional semantics:
+ * enough to write real kernels (array sweeps, pointer chases, hash
+ * loops, Spectre gadgets) whose branch outcomes and memory addresses
+ * are computed from data, not scripted. Stores are a single micro-op
+ * with separate address and data operands so the core can model BOOM's
+ * partial store issue (paper Sec. 9.2).
+ */
+
+#ifndef SB_ISA_MICROOP_HH
+#define SB_ISA_MICROOP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace sb
+{
+
+/** Functional operation of a micro-op. */
+enum class Op : std::uint8_t
+{
+    Nop,
+    MovImm,  ///< dst = imm
+    Add,     ///< dst = src1 + src2
+    AddImm,  ///< dst = src1 + imm
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,     ///< dst = src1 << (src2 & 63)
+    Shr,     ///< dst = src1 >> (src2 & 63)
+    Mul,
+    Div,     ///< dst = src1 / src2 (0 divisor yields all-ones)
+    FAdd,    ///< modelled on the integer datapath with FP latency
+    FMul,
+    FDiv,
+    Load,    ///< dst = mem[src1 + imm]
+    Store,   ///< mem[src1 + imm] = src2 (src1: address, src2: data)
+    Beq,     ///< branch to target if src1 == src2
+    Bne,
+    Blt,     ///< signed less-than
+    Bge,
+    Jmp,     ///< unconditional branch to target
+    Halt,    ///< stop the program (drains and ends simulation)
+};
+
+/** Scheduling class of an operation (selects latency and ports). */
+enum class OpClass : std::uint8_t
+{
+    Nop,
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAlu,
+    FpMul,
+    FpDiv,
+    MemRead,
+    MemWrite,
+    Branch,
+};
+
+/** A single static micro-op. */
+struct MicroOp
+{
+    Op op = Op::Nop;
+    ArchReg dst = invalidArchReg;
+    ArchReg src1 = invalidArchReg;
+    ArchReg src2 = invalidArchReg;
+    std::int64_t imm = 0;
+    std::uint32_t target = 0;   ///< Branch target (code index).
+
+    /** Scheduling class for this op. */
+    OpClass opClass() const;
+
+    bool isLoad() const { return op == Op::Load; }
+    bool isStore() const { return op == Op::Store; }
+    bool isBranch() const;
+    bool isHalt() const { return op == Op::Halt; }
+    bool hasDst() const { return dst != invalidArchReg; }
+    bool hasSrc1() const { return src1 != invalidArchReg; }
+    bool hasSrc2() const { return src2 != invalidArchReg; }
+
+    /**
+     * Transmitter classification per STT (Sec. 3.1): an instruction
+     * whose execution has an observable, operand-dependent effect.
+     * Loads and stores transmit through their address; branches
+     * through their direction.
+     */
+    bool
+    isTransmitter() const
+    {
+        return isLoad() || isStore() || isBranch();
+    }
+
+    /** Human-readable disassembly. */
+    std::string disassemble() const;
+};
+
+/** Evaluate the functional result of a non-memory, non-branch op. */
+Word evalAlu(const MicroOp &uop, Word src1, Word src2);
+
+/** Evaluate a branch condition. */
+bool evalBranch(const MicroOp &uop, Word src1, Word src2);
+
+} // namespace sb
+
+#endif // SB_ISA_MICROOP_HH

@@ -1,0 +1,286 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sb
+{
+
+void
+MemoryImage::write(Addr addr, Word value)
+{
+    words[align(addr)] = value;
+}
+
+Word
+MemoryImage::read(Addr addr) const
+{
+    auto it = words.find(align(addr));
+    if (it != words.end())
+        return it->second;
+    return backgroundValue(align(addr));
+}
+
+bool
+MemoryImage::contains(Addr addr) const
+{
+    return words.count(align(addr)) != 0;
+}
+
+Word
+MemoryImage::backgroundValue(Addr addr)
+{
+    // splitmix64 finaliser: deterministic pseudo-data per address.
+    Word z = addr + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < code.size(); ++i)
+        oss << i << ":\t" << code[i].disassemble() << '\n';
+    return oss.str();
+}
+
+ProgramBuilder::Label
+ProgramBuilder::futureLabel()
+{
+    futureTargets.push_back(-1);
+    return unboundBase + static_cast<std::uint32_t>(futureTargets.size() - 1);
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    sb_assert(label >= unboundBase, "bind() of a non-future label");
+    const std::size_t idx = label - unboundBase;
+    sb_assert(idx < futureTargets.size(), "bind() of unknown label");
+    sb_assert(futureTargets[idx] < 0, "label bound twice");
+    futureTargets[idx] = static_cast<std::int64_t>(code.size());
+}
+
+std::uint32_t
+ProgramBuilder::emit(MicroOp uop)
+{
+    code.push_back(uop);
+    return static_cast<std::uint32_t>(code.size() - 1);
+}
+
+std::uint32_t
+ProgramBuilder::emitBranch(Op op, ArchReg src1, ArchReg src2, Label target)
+{
+    MicroOp uop;
+    uop.op = op;
+    uop.src1 = src1;
+    uop.src2 = src2;
+    uop.target = target;
+    return emit(uop);
+}
+
+std::uint32_t
+ProgramBuilder::nop()
+{
+    return emit(MicroOp{});
+}
+
+std::uint32_t
+ProgramBuilder::movi(ArchReg dst, std::int64_t imm)
+{
+    MicroOp uop;
+    uop.op = Op::MovImm;
+    uop.dst = dst;
+    uop.imm = imm;
+    return emit(uop);
+}
+
+std::uint32_t
+ProgramBuilder::addi(ArchReg dst, ArchReg src1, std::int64_t imm)
+{
+    MicroOp uop;
+    uop.op = Op::AddImm;
+    uop.dst = dst;
+    uop.src1 = src1;
+    uop.imm = imm;
+    return emit(uop);
+}
+
+namespace
+{
+
+MicroOp
+threeReg(Op op, ArchReg dst, ArchReg src1, ArchReg src2)
+{
+    MicroOp uop;
+    uop.op = op;
+    uop.dst = dst;
+    uop.src1 = src1;
+    uop.src2 = src2;
+    return uop;
+}
+
+} // anonymous namespace
+
+std::uint32_t
+ProgramBuilder::add(ArchReg dst, ArchReg src1, ArchReg src2)
+{
+    return emit(threeReg(Op::Add, dst, src1, src2));
+}
+
+std::uint32_t
+ProgramBuilder::sub(ArchReg dst, ArchReg src1, ArchReg src2)
+{
+    return emit(threeReg(Op::Sub, dst, src1, src2));
+}
+
+std::uint32_t
+ProgramBuilder::and_(ArchReg dst, ArchReg src1, ArchReg src2)
+{
+    return emit(threeReg(Op::And, dst, src1, src2));
+}
+
+std::uint32_t
+ProgramBuilder::or_(ArchReg dst, ArchReg src1, ArchReg src2)
+{
+    return emit(threeReg(Op::Or, dst, src1, src2));
+}
+
+std::uint32_t
+ProgramBuilder::xor_(ArchReg dst, ArchReg src1, ArchReg src2)
+{
+    return emit(threeReg(Op::Xor, dst, src1, src2));
+}
+
+std::uint32_t
+ProgramBuilder::shl(ArchReg dst, ArchReg src1, ArchReg src2)
+{
+    return emit(threeReg(Op::Shl, dst, src1, src2));
+}
+
+std::uint32_t
+ProgramBuilder::shr(ArchReg dst, ArchReg src1, ArchReg src2)
+{
+    return emit(threeReg(Op::Shr, dst, src1, src2));
+}
+
+std::uint32_t
+ProgramBuilder::mul(ArchReg dst, ArchReg src1, ArchReg src2)
+{
+    return emit(threeReg(Op::Mul, dst, src1, src2));
+}
+
+std::uint32_t
+ProgramBuilder::div(ArchReg dst, ArchReg src1, ArchReg src2)
+{
+    return emit(threeReg(Op::Div, dst, src1, src2));
+}
+
+std::uint32_t
+ProgramBuilder::fadd(ArchReg dst, ArchReg src1, ArchReg src2)
+{
+    return emit(threeReg(Op::FAdd, dst, src1, src2));
+}
+
+std::uint32_t
+ProgramBuilder::fmul(ArchReg dst, ArchReg src1, ArchReg src2)
+{
+    return emit(threeReg(Op::FMul, dst, src1, src2));
+}
+
+std::uint32_t
+ProgramBuilder::fdiv(ArchReg dst, ArchReg src1, ArchReg src2)
+{
+    return emit(threeReg(Op::FDiv, dst, src1, src2));
+}
+
+std::uint32_t
+ProgramBuilder::load(ArchReg dst, ArchReg base, std::int64_t offset)
+{
+    MicroOp uop;
+    uop.op = Op::Load;
+    uop.dst = dst;
+    uop.src1 = base;
+    uop.imm = offset;
+    return emit(uop);
+}
+
+std::uint32_t
+ProgramBuilder::store(ArchReg base, ArchReg data, std::int64_t offset)
+{
+    MicroOp uop;
+    uop.op = Op::Store;
+    uop.src1 = base;
+    uop.src2 = data;
+    uop.imm = offset;
+    return emit(uop);
+}
+
+std::uint32_t
+ProgramBuilder::beq(ArchReg src1, ArchReg src2, Label target)
+{
+    return emitBranch(Op::Beq, src1, src2, target);
+}
+
+std::uint32_t
+ProgramBuilder::bne(ArchReg src1, ArchReg src2, Label target)
+{
+    return emitBranch(Op::Bne, src1, src2, target);
+}
+
+std::uint32_t
+ProgramBuilder::blt(ArchReg src1, ArchReg src2, Label target)
+{
+    return emitBranch(Op::Blt, src1, src2, target);
+}
+
+std::uint32_t
+ProgramBuilder::bge(ArchReg src1, ArchReg src2, Label target)
+{
+    return emitBranch(Op::Bge, src1, src2, target);
+}
+
+std::uint32_t
+ProgramBuilder::jmp(Label target)
+{
+    return emitBranch(Op::Jmp, invalidArchReg, invalidArchReg, target);
+}
+
+std::uint32_t
+ProgramBuilder::halt()
+{
+    MicroOp uop;
+    uop.op = Op::Halt;
+    return emit(uop);
+}
+
+Program
+ProgramBuilder::build(std::string name)
+{
+    // Resolve future labels.
+    for (auto &uop : code) {
+        if (uop.isBranch() && uop.target >= unboundBase) {
+            const std::size_t idx = uop.target - unboundBase;
+            sb_assert(idx < futureTargets.size(), "unknown label in branch");
+            sb_assert(futureTargets[idx] >= 0,
+                      "unbound label referenced by branch");
+            uop.target = static_cast<std::uint32_t>(futureTargets[idx]);
+        }
+    }
+    for (const auto &uop : code) {
+        if (uop.isBranch()) {
+            sb_assert(uop.target < code.size(),
+                      "branch target out of range");
+        }
+    }
+    Program p;
+    p.code = std::move(code);
+    p.memory = std::move(mem);
+    p.name = std::move(name);
+    return p;
+}
+
+} // namespace sb

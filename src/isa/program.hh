@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Program representation and assembler-style builder.
+ *
+ * A Program is a flat vector of micro-ops (the "PC" is an index into
+ * the vector) plus an initial memory image. Uninitialised memory
+ * reads return a deterministic per-address hash so large footprints
+ * need no explicit initialisation.
+ */
+
+#ifndef SB_ISA_PROGRAM_HH
+#define SB_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/microop.hh"
+
+namespace sb
+{
+
+/**
+ * Sparse functional memory image. Word-granular (8 bytes), addresses
+ * are rounded down to the containing word.
+ */
+class MemoryImage
+{
+  public:
+    /** Write one 64-bit word. */
+    void write(Addr addr, Word value);
+
+    /** Read one word; uninitialised locations yield hash(addr). */
+    Word read(Addr addr) const;
+
+    /** True if the word was explicitly written. */
+    bool contains(Addr addr) const;
+
+    std::size_t size() const { return words.size(); }
+
+    /** Deterministic background value for untouched memory. */
+    static Word backgroundValue(Addr addr);
+
+  private:
+    static Addr align(Addr addr) { return addr & ~Addr(7); }
+
+    std::unordered_map<Addr, Word> words;
+};
+
+/** A complete runnable program: code, entry point, and initial memory. */
+struct Program
+{
+    std::vector<MicroOp> code;
+    std::uint32_t entry = 0;
+    MemoryImage memory;
+    std::string name = "program";
+
+    std::size_t size() const { return code.size(); }
+
+    /** Disassemble the whole program, one op per line. */
+    std::string disassemble() const;
+};
+
+/**
+ * Builder with labels and backpatching. Typical use:
+ * @code
+ *   ProgramBuilder b;
+ *   b.movi(1, 0);
+ *   auto loop = b.here();
+ *   b.addi(1, 1, 1);
+ *   b.blt(1, 2, loop);
+ *   Program p = b.build();
+ * @endcode
+ */
+class ProgramBuilder
+{
+  public:
+    using Label = std::uint32_t;
+
+    /** Current position (for backward branches). */
+    Label here() const { return code.size(); }
+
+    /** Create an unbound label for a forward branch. */
+    Label futureLabel();
+
+    /** Bind a future label to the current position. */
+    void bind(Label label);
+
+    // --- Instruction emitters (return the op's code index) -----------
+    std::uint32_t nop();
+    std::uint32_t movi(ArchReg dst, std::int64_t imm);
+    std::uint32_t add(ArchReg dst, ArchReg src1, ArchReg src2);
+    std::uint32_t addi(ArchReg dst, ArchReg src1, std::int64_t imm);
+    std::uint32_t sub(ArchReg dst, ArchReg src1, ArchReg src2);
+    std::uint32_t and_(ArchReg dst, ArchReg src1, ArchReg src2);
+    std::uint32_t or_(ArchReg dst, ArchReg src1, ArchReg src2);
+    std::uint32_t xor_(ArchReg dst, ArchReg src1, ArchReg src2);
+    std::uint32_t shl(ArchReg dst, ArchReg src1, ArchReg src2);
+    std::uint32_t shr(ArchReg dst, ArchReg src1, ArchReg src2);
+    std::uint32_t mul(ArchReg dst, ArchReg src1, ArchReg src2);
+    std::uint32_t div(ArchReg dst, ArchReg src1, ArchReg src2);
+    std::uint32_t fadd(ArchReg dst, ArchReg src1, ArchReg src2);
+    std::uint32_t fmul(ArchReg dst, ArchReg src1, ArchReg src2);
+    std::uint32_t fdiv(ArchReg dst, ArchReg src1, ArchReg src2);
+    std::uint32_t load(ArchReg dst, ArchReg base, std::int64_t offset);
+    std::uint32_t store(ArchReg base, ArchReg data, std::int64_t offset);
+    std::uint32_t beq(ArchReg src1, ArchReg src2, Label target);
+    std::uint32_t bne(ArchReg src1, ArchReg src2, Label target);
+    std::uint32_t blt(ArchReg src1, ArchReg src2, Label target);
+    std::uint32_t bge(ArchReg src1, ArchReg src2, Label target);
+    std::uint32_t jmp(Label target);
+    std::uint32_t halt();
+
+    /** Direct access to the memory image being built. */
+    MemoryImage &memory() { return mem; }
+
+    /** Finalise: checks all labels bound and targets in range. */
+    Program build(std::string name = "program");
+
+  private:
+    std::uint32_t emit(MicroOp uop);
+    std::uint32_t emitBranch(Op op, ArchReg src1, ArchReg src2,
+                             Label target);
+
+    static constexpr std::uint32_t unboundBase = 0x80000000u;
+
+    std::vector<MicroOp> code;
+    std::vector<std::int64_t> futureTargets; ///< -1 until bound.
+    MemoryImage mem;
+};
+
+} // namespace sb
+
+#endif // SB_ISA_PROGRAM_HH

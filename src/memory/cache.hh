@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Set-associative cache tag model with LRU replacement and in-flight
+ * fills. Only timing state is kept here; functional data lives in the
+ * MemoryImage. Lines carry a readyAt cycle so accesses that hit a
+ * line still being filled (hit-under-miss) see the residual latency.
+ */
+
+#ifndef SB_MEMORY_CACHE_HH
+#define SB_MEMORY_CACHE_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sb
+{
+
+/** One cache level (tags only). */
+class Cache
+{
+  public:
+    Cache(const std::string &name, const CacheConfig &config);
+
+    /**
+     * Look up @p addr at time @p now.
+     * @return the cycle the data is available if present (>= now),
+     *         or std::nullopt on a miss. Updates LRU on hit.
+     */
+    std::optional<Cycle> probe(Addr addr, Cycle now);
+
+    /** Look up without updating replacement state or stats. */
+    bool contains(Addr addr) const;
+
+    /** Allocate a line that becomes ready at @p ready_at. */
+    void insert(Addr addr, Cycle now, Cycle ready_at);
+
+    /** Invalidate one line if present (used by tests and the attack). */
+    void invalidate(Addr addr);
+
+    /** Invalidate everything. */
+    void flushAll();
+
+    unsigned lineBytes() const { return cfg.lineBytes; }
+    unsigned hitLatency() const { return cfg.latency; }
+
+    StatGroup &stats() { return statGroup; }
+    const StatGroup &stats() const { return statGroup; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        Cycle lastUse = 0;
+        Cycle readyAt = 0;
+        bool valid = false;
+    };
+
+    Addr lineAddr(Addr addr) const { return addr / cfg.lineBytes; }
+    unsigned setIndex(Addr line) const { return line % numSets; }
+    Addr tagOf(Addr line) const { return line / numSets; }
+
+    CacheConfig cfg;
+    unsigned numSets;
+    std::vector<Line> lines;  ///< numSets x assoc, row-major.
+    StatGroup statGroup;
+};
+
+} // namespace sb
+
+#endif // SB_MEMORY_CACHE_HH

@@ -1,0 +1,50 @@
+#include "memory/prefetcher.hh"
+
+#include "common/logging.hh"
+
+namespace sb
+{
+
+StridePrefetcher::StridePrefetcher(const std::string &name,
+                                   unsigned table_entries, unsigned degree)
+    : table(table_entries), degree(degree), statGroup(name)
+{
+    sb_assert(table_entries > 0, "prefetcher needs a table");
+}
+
+void
+StridePrefetcher::observe(std::uint64_t pc, Addr addr,
+                          std::vector<Addr> &prefetches)
+{
+    Entry &e = table[pc % table.size()];
+    if (e.pc != pc) {
+        e.pc = pc;
+        e.lastAddr = addr;
+        e.stride = 0;
+        e.confidence = 0;
+        return;
+    }
+    const std::int64_t stride =
+        static_cast<std::int64_t>(addr) - static_cast<std::int64_t>(e.lastAddr);
+    if (stride != 0 && stride == e.stride) {
+        if (e.confidence < 4)
+            ++e.confidence;
+    } else {
+        e.confidence = e.confidence > 0 ? e.confidence - 1 : 0;
+        e.stride = stride;
+    }
+    e.lastAddr = addr;
+
+    if (e.confidence >= 2 && e.stride != 0) {
+        for (unsigned d = 1; d <= degree; ++d) {
+            const std::int64_t target =
+                static_cast<std::int64_t>(addr) + e.stride * (d + 1);
+            if (target >= 0) {
+                prefetches.push_back(static_cast<Addr>(target));
+                ++statGroup.counter("issued");
+            }
+        }
+    }
+}
+
+} // namespace sb

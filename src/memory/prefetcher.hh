@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-PC stride prefetcher (Table 2 of the paper configures stride
+ * prefetchers at both L1D and L2).
+ *
+ * A small table indexed by a hash of the requesting PC tracks the
+ * last address and the last observed stride. Once the same stride is
+ * seen twice, prefetch candidates at addr + stride .. addr + degree *
+ * stride are emitted.
+ */
+
+#ifndef SB_MEMORY_PREFETCHER_HH
+#define SB_MEMORY_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sb
+{
+
+/** Reference stride prefetcher. */
+class StridePrefetcher
+{
+  public:
+    /** @param table_entries tracking-table size; @param degree lines ahead */
+    explicit StridePrefetcher(const std::string &name,
+                              unsigned table_entries = 64,
+                              unsigned degree = 2);
+
+    /**
+     * Observe a demand access and collect prefetch addresses.
+     * @param pc the static code index of the load/store.
+     * @param addr the accessed byte address.
+     * @param[out] prefetches addresses to prefetch (appended).
+     */
+    void observe(std::uint64_t pc, Addr addr, std::vector<Addr> &prefetches);
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t pc = ~0ULL;
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+    };
+
+    std::vector<Entry> table;
+    unsigned degree;
+    StatGroup statGroup;
+};
+
+} // namespace sb
+
+#endif // SB_MEMORY_PREFETCHER_HH

@@ -1,0 +1,29 @@
+#include "secure/factory.hh"
+
+#include "common/logging.hh"
+#include "secure/nda.hh"
+#include "secure/stt_issue.hh"
+#include "secure/stt_rename.hh"
+
+namespace sb
+{
+
+std::unique_ptr<SecureScheme>
+makeScheme(const SchemeConfig &config)
+{
+    switch (config.scheme) {
+      case Scheme::Baseline:
+        return std::make_unique<SecureScheme>();
+      case Scheme::SttRename:
+        return std::make_unique<SttRenameScheme>(config);
+      case Scheme::SttIssue:
+        return std::make_unique<SttIssueScheme>(config);
+      case Scheme::Nda:
+        return std::make_unique<NdaScheme>(config);
+      case Scheme::NdaStrict:
+        return std::make_unique<NdaStrictScheme>(config);
+    }
+    sb_panic("unknown scheme in factory");
+}
+
+} // namespace sb

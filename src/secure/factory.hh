@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Scheme factory: SchemeConfig -> hook implementation.
+ */
+
+#ifndef SB_SECURE_FACTORY_HH
+#define SB_SECURE_FACTORY_HH
+
+#include <memory>
+
+#include "common/config.hh"
+#include "core/scheme_iface.hh"
+
+namespace sb
+{
+
+/** Instantiate the scheme selected by @p config. */
+std::unique_ptr<SecureScheme> makeScheme(const SchemeConfig &config);
+
+} // namespace sb
+
+#endif // SB_SECURE_FACTORY_HH

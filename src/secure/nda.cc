@@ -1,0 +1,87 @@
+#include "secure/nda.hh"
+
+#include "common/logging.hh"
+
+namespace sb
+{
+
+bool
+NdaScheme::deferBroadcast(const DynInstPtr &inst, Cycle /* ready_at */)
+{
+    if (!inst->isLoad())
+        return false;
+    if (!coreRef->isSpeculative(inst->seq))
+        return false;
+    // Data is already in the register file; only the broadcast waits
+    // (split data-write / broadcast, Fig. 5b).
+    pending.push_back(Pending{inst, coreRef->now()});
+    return true;
+}
+
+unsigned
+NdaScheme::broadcastBudget() const
+{
+    return coreRef->config().memPorts;
+}
+
+void
+NdaScheme::tick()
+{
+    if (pending.empty())
+        return;
+
+    // Broadcast non-speculative results oldest-first, limited to the
+    // broadcast-port budget per cycle.
+    std::sort(pending.begin(), pending.end(),
+              [](const Pending &a, const Pending &b) {
+                  return a.inst->seq < b.inst->seq;
+              });
+    unsigned budget = broadcastBudget();
+    const Cycle now = coreRef->now();
+    while (budget > 0 && !pending.empty()) {
+        const Pending &p = pending.front();
+        if (p.inst->squashed) {
+            pending.pop_front();
+            continue;
+        }
+        if (coreRef->isSpeculative(p.inst->seq) || p.readyAt > now)
+            break;
+        // One broadcast cycle: dependents can be selected next cycle.
+        coreRef->scheduleWakeup(p.inst->pdst, now + 1, p.inst);
+        pending.pop_front();
+        --budget;
+    }
+}
+
+void
+NdaScheme::onSquash(SeqNum youngest_surviving)
+{
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [youngest_surviving](const Pending &p) {
+                                     return p.inst->seq
+                                                > youngest_surviving
+                                            || p.inst->squashed;
+                                 }),
+                  pending.end());
+}
+
+bool
+NdaStrictScheme::deferBroadcast(const DynInstPtr &inst, Cycle ready_at)
+{
+    if (inst->pdst == invalidPhysReg)
+        return false;
+    if (!coreRef->isSpeculative(inst->seq))
+        return false;
+    pending.push_back(Pending{inst, ready_at});
+    return true;
+}
+
+unsigned
+NdaStrictScheme::broadcastBudget() const
+{
+    // Strict mode defers ALU results too; give it the full issue
+    // width of broadcast buses.
+    return coreRef->config().issueWidth;
+}
+
+} // namespace sb

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Small helpers shared by the STT taint computations.
+ */
+
+#ifndef SB_SECURE_TAINT_UTIL_HH
+#define SB_SECURE_TAINT_UTIL_HH
+
+#include "common/types.hh"
+
+namespace sb
+{
+
+/**
+ * Combine two YRoTs, selecting the *youngest* (largest sequence
+ * number) valid root — the YRoT rule of paper Sec. 3.1.
+ */
+inline YRoT
+youngestRoot(YRoT a, YRoT b)
+{
+    if (a == invalidSeqNum)
+        return b;
+    if (b == invalidSeqNum)
+        return a;
+    return a > b ? a : b;
+}
+
+/**
+ * Is a root still a live taint? Roots at or below the visibility
+ * point are bound-to-commit loads whose data is no longer secret.
+ */
+inline bool
+rootLive(YRoT root, SeqNum visibility_point)
+{
+    return root != invalidSeqNum && root > visibility_point;
+}
+
+/** Filter a root against the visibility point (stale -> invalid). */
+inline YRoT
+filterRoot(YRoT root, SeqNum visibility_point)
+{
+    return rootLive(root, visibility_point) ? root : invalidSeqNum;
+}
+
+} // namespace sb
+
+#endif // SB_SECURE_TAINT_UTIL_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Structure-counting area model: FPGA lookup tables (LUTs) and
+ * flip-flops (FFs) per design, calibrated at the Mega preset against
+ * the paper's Table 4 (synthesised at 50 MHz):
+ *
+ *             LUTs    FFs     source of the cost
+ *  STT-Rename 1.060   1.094   comparator chain + taint-RAT checkpoints
+ *  STT-Issue  1.059   1.039   phys-reg taint table, no checkpoints
+ *  NDA        0.980   1.027   drops spec-sched logic, adds bcast queue
+ */
+
+#ifndef SB_SYNTH_AREA_MODEL_HH
+#define SB_SYNTH_AREA_MODEL_HH
+
+#include "common/config.hh"
+
+namespace sb
+{
+
+/** Absolute area estimate (arbitrary LUT/FF units). */
+struct AreaEstimate
+{
+    double luts = 0.0;
+    double ffs = 0.0;
+};
+
+/** Structure-counting area model. */
+class AreaModel
+{
+  public:
+    /** Area of (config, scheme). */
+    static AreaEstimate estimate(const CoreConfig &config, Scheme scheme);
+
+    /** Area normalised to the unsafe baseline on the same config. */
+    static AreaEstimate relative(const CoreConfig &config, Scheme scheme);
+};
+
+} // namespace sb
+
+#endif // SB_SYNTH_AREA_MODEL_HH

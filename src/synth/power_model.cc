@@ -1,0 +1,63 @@
+#include "synth/power_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "synth/area_model.hh"
+
+namespace sb
+{
+
+namespace
+{
+
+/** Share of power proportional to area (clock tree + static). */
+constexpr double kAreaWeight = 0.6;
+/** Share of power proportional to switching activity. */
+constexpr double kActivityWeight = 0.4;
+
+/** Calibrated per-scheme switching factors (Table 4). */
+double
+schemeActivity(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline:
+        return 1.0;
+      case Scheme::SttRename:
+        return 0.93;  // Fewer issued/executed ops while blocked.
+      case Scheme::SttIssue:
+        return 0.976; // Kills and replays re-toggle select logic.
+      case Scheme::Nda:
+        return 0.87;  // No speculative wakeups, fewer broadcasts.
+      case Scheme::NdaStrict:
+        return 0.84;
+    }
+    sb_panic("unknown scheme");
+}
+
+} // anonymous namespace
+
+double
+PowerModel::relative(const CoreConfig &config, Scheme scheme)
+{
+    const AreaEstimate rel = AreaModel::relative(config, scheme);
+    return kAreaWeight * rel.luts
+           + kActivityWeight * schemeActivity(scheme);
+}
+
+double
+PowerModel::relative(const CoreConfig &config, Scheme scheme,
+                     const ActivityProfile &activity)
+{
+    // Measured activity nudges the calibrated factor: extra kills and
+    // squashed wrong-path work burn energy; deferred broadcasts save
+    // wakeup-network toggles.
+    double factor = schemeActivity(scheme);
+    factor += 0.05 * std::min(activity.issueKillsPerInst, 1.0);
+    factor += 0.03 * std::min(activity.squashedPerInst, 1.0);
+    factor -= 0.04 * std::min(activity.deferredPerInst, 1.0);
+    const AreaEstimate rel = AreaModel::relative(config, scheme);
+    return kAreaWeight * rel.luts + kActivityWeight * factor;
+}
+
+} // namespace sb

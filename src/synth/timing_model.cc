@@ -1,0 +1,116 @@
+#include "synth/timing_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sb
+{
+
+namespace
+{
+
+// Depth units are scaled so frequency = kFreqScale / depth (MHz).
+constexpr double kFreqScale = 10000.0;
+
+// --- Baseline stage models (fitted to Fig. 9 baseline bars:
+// 152 / 126 / 93 / 78 MHz for the Small..Mega presets) -------------
+
+/** Bypass/wakeup network: the baseline critical path. */
+double
+bypassDepth(double w)
+{
+    return 54.5 + 11.35 * std::pow(w, 1.35);
+}
+
+/** Rename stage: RAT read + free-list write, linear port growth. */
+double
+renameDepth(double w)
+{
+    return 30.0 + 6.0 * w;
+}
+
+/** Issue stage: wakeup CAM + select tree. */
+double
+issueDepth(double w, double iq_entries)
+{
+    return 40.0 + 6.0 * w + 3.0 * std::log2(iq_entries);
+}
+
+// --- Scheme additions ------------------------------------------------
+
+/**
+ * STT-Rename YRoT chain (Fig. 3): w serial compare+select steps that
+ * must finish in one cycle, plus RAT-adjacent taint read/write.
+ * Fitted so the Mega preset lands at 80% of baseline frequency.
+ */
+double
+sttRenameChain(double w)
+{
+    return 5.70 * w + 5.34 * w * w;
+}
+
+/**
+ * STT-Issue taint unit: per-port physical-register taint lookups and
+ * a youngest-root select; no intra-group serial chain.
+ */
+double
+sttIssueTax(double w, double phys_regs)
+{
+    return 3.0 + 5.8 * std::pow(w, 1.7)
+           + 0.8 * std::log2(phys_regs / 32.0);
+}
+
+/** NDA removes the speculative-wakeup logic from the issue path. */
+constexpr double ndaBypassBonus = 0.8;
+
+} // anonymous namespace
+
+TimingBreakdown
+TimingModel::analyze(const CoreConfig &config, Scheme scheme)
+{
+    const double w = config.coreWidth;
+
+    TimingBreakdown b;
+    b.renameStage = renameDepth(w);
+    b.issueStage = issueDepth(w, config.iqEntries);
+    b.bypassNetwork = bypassDepth(w);
+
+    switch (scheme) {
+      case Scheme::Baseline:
+        break;
+      case Scheme::SttRename:
+        b.renameStage += sttRenameChain(w);
+        break;
+      case Scheme::SttIssue:
+        b.issueStage += sttIssueTax(w, config.numPhysRegs);
+        break;
+      case Scheme::Nda:
+      case Scheme::NdaStrict:
+        // Dropping the L1-hit speculation logic slightly shortens
+        // the wakeup path; the split write/broadcast mux is small.
+        b.bypassNetwork -= ndaBypassBonus;
+        break;
+    }
+
+    b.criticalPath = std::max({b.renameStage, b.issueStage,
+                               b.bypassNetwork});
+    b.frequencyMhz = kFreqScale / b.criticalPath;
+    return b;
+}
+
+double
+TimingModel::frequencyMhz(const CoreConfig &config, Scheme scheme)
+{
+    return analyze(config, scheme).frequencyMhz;
+}
+
+double
+TimingModel::relativeFrequency(const CoreConfig &config, Scheme scheme)
+{
+    return frequencyMhz(config, scheme)
+           / frequencyMhz(config, Scheme::Baseline);
+}
+
+} // namespace sb

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Analytical synthesis timing model (the substitution for the
+ * paper's AMD Vitis / Alveo U250 synthesis runs).
+ *
+ * The achievable frequency of a design is K / criticalPathDepth,
+ * where the critical path is the max over per-stage gate-depth
+ * models. The structure encodes the paper's timing arguments:
+ *
+ *  - Baseline: the critical path lives outside rename/issue (bypass
+ *    and wakeup networks), growing superlinearly with core width.
+ *  - STT-Rename adds the serial YRoT comparator chain to the rename
+ *    stage (Fig. 3): depth grows ~quadratically with rename width,
+ *    invisible at width 1-2 (slack) and dominant at width 4+
+ *    (Sec. 4.1, Sec. 8.3).
+ *  - STT-Issue adds a flat taint-unit to the timing-sensitive issue
+ *    stage: a cost visible already at medium width, but scaling
+ *    gently (no same-cycle dependency chain, Sec. 4.3).
+ *  - NDA removes the speculative L1-hit scheduling logic, matching
+ *    or slightly beating baseline frequency (Sec. 5.1, Sec. 8.3).
+ *
+ * Constants are calibrated against the frequencies the paper reports
+ * in Figure 9 for the four BOOM presets; the per-stage structure
+ * makes the extrapolation to wider designs follow the same reasoning
+ * as the paper's Sec. 9.4.
+ */
+
+#ifndef SB_SYNTH_TIMING_MODEL_HH
+#define SB_SYNTH_TIMING_MODEL_HH
+
+#include "common/config.hh"
+
+namespace sb
+{
+
+/** Per-stage critical-path breakdown (gate-depth units). */
+struct TimingBreakdown
+{
+    double renameStage = 0.0;
+    double issueStage = 0.0;
+    double bypassNetwork = 0.0; ///< Baseline critical path.
+    double criticalPath = 0.0;  ///< max of the stages.
+    double frequencyMhz = 0.0;
+};
+
+/** Synthesis timing model. */
+class TimingModel
+{
+  public:
+    /** Full per-stage breakdown for (config, scheme). */
+    static TimingBreakdown analyze(const CoreConfig &config,
+                                   Scheme scheme);
+
+    /** Achieved frequency in MHz. */
+    static double frequencyMhz(const CoreConfig &config, Scheme scheme);
+
+    /** Frequency relative to the unsafe baseline on the same config. */
+    static double relativeFrequency(const CoreConfig &config,
+                                    Scheme scheme);
+};
+
+} // namespace sb
+
+#endif // SB_SYNTH_TIMING_MODEL_HH

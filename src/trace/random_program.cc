@@ -1,0 +1,128 @@
+#include "trace/random_program.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sb
+{
+
+namespace
+{
+
+/** Registers reserved for generator plumbing. */
+constexpr ArchReg regBase = 1;   ///< Data-region base address.
+constexpr ArchReg regMask = 2;   ///< Word-aligned offset mask.
+constexpr ArchReg regAddr = 3;   ///< Scratch for sanitised addresses.
+constexpr ArchReg regCnt = 20;
+constexpr ArchReg regLim = 21;
+constexpr ArchReg regOne = 22;
+constexpr ArchReg regZero = 28;
+constexpr ArchReg regSeven = 29;
+constexpr ArchReg regMagic = 30;
+
+bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // anonymous namespace
+
+Program
+makeRandomProgram(const RandomProgramParams &p)
+{
+    sb_assert(isPow2(p.memBytes) && p.memBytes >= 64,
+              "memBytes must be a power of two >= 64");
+    sb_assert(p.outerIterations >= 1, "program must iterate");
+
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    b.movi(regBase, randomProgramMemBase);
+    b.movi(regMask, (p.memBytes - 1) & ~std::uint64_t(7));
+    b.movi(regCnt, 0);
+    b.movi(regLim, p.outerIterations);
+    b.movi(regOne, 1);
+    b.movi(regZero, 0);
+    b.movi(regSeven, 7);
+    b.movi(regMagic, 0x5bd1e995deadbeefLL);
+    for (ArchReg r = randomProgramFirstReg; r <= randomProgramLastReg;
+         ++r) {
+        b.movi(r, static_cast<std::int64_t>(rng.next() >> 8));
+    }
+
+    auto work_reg = [&]() -> ArchReg {
+        return randomProgramFirstReg
+               + rng.below(randomProgramLastReg
+                           - randomProgramFirstReg + 1);
+    };
+    auto sanitize_addr = [&](ArchReg src) {
+        b.and_(regAddr, src, regMask);
+        b.or_(regAddr, regAddr, regBase);
+    };
+
+    const auto loop = b.here();
+    for (unsigned blk = 0; blk < p.blocks; ++blk) {
+        for (unsigned i = 0; i < p.opsPerBlock; ++i) {
+            const double roll = rng.uniform();
+            const ArchReg d = work_reg();
+            const ArchReg s1 = work_reg();
+            const ArchReg s2 = work_reg();
+            if (roll < p.loadFraction) {
+                sanitize_addr(s1);
+                b.load(d, regAddr, 0);
+            } else if (roll < p.loadFraction + p.storeFraction) {
+                sanitize_addr(s1);
+                b.store(regAddr, s2, 0);
+            } else if (roll < p.loadFraction + p.storeFraction
+                                  + p.branchFraction) {
+                // Data-dependent forward skip over 1-3 ops: bounded,
+                // so the program always terminates.
+                b.and_(regAddr, s1, regSeven);
+                const auto skip = b.futureLabel();
+                b.bne(regAddr, regZero, skip);
+                const unsigned body = 1 + rng.below(3);
+                for (unsigned k = 0; k < body; ++k)
+                    b.add(work_reg(), work_reg(), regOne);
+                b.bind(skip);
+            } else if (roll < p.loadFraction + p.storeFraction
+                                  + p.branchFraction
+                                  + p.slowBranchFraction) {
+                // Never-taken slow branch: a pure shadow generator.
+                const auto next = b.futureLabel();
+                b.beq(s1, regMagic, next);
+                b.bind(next);
+            } else if (roll < p.loadFraction + p.storeFraction
+                                  + p.branchFraction
+                                  + p.slowBranchFraction
+                                  + p.mulFraction) {
+                b.mul(d, s1, s2);
+            } else {
+                switch (rng.below(5)) {
+                  case 0:
+                    b.add(d, s1, s2);
+                    break;
+                  case 1:
+                    b.sub(d, s1, s2);
+                    break;
+                  case 2:
+                    b.xor_(d, s1, s2);
+                    break;
+                  case 3:
+                    b.or_(d, s1, s2);
+                    break;
+                  default:
+                    b.and_(d, s1, s2);
+                    break;
+                }
+            }
+        }
+    }
+    b.add(regCnt, regCnt, regOne);
+    b.blt(regCnt, regLim, loop);
+    b.halt();
+
+    return b.build("random-" + std::to_string(p.seed));
+}
+
+} // namespace sb

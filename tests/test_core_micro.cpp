@@ -1,0 +1,494 @@
+/**
+ * @file
+ * Unit tests for the core's microarchitectural components: rename
+ * map, issue queue, LSU, shadow tracker, and security monitor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/issue_queue.hh"
+#include "core/lsu.hh"
+#include "core/rename_map.hh"
+#include "core/security_monitor.hh"
+#include "core/shadow_tracker.hh"
+
+namespace
+{
+
+sb::DynInstPtr
+makeInst(sb::SeqNum seq, sb::Op op)
+{
+    auto inst = std::make_shared<sb::DynInst>();
+    inst->seq = seq;
+    inst->uop.op = op;
+    return inst;
+}
+
+sb::DynInstPtr
+makeLoad(sb::SeqNum seq, sb::PhysReg dst = 10, sb::PhysReg base = 11)
+{
+    auto inst = makeInst(seq, sb::Op::Load);
+    inst->uop.dst = 1;
+    inst->uop.src1 = 2;
+    inst->pdst = dst;
+    inst->psrc1 = base;
+    return inst;
+}
+
+sb::DynInstPtr
+makeStore(sb::SeqNum seq, sb::PhysReg base = 12, sb::PhysReg data = 13)
+{
+    auto inst = makeInst(seq, sb::Op::Store);
+    inst->uop.src1 = 2;
+    inst->uop.src2 = 3;
+    inst->psrc1 = base;
+    inst->psrc2 = data;
+    return inst;
+}
+
+// --- RenameMap -------------------------------------------------------
+
+TEST(RenameMap, InitialIdentityMapping)
+{
+    sb::RenameMap map(sb::numArchRegs, 64);
+    for (unsigned i = 0; i < sb::numArchRegs; ++i)
+        EXPECT_EQ(map.lookup(i), i);
+    EXPECT_EQ(map.freeCount(), 64u - sb::numArchRegs);
+}
+
+TEST(RenameMap, AllocateUpdatesMapping)
+{
+    sb::RenameMap map(sb::numArchRegs, 64);
+    sb::PhysReg stale;
+    const sb::PhysReg fresh = map.allocate(5, stale);
+    EXPECT_EQ(stale, 5);
+    EXPECT_EQ(map.lookup(5), fresh);
+    EXPECT_NE(fresh, stale);
+}
+
+TEST(RenameMap, UnwindRestoresExactly)
+{
+    sb::RenameMap map(sb::numArchRegs, 64);
+    sb::PhysReg stale1, stale2;
+    const sb::PhysReg p1 = map.allocate(5, stale1);
+    const sb::PhysReg p2 = map.allocate(5, stale2);
+    EXPECT_EQ(stale2, p1);
+    const unsigned free_before = map.freeCount();
+    // Youngest-first walk-back.
+    map.unwind(5, p2, stale2);
+    EXPECT_EQ(map.lookup(5), p1);
+    map.unwind(5, p1, stale1);
+    EXPECT_EQ(map.lookup(5), 5);
+    EXPECT_EQ(map.freeCount(), free_before + 2);
+}
+
+TEST(RenameMap, OutOfOrderUnwindDies)
+{
+    sb::RenameMap map(sb::numArchRegs, 64);
+    sb::PhysReg stale1, stale2;
+    const sb::PhysReg p1 = map.allocate(5, stale1);
+    map.allocate(5, stale2);
+    EXPECT_DEATH(map.unwind(5, p1, stale1), "unwind out of order");
+}
+
+TEST(RenameMap, ExhaustsFreeList)
+{
+    sb::RenameMap map(sb::numArchRegs, sb::numArchRegs + 2);
+    sb::PhysReg stale;
+    map.allocate(0, stale);
+    map.allocate(1, stale);
+    EXPECT_EQ(map.freeCount(), 0u);
+}
+
+// --- IssueQueue ------------------------------------------------------
+
+TEST(IssueQueue, InsertNormalisesMissingSources)
+{
+    sb::IssueQueue iq(4);
+    auto nop_like = makeInst(1, sb::Op::MovImm);
+    nop_like->uop.dst = 1;
+    iq.insert(nop_like, false, false);
+    auto order = iq.inOrder();
+    ASSERT_EQ(order.size(), 1u);
+    EXPECT_TRUE(order[0]->src1Ready);
+    EXPECT_TRUE(order[0]->src2Ready);
+}
+
+TEST(IssueQueue, WakeupSetsMatchingSources)
+{
+    sb::IssueQueue iq(4);
+    auto inst = makeInst(1, sb::Op::Add);
+    inst->uop.dst = 1;
+    inst->uop.src1 = 2;
+    inst->uop.src2 = 3;
+    inst->psrc1 = 21;
+    inst->psrc2 = 22;
+    iq.insert(inst, false, false);
+    iq.wakeup(21);
+    auto order = iq.inOrder();
+    EXPECT_TRUE(order[0]->src1Ready);
+    EXPECT_FALSE(order[0]->src2Ready);
+    iq.wakeup(22);
+    EXPECT_TRUE(iq.inOrder()[0]->src2Ready);
+}
+
+TEST(IssueQueue, InOrderSortsBySeq)
+{
+    sb::IssueQueue iq(8);
+    iq.insert(makeLoad(30), true, true);
+    iq.insert(makeLoad(10), true, true);
+    iq.insert(makeLoad(20), true, true);
+    auto order = iq.inOrder();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0]->inst->seq, 10u);
+    EXPECT_EQ(order[1]->inst->seq, 20u);
+    EXPECT_EQ(order[2]->inst->seq, 30u);
+}
+
+TEST(IssueQueue, SquashDropsYounger)
+{
+    sb::IssueQueue iq(8);
+    iq.insert(makeLoad(10), true, true);
+    iq.insert(makeLoad(20), true, true);
+    iq.insert(makeLoad(30), true, true);
+    iq.squash(15);
+    auto order = iq.inOrder();
+    ASSERT_EQ(order.size(), 1u);
+    EXPECT_EQ(order[0]->inst->seq, 10u);
+}
+
+TEST(IssueQueue, FullAndRemove)
+{
+    sb::IssueQueue iq(2);
+    auto a = makeLoad(1);
+    auto b = makeLoad(2);
+    iq.insert(a, true, true);
+    iq.insert(b, true, true);
+    EXPECT_TRUE(iq.full());
+    iq.remove(a);
+    EXPECT_FALSE(iq.full());
+    EXPECT_EQ(iq.size(), 1u);
+}
+
+// --- LSU -------------------------------------------------------------
+
+TEST(Lsu, ForwardFromYoungestOlderStore)
+{
+    sb::Lsu lsu(8, 8);
+    auto st1 = makeStore(1);
+    auto st2 = makeStore(2);
+    auto ld = makeLoad(3);
+    lsu.allocateStore(st1);
+    lsu.allocateStore(st2);
+    lsu.allocateLoad(ld);
+
+    st1->effAddr = 0x1000;
+    st1->effAddrValid = true;
+    lsu.storeDataReady(*st1, 111);
+    st2->effAddr = 0x1000;
+    st2->effAddrValid = true;
+    lsu.storeDataReady(*st2, 222);
+
+    ld->effAddr = 0x1000;
+    ld->effAddrValid = true;
+    const auto out = lsu.checkForwarding(*ld);
+    EXPECT_EQ(out.kind, sb::ForwardOutcome::Kind::Forward);
+    EXPECT_EQ(out.data, 222u);
+    EXPECT_EQ(out.source, 2u);
+}
+
+TEST(Lsu, StallWhenStoreDataMissing)
+{
+    sb::Lsu lsu(8, 8);
+    auto st = makeStore(1);
+    auto ld = makeLoad(2);
+    lsu.allocateStore(st);
+    lsu.allocateLoad(ld);
+    st->effAddr = 0x1000;
+    st->effAddrValid = true; // Address known, data not ready.
+    ld->effAddr = 0x1000;
+    ld->effAddrValid = true;
+    EXPECT_EQ(lsu.checkForwarding(*ld).kind,
+              sb::ForwardOutcome::Kind::StallData);
+}
+
+TEST(Lsu, BypassUnknownStoreAddressIsFlagged)
+{
+    sb::Lsu lsu(8, 8);
+    auto st = makeStore(1);
+    auto ld = makeLoad(2);
+    lsu.allocateStore(st);
+    lsu.allocateLoad(ld);
+    ld->effAddr = 0x1000;
+    ld->effAddrValid = true;
+    const auto out = lsu.checkForwarding(*ld);
+    EXPECT_EQ(out.kind, sb::ForwardOutcome::Kind::NoMatch);
+    EXPECT_TRUE(out.bypassedUnknown);
+}
+
+TEST(Lsu, ViolationDetectedOnLateStoreAddress)
+{
+    sb::Lsu lsu(8, 8);
+    auto st = makeStore(1);
+    auto ld = makeLoad(2);
+    lsu.allocateStore(st);
+    lsu.allocateLoad(ld);
+
+    // Load executes first, reading memory (bypassing the store).
+    ld->effAddr = 0x1000;
+    ld->effAddrValid = true;
+    lsu.loadDataReturned(*ld, sb::invalidSeqNum);
+
+    // Store address resolves later and overlaps: violation.
+    st->effAddr = 0x1000;
+    st->effAddrValid = true;
+    const auto victim = lsu.checkViolation(*st);
+    ASSERT_TRUE(victim);
+    EXPECT_EQ(victim->seq, 2u);
+}
+
+TEST(Lsu, NoViolationWhenLoadForwardedFromThatStore)
+{
+    sb::Lsu lsu(8, 8);
+    auto st = makeStore(1);
+    auto ld = makeLoad(2);
+    lsu.allocateStore(st);
+    lsu.allocateLoad(ld);
+    ld->effAddr = 0x1000;
+    ld->effAddrValid = true;
+    lsu.loadDataReturned(*ld, st->seq);
+    st->effAddr = 0x1000;
+    st->effAddrValid = true;
+    EXPECT_FALSE(lsu.checkViolation(*st));
+}
+
+TEST(Lsu, NoViolationOnDisjointAddresses)
+{
+    sb::Lsu lsu(8, 8);
+    auto st = makeStore(1);
+    auto ld = makeLoad(2);
+    lsu.allocateStore(st);
+    lsu.allocateLoad(ld);
+    ld->effAddr = 0x2000;
+    ld->effAddrValid = true;
+    lsu.loadDataReturned(*ld, sb::invalidSeqNum);
+    st->effAddr = 0x1000;
+    st->effAddrValid = true;
+    EXPECT_FALSE(lsu.checkViolation(*st));
+}
+
+TEST(Lsu, DrainLifecycle)
+{
+    sb::Lsu lsu(8, 8);
+    auto st = makeStore(1);
+    lsu.allocateStore(st);
+    st->effAddr = 0x1000;
+    st->effAddrValid = true;
+    lsu.storeDataReady(*st, 5);
+    EXPECT_EQ(lsu.drainableStore(), nullptr);
+    lsu.markStoreCommitted(*st);
+    ASSERT_NE(lsu.drainableStore(), nullptr);
+    EXPECT_EQ(lsu.drainableStore()->data, 5u);
+    lsu.popDrainedStore();
+    EXPECT_EQ(lsu.sqSize(), 0u);
+}
+
+TEST(Lsu, SquashDropsYoungerEntries)
+{
+    sb::Lsu lsu(8, 8);
+    lsu.allocateStore(makeStore(1));
+    lsu.allocateLoad(makeLoad(2));
+    lsu.allocateStore(makeStore(3));
+    lsu.allocateLoad(makeLoad(4));
+    lsu.squash(2);
+    EXPECT_EQ(lsu.sqSize(), 1u);
+    EXPECT_EQ(lsu.lqSize(), 1u);
+}
+
+// --- ShadowTracker ---------------------------------------------------
+
+TEST(ShadowTracker, VisibilityPointTracksOldestShadow)
+{
+    sb::ShadowTracker st;
+    std::vector<sb::DynInstPtr> safe;
+
+    auto br = makeInst(5, sb::Op::Beq);
+    st.onRename(br);
+    st.update(6, safe);
+    EXPECT_EQ(st.visibilityPoint(), 5u);
+    EXPECT_TRUE(st.isSpeculative(6));
+    EXPECT_FALSE(st.isSpeculative(4));
+
+    br->resolved = true;
+    st.update(6, safe);
+    EXPECT_EQ(st.visibilityPoint(), 6u);
+}
+
+TEST(ShadowTracker, StoresCastDShadowsUntilAddressKnown)
+{
+    sb::ShadowTracker st;
+    std::vector<sb::DynInstPtr> safe;
+    auto store = makeStore(3);
+    st.onRename(store);
+    st.update(10, safe);
+    EXPECT_EQ(st.visibilityPoint(), 3u);
+    store->effAddrValid = true;
+    st.update(10, safe);
+    EXPECT_EQ(st.visibilityPoint(), 10u);
+}
+
+TEST(ShadowTracker, SpeculativeLoadsReleasedInOrder)
+{
+    sb::ShadowTracker st;
+    std::vector<sb::DynInstPtr> safe;
+    auto br = makeInst(1, sb::Op::Beq);
+    st.onRename(br);
+    st.update(2, safe);
+
+    auto ld1 = makeLoad(2);
+    auto ld2 = makeLoad(3);
+    st.onRename(ld1);
+    st.onRename(ld2);
+    EXPECT_TRUE(ld1->specAtRename);
+    EXPECT_TRUE(ld2->specAtRename);
+
+    br->resolved = true;
+    st.update(4, safe);
+    ASSERT_EQ(safe.size(), 2u);
+    EXPECT_EQ(safe[0]->seq, 2u);
+    EXPECT_EQ(safe[1]->seq, 3u);
+}
+
+TEST(ShadowTracker, LoadWithNoOlderShadowIsNeverSpeculative)
+{
+    sb::ShadowTracker st;
+    std::vector<sb::DynInstPtr> safe;
+    st.update(5, safe);
+    auto ld = makeLoad(5);
+    st.onRename(ld);
+    EXPECT_FALSE(ld->specAtRename);
+}
+
+TEST(ShadowTracker, SquashedShadowsAreSkipped)
+{
+    sb::ShadowTracker st;
+    std::vector<sb::DynInstPtr> safe;
+    auto br1 = makeInst(1, sb::Op::Beq);
+    auto br2 = makeInst(2, sb::Op::Beq);
+    st.onRename(br1);
+    st.onRename(br2);
+    st.update(3, safe);
+    EXPECT_EQ(st.visibilityPoint(), 1u);
+    br1->resolved = true;
+    br2->squashed = true;
+    st.update(3, safe);
+    EXPECT_EQ(st.visibilityPoint(), 3u);
+}
+
+TEST(ShadowTracker, PrevLatchLagsOneUpdate)
+{
+    sb::ShadowTracker st;
+    std::vector<sb::DynInstPtr> safe;
+    auto br = makeInst(1, sb::Op::Beq);
+    st.onRename(br);
+    st.latchPrev();
+    st.update(2, safe);
+    EXPECT_EQ(st.visibilityPointPrev(), 0u);
+    br->resolved = true;
+    st.latchPrev();
+    st.update(5, safe);
+    EXPECT_EQ(st.visibilityPointPrev(), 1u);
+    EXPECT_EQ(st.visibilityPoint(), 5u);
+}
+
+// --- SecurityMonitor ---------------------------------------------------
+
+TEST(Monitor, TransmitterWithTaintedOperandViolates)
+{
+    sb::SecurityMonitor mon(64);
+    auto ld = makeLoad(10, 20);
+    mon.onLoadData(*ld, true); // Speculative load -> preg 20 tainted.
+
+    auto consumer = makeLoad(12, 21, 20); // Load using preg 20.
+    mon.onConsume(*consumer, 5, true, false, true);
+    EXPECT_EQ(mon.transmitViolations(), 1u);
+    EXPECT_EQ(mon.consumeViolations(), 1u);
+}
+
+TEST(Monitor, NonTransmitterConsumptionOnlyFlagsNda)
+{
+    sb::SecurityMonitor mon(64);
+    auto ld = makeLoad(10, 20);
+    mon.onLoadData(*ld, true);
+    auto alu = makeInst(12, sb::Op::Add);
+    alu->uop.dst = 1;
+    alu->uop.src1 = 2;
+    alu->uop.src2 = 3;
+    alu->pdst = 22;
+    alu->psrc1 = 20;
+    alu->psrc2 = 21;
+    mon.onConsume(*alu, 5, true, true, false);
+    EXPECT_EQ(mon.transmitViolations(), 0u);
+    EXPECT_EQ(mon.consumeViolations(), 1u);
+}
+
+TEST(Monitor, TaintPropagatesTransitively)
+{
+    sb::SecurityMonitor mon(64);
+    auto ld = makeLoad(10, 20);
+    mon.onLoadData(*ld, true);
+    // alu: preg 22 = f(preg 20) while root still speculative.
+    auto alu = makeInst(11, sb::Op::Add);
+    alu->uop.dst = 1;
+    alu->uop.src1 = 2;
+    alu->pdst = 22;
+    alu->psrc1 = 20;
+    mon.onConsume(*alu, 5, true, false, false);
+    // Transmitter consuming preg 22: indirect taint.
+    auto br = makeInst(12, sb::Op::Beq);
+    br->uop.src1 = 2;
+    br->psrc1 = 22;
+    mon.onConsume(*br, 5, true, false, true);
+    EXPECT_EQ(mon.transmitViolations(), 1u);
+}
+
+TEST(Monitor, RootsExpireAtVisibilityPoint)
+{
+    sb::SecurityMonitor mon(64);
+    auto ld = makeLoad(10, 20);
+    mon.onLoadData(*ld, true);
+    auto br = makeInst(12, sb::Op::Beq);
+    br->uop.src1 = 2;
+    br->psrc1 = 20;
+    // Visibility point has passed the load: data is public now.
+    mon.onConsume(*br, 11, true, false, true);
+    EXPECT_EQ(mon.transmitViolations(), 0u);
+    EXPECT_EQ(mon.consumeViolations(), 0u);
+}
+
+TEST(Monitor, NonSpeculativeLoadProducesCleanData)
+{
+    sb::SecurityMonitor mon(64);
+    auto ld = makeLoad(10, 20);
+    mon.onLoadData(*ld, false);
+    auto br = makeInst(12, sb::Op::Beq);
+    br->uop.src1 = 2;
+    br->psrc1 = 20;
+    mon.onConsume(*br, 5, true, false, true);
+    EXPECT_EQ(mon.transmitViolations(), 0u);
+}
+
+TEST(Monitor, AllocationClearsOldState)
+{
+    sb::SecurityMonitor mon(64);
+    auto ld = makeLoad(10, 20);
+    mon.onLoadData(*ld, true);
+    mon.onAllocate(20); // Register reallocated to a new producer.
+    auto br = makeInst(12, sb::Op::Beq);
+    br->uop.src1 = 2;
+    br->psrc1 = 20;
+    mon.onConsume(*br, 5, true, false, true);
+    EXPECT_EQ(mon.transmitViolations(), 0u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Differential fuzzing: random always-terminating programs must
+ * produce bit-identical architectural state under every secure
+ * scheme, with clean security obligations and no simulator panics —
+ * across seeds, configurations, and generator shapes (TEST_P sweeps).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "core/core.hh"
+#include "secure/factory.hh"
+#include "trace/random_program.hh"
+
+namespace
+{
+
+struct ArchState
+{
+    std::vector<sb::Word> regs;
+    sb::Word memSignature = 0;
+    std::uint64_t instructions = 0;
+    bool halted = false;
+
+    bool
+    operator==(const ArchState &o) const
+    {
+        return regs == o.regs && memSignature == o.memSignature
+               && instructions == o.instructions && halted == o.halted;
+    }
+};
+
+ArchState
+runProgram(const sb::Program &program, sb::Scheme scheme,
+           const sb::CoreConfig &cfg, std::uint64_t *transmit_viol,
+           std::uint64_t *consume_viol)
+{
+    sb::SchemeConfig scfg;
+    scfg.scheme = scheme;
+    sb::Core core(cfg, scfg, sb::makeScheme(scfg), program);
+    const auto r = core.run(50'000'000, 50'000'000);
+
+    ArchState s;
+    s.halted = r.halted;
+    s.instructions = r.instructions;
+    for (sb::ArchReg reg = sb::randomProgramFirstReg;
+         reg <= sb::randomProgramLastReg; ++reg) {
+        s.regs.push_back(core.readArchReg(reg));
+    }
+    for (sb::Addr a = 0; a < 4096; a += 8) {
+        s.memSignature =
+            s.memSignature * 1099511628211ULL
+            + core.readMemory(sb::randomProgramMemBase + a);
+    }
+    if (transmit_viol)
+        *transmit_viol = core.monitor().transmitViolations();
+    if (consume_viol)
+        *consume_viol = core.monitor().consumeViolations();
+    return s;
+}
+
+struct FuzzSeedTest : ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzSeedTest, AllSchemesMatchBaseline)
+{
+    sb::RandomProgramParams params;
+    params.seed = 1000 + GetParam();
+    const sb::Program program = sb::makeRandomProgram(params);
+
+    const ArchState base = runProgram(program, sb::Scheme::Baseline,
+                                      sb::CoreConfig::mega(), nullptr,
+                                      nullptr);
+    ASSERT_TRUE(base.halted) << "seed " << params.seed;
+
+    for (sb::Scheme s : {sb::Scheme::SttRename, sb::Scheme::SttIssue,
+                         sb::Scheme::Nda, sb::Scheme::NdaStrict}) {
+        std::uint64_t tv = 0;
+        std::uint64_t cv = 0;
+        const ArchState got = runProgram(program, s,
+                                         sb::CoreConfig::mega(), &tv,
+                                         &cv);
+        EXPECT_TRUE(got == base)
+            << "seed " << params.seed << " scheme "
+            << sb::schemeName(s);
+        EXPECT_EQ(tv, 0u) << "seed " << params.seed << " "
+                          << sb::schemeName(s);
+        if (s == sb::Scheme::Nda || s == sb::Scheme::NdaStrict) {
+            EXPECT_EQ(cv, 0u) << "seed " << params.seed;
+        }
+    }
+}
+
+TEST_P(FuzzSeedTest, TwoTaintStoresMatchToo)
+{
+    sb::RandomProgramParams params;
+    params.seed = 2000 + GetParam();
+    params.storeFraction = 0.25; // Store-heavy: stress partial issue.
+    params.slowBranchFraction = 0.10;
+    const sb::Program program = sb::makeRandomProgram(params);
+
+    const ArchState base = runProgram(program, sb::Scheme::Baseline,
+                                      sb::CoreConfig::mega(), nullptr,
+                                      nullptr);
+    ASSERT_TRUE(base.halted);
+
+    sb::SchemeConfig scfg;
+    scfg.scheme = sb::Scheme::SttRename;
+    scfg.twoTaintStores = true;
+    sb::Core core(sb::CoreConfig::mega(), scfg, sb::makeScheme(scfg),
+                  program);
+    core.run(50'000'000, 50'000'000);
+    ArchState got;
+    got.halted = core.halted();
+    got.instructions = core.committedInstructions();
+    for (sb::ArchReg reg = sb::randomProgramFirstReg;
+         reg <= sb::randomProgramLastReg; ++reg) {
+        got.regs.push_back(core.readArchReg(reg));
+    }
+    for (sb::Addr a = 0; a < 4096; a += 8) {
+        got.memSignature =
+            got.memSignature * 1099511628211ULL
+            + core.readMemory(sb::randomProgramMemBase + a);
+    }
+    EXPECT_TRUE(got == base) << "seed " << params.seed;
+    EXPECT_EQ(core.monitor().transmitViolations(), 0u);
+}
+
+TEST_P(FuzzSeedTest, NarrowConfigMatchesWide)
+{
+    // Architectural results are configuration-independent.
+    sb::RandomProgramParams params;
+    params.seed = 3000 + GetParam();
+    params.blocks = 4;
+    params.outerIterations = 25;
+    const sb::Program program = sb::makeRandomProgram(params);
+
+    const ArchState wide = runProgram(program, sb::Scheme::SttIssue,
+                                      sb::CoreConfig::mega(), nullptr,
+                                      nullptr);
+    const ArchState narrow = runProgram(program, sb::Scheme::SttIssue,
+                                        sb::CoreConfig::small(),
+                                        nullptr, nullptr);
+    EXPECT_TRUE(wide == narrow) << "seed " << params.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest, ::testing::Range(0, 12));
+
+TEST(FuzzGenerator, DeterministicForSeed)
+{
+    sb::RandomProgramParams params;
+    params.seed = 77;
+    const auto a = sb::makeRandomProgram(params);
+    const auto c = sb::makeRandomProgram(params);
+    ASSERT_EQ(a.size(), c.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a.code[i].disassemble(), c.code[i].disassemble());
+}
+
+TEST(FuzzGenerator, DifferentSeedsDiffer)
+{
+    sb::RandomProgramParams pa;
+    pa.seed = 1;
+    sb::RandomProgramParams pb;
+    pb.seed = 2;
+    const auto a = sb::makeRandomProgram(pa);
+    const auto c = sb::makeRandomProgram(pb);
+    bool differ = a.size() != c.size();
+    for (std::size_t i = 0; !differ && i < a.size(); ++i)
+        differ = a.code[i].disassemble() != c.code[i].disassemble();
+    EXPECT_TRUE(differ);
+}
+
+TEST(FuzzGenerator, StoreHeavyProgramsTerminate)
+{
+    sb::RandomProgramParams params;
+    params.seed = 99;
+    params.storeFraction = 0.35;
+    params.loadFraction = 0.35;
+    const auto program = sb::makeRandomProgram(params);
+    const ArchState s = runProgram(program, sb::Scheme::SttRename,
+                                   sb::CoreConfig::mega(), nullptr,
+                                   nullptr);
+    EXPECT_TRUE(s.halted);
+}
+
+} // anonymous namespace
