@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# One-command verification gate: configure + build + ctest (the
+# tier-1 command), optionally under AddressSanitizer/UBSan.
+#
+#   scripts/check.sh          # Release build + full test suite
+#   scripts/check.sh --asan   # Sanitizer build + full test suite
+#   scripts/check.sh --bench  # Also run the sim-speed benchmark
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=build
+cmake_flags=()
+run_bench=0
+for arg in "$@"; do
+    case "$arg" in
+      --asan)
+        build_dir=build-asan
+        cmake_flags+=(-DSB_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug)
+        ;;
+      --bench)
+        run_bench=1
+        ;;
+      *)
+        echo "usage: $0 [--asan] [--bench]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+cmake -B "$build_dir" -S . "${cmake_flags[@]}"
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+if [ "$run_bench" = 1 ]; then
+    (cd "$build_dir" && ./bench_simspeed)
+    echo "sim-speed results: $build_dir/BENCH_simspeed.json"
+fi

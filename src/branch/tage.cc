@@ -8,7 +8,8 @@ namespace sb
 TagePredictor::TagePredictor(unsigned log_entries)
     : logEntries(log_entries),
       base(1u << (log_entries + 2), 1),
-      statGroup("tage")
+      statGroup("tage"),
+      st(statGroup)
 {
     sb_assert(log_entries >= 4 && log_entries <= 16,
               "unreasonable TAGE table size");
@@ -62,7 +63,7 @@ TagePredictor::provider(std::uint64_t pc, std::uint64_t hist) const
 bool
 TagePredictor::predict(std::uint64_t pc, std::uint64_t hist)
 {
-    ++statGroup.counter("lookups");
+    ++st.lookups;
     const int p = provider(pc, hist);
     if (p >= 0) {
         const Component &c = components[p];
@@ -113,7 +114,7 @@ TagePredictor::update(std::uint64_t pc, std::uint64_t hist, bool taken)
                 e.ctr = taken ? 0 : -1;
                 e.useful = 0;
                 allocated = true;
-                ++statGroup.counter("allocations");
+                ++st.allocations;
             }
         }
         if (!allocated) {
@@ -125,7 +126,7 @@ TagePredictor::update(std::uint64_t pc, std::uint64_t hist, bool taken)
                     --e.useful;
             }
         }
-        ++statGroup.counter("mispredict_updates");
+        ++st.mispredictUpdates;
     }
 }
 

@@ -22,6 +22,21 @@
 namespace sb
 {
 
+/** Cached counter handles for the predictor's lookup/update paths. */
+struct TageStats
+{
+    explicit TageStats(StatGroup &g)
+        : lookups(g.counter("lookups")),
+          allocations(g.counter("allocations")),
+          mispredictUpdates(g.counter("mispredict_updates"))
+    {
+    }
+
+    Counter &lookups;
+    Counter &allocations;
+    Counter &mispredictUpdates;
+};
+
 /** TAGE with a bimodal base and four tagged components. */
 class TagePredictor : public BranchPredictor
 {
@@ -65,6 +80,7 @@ class TagePredictor : public BranchPredictor
     std::vector<Component> components;
     std::uint64_t allocSeed = 0x1234; ///< Deterministic tie-breaking.
     StatGroup statGroup;
+    TageStats st;
 };
 
 } // namespace sb

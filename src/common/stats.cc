@@ -1,5 +1,6 @@
 #include "common/stats.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -40,6 +41,14 @@ Histogram::bucketCount(unsigned idx) const
     return buckets[idx];
 }
 
+void
+Histogram::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    samples = 0;
+    sum = 0;
+}
+
 Counter &
 StatGroup::counter(const std::string &name)
 {
@@ -68,6 +77,8 @@ void
 StatGroup::reset()
 {
     for (auto &kv : ctrs)
+        kv.second.reset();
+    for (auto &kv : hists)
         kv.second.reset();
 }
 

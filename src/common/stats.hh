@@ -52,6 +52,9 @@ class Histogram
     std::uint64_t bucketCount(unsigned idx) const;
     unsigned numBuckets() const { return buckets.size(); }
 
+    /** Drop all samples (bucket geometry is kept). */
+    void reset();
+
   private:
     std::vector<std::uint64_t> buckets;
     unsigned width;
@@ -69,7 +72,14 @@ class StatGroup
   public:
     explicit StatGroup(std::string name) : groupName(std::move(name)) {}
 
-    /** Register (or fetch) a counter under this group. */
+    /**
+     * Register (or fetch) a counter under this group.
+     *
+     * The returned reference stays valid for the life of the group
+     * (node-based map), so components resolve their counters once at
+     * construction into a struct of `Counter &` handles instead of
+     * paying a string-keyed lookup on every increment.
+     */
     Counter &counter(const std::string &name);
 
     /** Register (or fetch) a histogram under this group. */

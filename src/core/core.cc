@@ -23,8 +23,11 @@ Core::Core(const CoreConfig &config, const SchemeConfig &scheme_config,
       wakeupDone(config.numPhysRegs, 1),
       iq(config.iqEntries),
       lsu(config.ldqEntries, config.stqEntries),
+      completions(eventHorizon()),
+      wakeups(eventHorizon()),
       pc(prog.entry),
-      statGroup("core")
+      statGroup("core"),
+      st(statGroup)
 {
     sb_assert(cfg.coreWidth >= 1 && cfg.issueWidth >= 1
                   && cfg.memPorts >= 1,
@@ -32,6 +35,23 @@ Core::Core(const CoreConfig &config, const SchemeConfig &scheme_config,
     frontendExtraDelay =
         cfg.frontendStages > 5 ? cfg.frontendStages - 5 : 0;
     schemePtr->attach(*this);
+}
+
+unsigned
+Core::eventHorizon() const
+{
+    // Longest completion delay: an L2+DRAM round trip observed
+    // through a hit-under-miss L1 probe, plus the slowest functional
+    // unit. Wakeups ride at most one cycle behind completions, and
+    // anything a scheme schedules further out spills into the
+    // wheel's overflow lane, so this only has to bound the common
+    // case.
+    unsigned fu = cfg.aluLatency;
+    for (unsigned lat : {cfg.mulLatency, cfg.divLatency, cfg.fpLatency,
+                         cfg.fpDivLatency, cfg.branchResolveLatency})
+        fu = std::max(fu, lat);
+    return 2 * cfg.l1d.latency + 2 * cfg.l2.latency + cfg.memLatency
+           + fu + 8;
 }
 
 unsigned
@@ -88,7 +108,7 @@ Core::applyWakeup(PhysReg preg, Cycle at, const DynInstPtr &producer)
         }
         return;
     }
-    wakeups.push(WakeupEvent{at, preg, producer});
+    wakeups.push(at, cycle, WakeupEvent{preg, producer});
 }
 
 RunResult
@@ -113,7 +133,7 @@ void
 Core::tick()
 {
     ++cycle;
-    ++statGroup.counter("cycles");
+    ++st.cycles;
     memPortsUsed = 0;
     shadows.latchPrev();
 
@@ -162,7 +182,7 @@ Core::commitPhase()
             lsu.markStoreCommitted(*inst);
         if (inst->isLoad()) {
             lsu.releaseLoad(*inst);
-            ++statGroup.counter("committed_loads");
+            ++st.committedLoads;
         }
         if (inst->isBranch()) {
             sb_assert(branchesInFlight > 0, "branch count underflow");
@@ -171,16 +191,16 @@ Core::commitPhase()
                 predictor.update(inst->pc, inst->histSnapshot,
                                  inst->actualTaken);
             }
-            ++statGroup.counter("committed_branches");
+            ++st.committedBranches;
         }
         if (inst->isStore())
-            ++statGroup.counter("committed_stores");
+            ++st.committedStores;
         if (inst->stalePdst != invalidPhysReg)
             renameMap.release(inst->stalePdst);
 
         inst->committed = true;
         ++committedCount;
-        ++statGroup.counter("committed_insts");
+        ++st.committedInsts;
         lastCommitCycle = cycle;
         if (commitHook)
             commitHook(*inst, cycle);
@@ -202,14 +222,15 @@ Core::drainStores()
         SqEntry *entry = lsu.drainableStore();
         if (!entry)
             break;
-        const DynInstPtr &st = entry->inst;
-        MemAccessResult res = mem.access(st->effAddr, st->pc, cycle, true);
+        const DynInstPtr &store = entry->inst;
+        MemAccessResult res =
+            mem.access(store->effAddr, store->pc, cycle, true);
         if (!res.accepted)
             break;
-        workingMem.write(st->effAddr, entry->data);
+        workingMem.write(store->effAddr, entry->data);
         lsu.popDrainedStore();
         ++memPortsUsed;
-        ++statGroup.counter("store_drains");
+        ++st.storeDrains;
     }
 }
 
@@ -220,21 +241,17 @@ Core::drainStores()
 void
 Core::writebackPhase()
 {
-    while (!wakeups.empty() && wakeups.top().at <= cycle) {
-        WakeupEvent ev = wakeups.top();
-        wakeups.pop();
+    wakeups.drainDue(cycle, [this](WakeupEvent &ev) {
         if (ev.producer && ev.producer->squashed)
-            continue;
+            return;
         wakeupDone[ev.preg] = 1;
         iq.wakeup(ev.preg);
-    }
+    });
 
-    while (!completions.empty() && completions.top().at <= cycle) {
-        CompletionEvent ev = completions.top();
-        completions.pop();
-        DynInstPtr inst = ev.inst;
+    completions.drainDue(cycle, [this](CompletionEvent &ev) {
+        const DynInstPtr &inst = ev.inst;
         if (inst->squashed)
-            continue;
+            return;
         inst->completed = true;
         trace("complete", *inst);
         if (inst->isLoad()) {
@@ -247,10 +264,10 @@ Core::writebackPhase()
             if (!schemePtr->deferBroadcast(inst, ready)) {
                 applyWakeup(inst->pdst, ready, inst);
             } else {
-                ++statGroup.counter("deferred_broadcasts");
+                ++st.deferredBroadcasts;
             }
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -309,7 +326,7 @@ Core::executeBranch(const DynInstPtr &inst)
         inst->predTaken ? inst->uop.target : inst->pc + 1;
     if (correct_next != predicted_next) {
         inst->mispredicted = true;
-        ++statGroup.counter("branch_mispredicts");
+        ++st.branchMispredicts;
         trace("mispredict", *inst);
         squash(inst->seq, correct_next);
         if (inst->uop.op != Op::Jmp) {
@@ -337,31 +354,31 @@ Core::loadMemoryStage(const DynInstPtr &inst)
     const ForwardOutcome fwd = lsu.checkForwarding(*inst);
     if (fwd.kind == ForwardOutcome::Kind::StallData) {
         // Sleep until the matching store's data half executes.
-        ++statGroup.counter("forward_stalls");
+        ++st.forwardStalls;
         forwardWaiters[fwd.source].push_back(inst);
         return;
     }
     if (fwd.bypassedUnknown) {
         inst->bypassedUnknownStore = true;
-        ++statGroup.counter("disambiguation_bypasses");
+        ++st.disambiguationBypasses;
     }
     if (fwd.kind == ForwardOutcome::Kind::Forward) {
         inst->forwarded = true;
         inst->l1Hit = true;
-        ++statGroup.counter("load_forwards");
+        ++st.loadForwards;
         finishLoad(inst, cycle + cfg.l1d.latency, fwd.data, fwd.source);
         return;
     }
     MemAccessResult res = mem.access(inst->effAddr, inst->pc, cycle,
                                      false);
     if (!res.accepted) {
-        ++statGroup.counter("mshr_retries");
+        ++st.mshrRetries;
         retryLoads.push_back(inst);
         return;
     }
     inst->l1Hit = res.l1Hit;
     if (!res.l1Hit)
-        ++statGroup.counter("load_l1_misses");
+        ++st.loadL1Misses;
     Word value;
     if (!lsu.functionalBypass(*inst, value))
         value = workingMem.read(inst->effAddr);
@@ -375,7 +392,7 @@ Core::finishLoad(const DynInstPtr &inst, Cycle complete_at, Word value,
     inst->result = value;
     inst->completeAt = complete_at;
     lsu.loadDataReturned(*inst, forward_source);
-    completions.push(CompletionEvent{complete_at, inst});
+    completions.push(complete_at, cycle, CompletionEvent{inst});
 }
 
 void
@@ -391,7 +408,7 @@ Core::executeStoreAddr(const DynInstPtr &inst)
     if (DynInstPtr victim = lsu.checkViolation(*inst)) {
         // Memory-order violation (store-to-load forwarding error,
         // paper Sec. 9.2): flush from the load and refetch it.
-        ++statGroup.counter("mem_order_violations");
+        ++st.memOrderViolations;
         trace("violation", *victim);
         squash(victim->seq - 1, victim->pc);
     }
@@ -427,11 +444,11 @@ Core::executeStoreData(const DynInstPtr &inst)
 void
 Core::shadowPhase()
 {
-    std::vector<DynInstPtr> now_safe;
-    shadows.update(lastRenamedSeq + 1, now_safe);
+    safeScratch.clear();
+    shadows.update(lastRenamedSeq + 1, safeScratch);
     // Schemes observe the visibility point directly (and drain their
     // own pending queues in tick()); the monitor needs no callback.
-    statGroup.counter("loads_became_safe") += now_safe.size();
+    st.loadsBecameSafe += safeScratch.size();
 }
 
 // ---------------------------------------------------------------------
@@ -456,7 +473,8 @@ Core::selectPhase()
 
     unsigned slots = cfg.issueWidth;
     unsigned fp_slots = cfg.fpPorts;
-    std::vector<DynInstPtr> fully_issued;
+    std::vector<DynInstPtr> &fully_issued = issuedScratch;
+    fully_issued.clear();
 
     for (IqEntry *entry : iq.inOrder()) {
         if (slots == 0)
@@ -472,12 +490,12 @@ Core::selectPhase()
             bool data_ready = entry->src2Ready && !inst->dataIssued;
             if (addr_ready && schemePtr->selectVeto(*inst, true)) {
                 addr_ready = false;
-                ++statGroup.counter("scheme_select_blocks");
+                ++st.schemeSelectBlocks;
                 trace("block-addr", *inst);
             }
             if (data_ready && schemePtr->selectVeto(*inst, false)) {
                 data_ready = false;
-                ++statGroup.counter("scheme_select_blocks");
+                ++st.schemeSelectBlocks;
                 trace("block-data", *inst);
             }
             if (addr_ready && memPortsUsed >= cfg.memPorts)
@@ -499,7 +517,7 @@ Core::selectPhase()
                     // Taint unit killed the issue: the slot and the
                     // memory port are wasted this cycle (Fig. 4).
                     killed = true;
-                    ++statGroup.counter("scheme_issue_kills");
+                    ++st.schemeIssueKills;
                 }
             }
             if (data_ready && !killed) {
@@ -509,7 +527,7 @@ Core::selectPhase()
                     trace("issue-data", *inst);
                 } else {
                     trace("kill", *inst);
-                    ++statGroup.counter("scheme_issue_kills");
+                    ++st.schemeIssueKills;
                 }
             }
             if (scheduled)
@@ -524,7 +542,7 @@ Core::selectPhase()
             continue;
         const OpClass cls = inst->uop.opClass();
         if (schemePtr->selectVeto(*inst, inst->isLoad())) {
-            ++statGroup.counter("scheme_select_blocks");
+            ++st.schemeSelectBlocks;
             trace("block", *inst);
             continue;
         }
@@ -545,7 +563,7 @@ Core::selectPhase()
         if (cls == OpClass::MemRead)
             ++memPortsUsed;
         if (!schemePtr->onSelect(*inst, inst->isLoad())) {
-            ++statGroup.counter("scheme_issue_kills");
+            ++st.schemeIssueKills;
             trace("kill", *inst);
             continue; // Entry stays; ready is masked by the scheme.
         }
@@ -585,12 +603,12 @@ Core::executeAluAtSelect(const DynInstPtr &inst)
         regVal[inst->pdst] = inst->result;
 
     const unsigned lat = opLatency(inst->uop.opClass());
-    completions.push(CompletionEvent{cycle + lat, inst});
+    completions.push(cycle + lat, cycle, CompletionEvent{inst});
     if (inst->pdst != invalidPhysReg) {
         if (!schemePtr->deferBroadcast(inst, cycle + lat)) {
             applyWakeup(inst->pdst, cycle + lat, inst);
         } else {
-            ++statGroup.counter("deferred_broadcasts");
+            ++st.deferredBroadcasts;
         }
     }
 }
@@ -606,7 +624,7 @@ Core::dispatchPhase()
     while (n < cfg.coreWidth && !dispatchQueue.empty()) {
         DynInstPtr inst = dispatchQueue.front();
         if (iq.full()) {
-            ++statGroup.counter("iq_full_stalls");
+            ++st.iqFullStalls;
             break;
         }
         const bool s1 = !inst->uop.hasSrc1() || wakeupDone[inst->psrc1];
@@ -620,7 +638,8 @@ Core::dispatchPhase()
 void
 Core::renamePhase()
 {
-    std::vector<DynInstPtr> group;
+    std::vector<DynInstPtr> &group = renameScratch;
+    group.clear();
     unsigned n = 0;
     while (n < cfg.coreWidth && !decodeQueue.empty()) {
         DecodeSlot &slot = decodeQueue.front();
@@ -629,25 +648,25 @@ Core::renamePhase()
         DynInstPtr inst = slot.inst;
 
         if (rob.size() >= cfg.robEntries) {
-            ++statGroup.counter("rob_full_stalls");
+            ++st.robFullStalls;
             break;
         }
         if (dispatchQueue.size() >= 2 * cfg.coreWidth)
             break;
         if (inst->uop.hasDst() && renameMap.freeCount() == 0) {
-            ++statGroup.counter("freelist_stalls");
+            ++st.freelistStalls;
             break;
         }
         if (inst->isBranch() && branchesInFlight >= cfg.maxBranches) {
-            ++statGroup.counter("branch_cap_stalls");
+            ++st.branchCapStalls;
             break;
         }
         if (inst->isLoad() && lsu.lqFull()) {
-            ++statGroup.counter("lsu_full_stalls");
+            ++st.lsuFullStalls;
             break;
         }
         if (inst->isStore() && lsu.sqFull()) {
-            ++statGroup.counter("lsu_full_stalls");
+            ++st.lsuFullStalls;
             break;
         }
 
@@ -718,7 +737,7 @@ Core::fetchPhase()
             break;
         }
         const MicroOp &uop = program->code[pc];
-        auto inst = std::make_shared<DynInst>();
+        DynInstPtr inst = instPool.acquire();
         inst->seq = nextSeq++;
         inst->pc = pc;
         inst->uop = uop;
@@ -817,8 +836,8 @@ Core::squash(SeqNum from_seq, std::uint32_t new_pc)
     pc = new_pc;
     fetchStallUntil = cycle + 1;
     fetchHalted = false;
-    statGroup.counter("squashed_insts") += count;
-    ++statGroup.counter("squashes");
+    st.squashedInsts += count;
+    ++st.squashes;
 }
 
 } // namespace sb

@@ -27,14 +27,15 @@
 #include <map>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "branch/tage.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "core/dyn_inst.hh"
+#include "core/dyn_inst_pool.hh"
 #include "core/issue_queue.hh"
+#include "core/timing_wheel.hh"
 #include "core/lsu.hh"
 #include "core/rename_map.hh"
 #include "core/scheme_iface.hh"
@@ -45,6 +46,68 @@
 
 namespace sb
 {
+
+/**
+ * Cached handles to the core's counters, resolved once at
+ * construction. The per-cycle paths increment through these
+ * references; the string-keyed StatGroup registry stays authoritative
+ * for harvesting (ExperimentRunner reads `stats().counters()`).
+ */
+struct CoreStats
+{
+    explicit CoreStats(StatGroup &g)
+        : cycles(g.counter("cycles")),
+          committedInsts(g.counter("committed_insts")),
+          committedLoads(g.counter("committed_loads")),
+          committedStores(g.counter("committed_stores")),
+          committedBranches(g.counter("committed_branches")),
+          storeDrains(g.counter("store_drains")),
+          deferredBroadcasts(g.counter("deferred_broadcasts")),
+          branchMispredicts(g.counter("branch_mispredicts")),
+          forwardStalls(g.counter("forward_stalls")),
+          disambiguationBypasses(g.counter("disambiguation_bypasses")),
+          loadForwards(g.counter("load_forwards")),
+          mshrRetries(g.counter("mshr_retries")),
+          loadL1Misses(g.counter("load_l1_misses")),
+          memOrderViolations(g.counter("mem_order_violations")),
+          loadsBecameSafe(g.counter("loads_became_safe")),
+          schemeSelectBlocks(g.counter("scheme_select_blocks")),
+          schemeIssueKills(g.counter("scheme_issue_kills")),
+          iqFullStalls(g.counter("iq_full_stalls")),
+          robFullStalls(g.counter("rob_full_stalls")),
+          freelistStalls(g.counter("freelist_stalls")),
+          branchCapStalls(g.counter("branch_cap_stalls")),
+          lsuFullStalls(g.counter("lsu_full_stalls")),
+          squashedInsts(g.counter("squashed_insts")),
+          squashes(g.counter("squashes"))
+    {
+    }
+
+    Counter &cycles;
+    Counter &committedInsts;
+    Counter &committedLoads;
+    Counter &committedStores;
+    Counter &committedBranches;
+    Counter &storeDrains;
+    Counter &deferredBroadcasts;
+    Counter &branchMispredicts;
+    Counter &forwardStalls;
+    Counter &disambiguationBypasses;
+    Counter &loadForwards;
+    Counter &mshrRetries;
+    Counter &loadL1Misses;
+    Counter &memOrderViolations;
+    Counter &loadsBecameSafe;
+    Counter &schemeSelectBlocks;
+    Counter &schemeIssueKills;
+    Counter &iqFullStalls;
+    Counter &robFullStalls;
+    Counter &freelistStalls;
+    Counter &branchCapStalls;
+    Counter &lsuFullStalls;
+    Counter &squashedInsts;
+    Counter &squashes;
+};
 
 /** Result of a simulation run. */
 struct RunResult
@@ -207,24 +270,25 @@ class Core
     // --- Event machinery ------------------------------------------------------
     struct CompletionEvent
     {
-        Cycle at;
         DynInstPtr inst;
-        bool operator>(const CompletionEvent &o) const { return at > o.at; }
     };
     struct WakeupEvent
     {
-        Cycle at;
         PhysReg preg;
         DynInstPtr producer;
-        bool operator>(const WakeupEvent &o) const { return at > o.at; }
     };
-    std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
-                        std::greater<CompletionEvent>> completions;
-    std::priority_queue<WakeupEvent, std::vector<WakeupEvent>,
-                        std::greater<WakeupEvent>> wakeups;
+    /** Longest possible event delay, from the configured latencies. */
+    unsigned eventHorizon() const;
+    TimingWheel<CompletionEvent> completions;
+    TimingWheel<WakeupEvent> wakeups;
     std::vector<DynInstPtr> execNow;   ///< Executing this cycle.
     std::vector<DynInstPtr> execNext;  ///< Selected, executes next cycle.
     std::deque<DynInstPtr> retryLoads; ///< MSHR-reject retries.
+    /** Per-cycle scratch buffers (members so their capacity is kept
+     *  across cycles: the steady-state hot path never allocates). */
+    std::vector<DynInstPtr> issuedScratch;
+    std::vector<DynInstPtr> renameScratch;
+    std::vector<DynInstPtr> safeScratch;
     /** Loads sleeping on a store's data half (keyed by store seq);
      *  spin-retrying would starve the memory ports of exactly the
      *  store halves needed for forward progress. */
@@ -257,7 +321,10 @@ class Core
             traceHook(event, inst, cycle);
     }
 
+    DynInstPool instPool;   ///< Recycles DynInst storage across fetches.
+
     StatGroup statGroup;
+    CoreStats st;           ///< Cached handles into statGroup.
     CommitHook commitHook;
     TraceHook traceHook;
 };

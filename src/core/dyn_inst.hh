@@ -37,6 +37,7 @@ struct DynInst
 
     // --- Pipeline status ------------------------------------------------
     bool inIq = false;
+    std::int32_t iqSlot = -1; ///< Issue-queue slot index while inIq.
     bool addrIssued = false;  ///< Loads & store address halves.
     bool dataIssued = false;  ///< Store data halves; ALU "the" issue.
     bool executed = false;    ///< Functional work done.

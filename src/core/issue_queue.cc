@@ -1,67 +1,167 @@
 #include "core/issue_queue.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
 
 namespace sb
 {
 
+IssueQueue::IssueQueue(unsigned capacity) : cap(capacity)
+{
+    sb_assert(cap > 0, "issue queue needs capacity");
+    slots.resize(cap);
+    freeSlots.reserve(cap);
+    for (std::int32_t i = static_cast<std::int32_t>(cap) - 1; i >= 0; --i)
+        freeSlots.push_back(i);
+    orderView.reserve(cap);
+}
+
+void
+IssueQueue::addConsumer(PhysReg preg, std::int32_t slot)
+{
+    if (preg >= consumers.size())
+        consumers.resize(preg + 1);
+    consumers[preg].push_back(ConsumerRef{slot, slots[slot].gen});
+}
+
 void
 IssueQueue::insert(const DynInstPtr &inst, bool src1_ready, bool src2_ready)
 {
     sb_assert(!full(), "insert into full issue queue");
-    IqEntry e;
+
+    const std::int32_t idx = freeSlots.back();
+    freeSlots.pop_back();
+    IqEntry &e = slots[idx];
     e.inst = inst;
     e.src1Ready = src1_ready || !inst->uop.hasSrc1();
     e.src2Ready = src2_ready || !inst->uop.hasSrc2();
+
+    // Find the insertion point from the young end. Dispatch runs in
+    // program order (and squashes only cut the young end), so the
+    // core always lands on the tail in O(1); the walk only happens
+    // for out-of-order unit-test insertions.
+    std::int32_t succ = -1; // Entry that will follow the new one.
+    std::int32_t pred = ageTail;
+    while (pred >= 0 && slots[pred].inst->seq > inst->seq) {
+        succ = pred;
+        pred = slots[pred].agePrev;
+    }
+    e.agePrev = pred;
+    e.ageNext = succ;
+    if (pred >= 0)
+        slots[pred].ageNext = idx;
+    else
+        ageHead = idx;
+    if (succ >= 0)
+        slots[succ].agePrev = idx;
+    else
+        ageTail = idx;
+
+    if (!e.src1Ready)
+        addConsumer(inst->psrc1, idx);
+    if (!e.src2Ready)
+        addConsumer(inst->psrc2, idx);
+
     inst->inIq = true;
-    entries.push_back(std::move(e));
+    inst->iqSlot = idx;
+    ++count;
+    orderDirty = true;
 }
 
 void
 IssueQueue::wakeup(PhysReg preg)
 {
-    for (auto &e : entries) {
+    if (preg >= consumers.size())
+        return;
+    auto &list = consumers[preg];
+    for (const ConsumerRef &ref : list) {
+        IqEntry &e = slots[ref.slot];
+        if (e.gen != ref.gen || !e.inst)
+            continue; // Stale: the slot was freed (and maybe reused).
         if (e.inst->uop.hasSrc1() && e.inst->psrc1 == preg)
             e.src1Ready = true;
         if (e.inst->uop.hasSrc2() && e.inst->psrc2 == preg)
             e.src2Ready = true;
     }
+    // A physical register broadcasts once per allocation; anything
+    // still listed is stale by construction.
+    list.clear();
+}
+
+void
+IssueQueue::freeSlot(std::int32_t idx)
+{
+    IqEntry &e = slots[idx];
+    if (e.agePrev >= 0)
+        slots[e.agePrev].ageNext = e.ageNext;
+    else
+        ageHead = e.ageNext;
+    if (e.ageNext >= 0)
+        slots[e.ageNext].agePrev = e.agePrev;
+    else
+        ageTail = e.agePrev;
+
+    e.inst->inIq = false;
+    e.inst->iqSlot = -1;
+    e.inst.reset();
+    e.src1Ready = false;
+    e.src2Ready = false;
+    e.agePrev = -1;
+    e.ageNext = -1;
+    ++e.gen;
+    freeSlots.push_back(idx);
+    --count;
+    orderDirty = true;
 }
 
 void
 IssueQueue::squash(SeqNum seq)
 {
-    entries.erase(std::remove_if(entries.begin(), entries.end(),
-                                 [seq](const IqEntry &e) {
-                                     return e.inst->seq > seq
-                                            || e.inst->squashed;
-                                 }),
-                  entries.end());
+    // Age order makes the squash set a suffix, but also sweep for
+    // entries flagged squashed by an earlier flush (parity with the
+    // seed's predicate).
+    std::int32_t idx = ageTail;
+    while (idx >= 0) {
+        const std::int32_t prev = slots[idx].agePrev;
+        const DynInstPtr &inst = slots[idx].inst;
+        if (inst->seq > seq || inst->squashed)
+            freeSlot(idx);
+        idx = prev;
+    }
 }
 
 void
 IssueQueue::remove(const DynInstPtr &inst)
 {
-    auto it = std::find_if(entries.begin(), entries.end(),
-                           [&](const IqEntry &e) { return e.inst == inst; });
-    sb_assert(it != entries.end(), "removing instruction not in IQ");
-    inst->inIq = false;
-    entries.erase(it);
+    const std::int32_t idx = inst->iqSlot;
+    sb_assert(idx >= 0 && idx < static_cast<std::int32_t>(cap)
+                  && slots[idx].inst == inst,
+              "removing instruction not in IQ");
+    freeSlot(idx);
 }
 
-std::vector<IqEntry *>
+const std::vector<IqEntry *> &
 IssueQueue::inOrder()
 {
-    std::vector<IqEntry *> out;
-    out.reserve(entries.size());
-    for (auto &e : entries)
-        out.push_back(&e);
-    std::sort(out.begin(), out.end(), [](const IqEntry *a, const IqEntry *b) {
-        return a->inst->seq < b->inst->seq;
-    });
-    return out;
+    if (orderDirty) {
+        orderView.clear();
+        for (std::int32_t idx = ageHead; idx >= 0;
+             idx = slots[idx].ageNext) {
+            orderView.push_back(&slots[idx]);
+        }
+        orderDirty = false;
+    }
+    return orderView;
+}
+
+void
+IssueQueue::clear()
+{
+    std::int32_t idx = ageTail;
+    while (idx >= 0) {
+        const std::int32_t prev = slots[idx].agePrev;
+        freeSlot(idx);
+        idx = prev;
+    }
 }
 
 } // namespace sb

@@ -1,15 +1,33 @@
 /**
  * @file
- * Unified issue queue with broadcast wakeup and oldest-first select
- * support. Stores occupy one entry but expose two independently
- * issueable halves (address and data), modelling BOOM's partial store
- * issue (paper Sec. 9.2). Selection policy lives in the core; the
- * queue provides storage, wakeup, and age-ordered iteration.
+ * Unified issue queue with indexed wakeup and incrementally
+ * maintained age order. Stores occupy one entry but expose two
+ * independently issueable halves (address and data), modelling BOOM's
+ * partial store issue (paper Sec. 9.2). Selection policy lives in the
+ * core; the queue provides storage, wakeup, and age-ordered
+ * iteration.
+ *
+ * Hot-path design (vs. the seed's flat vector):
+ *  - Entries live in a fixed slot array with a free list; a slot
+ *    index is stamped on the DynInst so remove() is O(1).
+ *  - Age order is an intrusive doubly-linked list kept sorted on
+ *    insert. Dispatch happens in program order (sequence numbers are
+ *    monotonic, and squashes only cut the young end), so the core's
+ *    insertions always land on the tail in O(1) and inOrder() never
+ *    sorts — it replays a cached view that is rebuilt, without
+ *    allocating, only after the queue changed.
+ *  - wakeup(preg) walks a per-physical-register consumer list
+ *    instead of scanning every entry. Consumer references are lazy:
+ *    a generation tag per slot invalidates stale references left
+ *    behind by remove/squash, and a list is cleared wholesale once
+ *    its register broadcasts (a physical register wakes at most once
+ *    per allocation).
  */
 
 #ifndef SB_CORE_ISSUE_QUEUE_HH
 #define SB_CORE_ISSUE_QUEUE_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "core/dyn_inst.hh"
@@ -23,16 +41,21 @@ struct IqEntry
     DynInstPtr inst;
     bool src1Ready = false;
     bool src2Ready = false;
+
+    // Intrusive bookkeeping (owned by IssueQueue).
+    std::int32_t agePrev = -1;
+    std::int32_t ageNext = -1;
+    std::uint32_t gen = 0; ///< Bumped on free; guards consumer refs.
 };
 
 /** Fixed-capacity unified issue queue. */
 class IssueQueue
 {
   public:
-    explicit IssueQueue(unsigned capacity) : cap(capacity) {}
+    explicit IssueQueue(unsigned capacity);
 
-    bool full() const { return entries.size() >= cap; }
-    std::size_t size() const { return entries.size(); }
+    bool full() const { return count >= cap; }
+    std::size_t size() const { return count; }
     unsigned capacity() const { return cap; }
 
     /** Insert a dispatched instruction with its initial ready bits. */
@@ -47,14 +70,38 @@ class IssueQueue
     /** Remove one fully issued instruction. */
     void remove(const DynInstPtr &inst);
 
-    /** Entries sorted oldest-first (rebuilt each call). */
-    std::vector<IqEntry *> inOrder();
+    /**
+     * Entries oldest-first. The returned view is owned by the queue
+     * and stays valid until the next insert/remove/squash/clear; it
+     * is rebuilt without sorting or steady-state allocation.
+     */
+    const std::vector<IqEntry *> &inOrder();
 
-    void clear() { entries.clear(); }
+    void clear();
 
   private:
+    /** A lazy reference into the slot array from a consumer list. */
+    struct ConsumerRef
+    {
+        std::int32_t slot;
+        std::uint32_t gen;
+    };
+
+    void addConsumer(PhysReg preg, std::int32_t slot);
+    void freeSlot(std::int32_t slot);
+
     unsigned cap;
-    std::vector<IqEntry> entries;
+    std::vector<IqEntry> slots;          ///< cap entries, index-stable.
+    std::vector<std::int32_t> freeSlots;
+    std::int32_t ageHead = -1;           ///< Oldest entry.
+    std::int32_t ageTail = -1;           ///< Youngest entry.
+    std::size_t count = 0;
+
+    /** Consumer lists indexed by physical register (grown on demand). */
+    std::vector<std::vector<ConsumerRef>> consumers;
+
+    std::vector<IqEntry *> orderView;    ///< Cached inOrder() result.
+    bool orderDirty = true;
 };
 
 } // namespace sb

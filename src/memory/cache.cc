@@ -19,7 +19,7 @@ isPow2(unsigned x)
 } // anonymous namespace
 
 Cache::Cache(const std::string &name, const CacheConfig &config)
-    : cfg(config), statGroup(name)
+    : cfg(config), statGroup(name), st(statGroup)
 {
     sb_assert(cfg.lineBytes > 0 && cfg.assoc > 0, "bad cache geometry");
     sb_assert(cfg.sizeBytes % (cfg.lineBytes * cfg.assoc) == 0,
@@ -39,11 +39,11 @@ Cache::probe(Addr addr, Cycle now)
         Line &l = lines[static_cast<std::size_t>(set) * cfg.assoc + w];
         if (l.valid && l.tag == tag) {
             l.lastUse = now;
-            ++statGroup.counter("hits");
+            ++st.hits;
             return std::max(now + cfg.latency, l.readyAt + cfg.latency);
         }
     }
-    ++statGroup.counter("misses");
+    ++st.misses;
     return std::nullopt;
 }
 
@@ -87,12 +87,12 @@ Cache::insert(Addr addr, Cycle now, Cycle ready_at)
     }
     sb_assert(victim, "cache set with no victim");
     if (victim->valid)
-        ++statGroup.counter("evictions");
+        ++st.evictions;
     victim->valid = true;
     victim->tag = tag;
     victim->lastUse = now;
     victim->readyAt = ready_at;
-    ++statGroup.counter("fills");
+    ++st.fills;
 }
 
 void

@@ -19,6 +19,23 @@
 namespace sb
 {
 
+/** Cached counter handles for one cache level (hot-path increments). */
+struct CacheStats
+{
+    explicit CacheStats(StatGroup &g)
+        : hits(g.counter("hits")),
+          misses(g.counter("misses")),
+          evictions(g.counter("evictions")),
+          fills(g.counter("fills"))
+    {
+    }
+
+    Counter &hits;
+    Counter &misses;
+    Counter &evictions;
+    Counter &fills;
+};
+
 /** One cache level (tags only). */
 class Cache
 {
@@ -67,6 +84,7 @@ class Cache
     unsigned numSets;
     std::vector<Line> lines;  ///< numSets x assoc, row-major.
     StatGroup statGroup;
+    CacheStats st;
 };
 
 } // namespace sb

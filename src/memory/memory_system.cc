@@ -13,7 +13,8 @@ MemorySystem::MemorySystem(const CoreConfig &config)
       l2("l2", config.l2),
       l1Prefetcher("l1d.prefetcher", 64, config.l1d.prefetchDegree),
       l2Prefetcher("l2.prefetcher", 64, config.l2.prefetchDegree),
-      statGroup("mem")
+      statGroup("mem"),
+      st(statGroup)
 {
 }
 
@@ -41,7 +42,7 @@ MemorySystem::access(Addr addr, std::uint64_t pc, Cycle now, bool is_store)
     } else {
         // L1 miss: need an MSHR.
         if (mshrs.size() >= cfg.l1d.mshrs) {
-            ++statGroup.counter("mshr_rejects");
+            ++st.mshrRejects;
             res.accepted = false;
             return res;
         }
@@ -61,9 +62,9 @@ MemorySystem::access(Addr addr, std::uint64_t pc, Cycle now, bool is_store)
     }
 
     if (is_store)
-        ++statGroup.counter("stores");
+        ++st.stores;
     else
-        ++statGroup.counter("loads");
+        ++st.loads;
 
     // Prefetches are timing-only and do not consume MSHRs in this
     // model (they ride the miss pipe in the background).
@@ -86,7 +87,7 @@ MemorySystem::prefetchInto(Addr addr, Cycle now)
         l2.insert(addr, now, fill - cfg.l1d.latency);
     }
     l1.insert(addr, now, fill);
-    ++statGroup.counter("prefetch_fills");
+    ++st.prefetchFills;
 }
 
 void

@@ -29,6 +29,23 @@ struct MemAccessResult
     Cycle completeAt = 0;  ///< Cycle the data is available.
 };
 
+/** Cached counter handles for the memory system's demand path. */
+struct MemStats
+{
+    explicit MemStats(StatGroup &g)
+        : loads(g.counter("loads")),
+          stores(g.counter("stores")),
+          mshrRejects(g.counter("mshr_rejects")),
+          prefetchFills(g.counter("prefetch_fills"))
+    {
+    }
+
+    Counter &loads;
+    Counter &stores;
+    Counter &mshrRejects;
+    Counter &prefetchFills;
+};
+
 /** L1D + L2 + DRAM with per-level stride prefetchers. */
 class MemorySystem
 {
@@ -78,6 +95,7 @@ class MemorySystem
     std::vector<Cycle> mshrs;  ///< Completion times of in-flight misses.
     std::vector<Addr> prefetchQueue;
     StatGroup statGroup;
+    MemStats st;
 };
 
 } // namespace sb

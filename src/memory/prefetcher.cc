@@ -7,7 +7,8 @@ namespace sb
 
 StridePrefetcher::StridePrefetcher(const std::string &name,
                                    unsigned table_entries, unsigned degree)
-    : table(table_entries), degree(degree), statGroup(name)
+    : table(table_entries), degree(degree), statGroup(name),
+      st(statGroup)
 {
     sb_assert(table_entries > 0, "prefetcher needs a table");
 }
@@ -41,7 +42,7 @@ StridePrefetcher::observe(std::uint64_t pc, Addr addr,
                 static_cast<std::int64_t>(addr) + e.stride * (d + 1);
             if (target >= 0) {
                 prefetches.push_back(static_cast<Addr>(target));
-                ++statGroup.counter("issued");
+                ++st.issued;
             }
         }
     }

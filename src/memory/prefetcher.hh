@@ -21,6 +21,14 @@
 namespace sb
 {
 
+/** Cached counter handles for the prefetcher's observe path. */
+struct PrefetchStats
+{
+    explicit PrefetchStats(StatGroup &g) : issued(g.counter("issued")) {}
+
+    Counter &issued;
+};
+
 /** Reference stride prefetcher. */
 class StridePrefetcher
 {
@@ -52,6 +60,7 @@ class StridePrefetcher
     std::vector<Entry> table;
     unsigned degree;
     StatGroup statGroup;
+    PrefetchStats st;
 };
 
 } // namespace sb

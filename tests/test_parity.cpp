@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Determinism / timing-parity regression.
+ *
+ * The cycle engine's hot paths are performance-optimized (cached stat
+ * handles, a DynInst recycling pool, the indexed issue queue, and
+ * timing-wheel event queues), and every such optimization must be
+ * timing-neutral: it may change how fast the simulator runs, never
+ * what it simulates. These goldens pin the exact cycle and
+ * committed-instruction counts per scheme for fixed RunSpecs; they
+ * were captured from the pre-optimization seed engine and any future
+ * perf work has to keep reproducing them bit-identically.
+ *
+ * If a change is *meant* to alter timing semantics (a modelling fix,
+ * a new microarchitectural feature), recapture the goldens in the
+ * same change and say so in the commit message.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace
+{
+
+struct Golden
+{
+    sb::Scheme scheme;
+    const char *workload;
+    std::uint64_t cycles;
+    std::uint64_t instructions;
+};
+
+// Captured on the seed engine (mega core, warmup 10000, measure
+// 50000) and reproduced bit-identically by the optimized engine.
+const Golden goldens[] = {
+    {sb::Scheme::Baseline, "505.mcf", 207956ull, 50002ull},
+    {sb::Scheme::Baseline, "541.leela", 54131ull, 50002ull},
+    {sb::Scheme::Baseline, "519.lbm", 33330ull, 50000ull},
+    {sb::Scheme::SttRename, "505.mcf", 227054ull, 50002ull},
+    {sb::Scheme::SttRename, "541.leela", 55254ull, 50002ull},
+    {sb::Scheme::SttRename, "519.lbm", 33330ull, 50000ull},
+    {sb::Scheme::SttIssue, "505.mcf", 225993ull, 50002ull},
+    {sb::Scheme::SttIssue, "541.leela", 55278ull, 50002ull},
+    {sb::Scheme::SttIssue, "519.lbm", 33330ull, 50000ull},
+    {sb::Scheme::Nda, "505.mcf", 229176ull, 50002ull},
+    {sb::Scheme::Nda, "541.leela", 55865ull, 50000ull},
+    {sb::Scheme::Nda, "519.lbm", 33330ull, 50000ull},
+};
+
+TEST(TimingParity, GoldenCycleAndInstructionCounts)
+{
+    for (const Golden &g : goldens) {
+        sb::RunSpec spec;
+        spec.core = sb::CoreConfig::mega();
+        spec.scheme.scheme = g.scheme;
+        spec.workload = g.workload;
+        spec.warmupInsts = 10000;
+        spec.measureInsts = 50000;
+
+        const sb::RunOutcome out = sb::ExperimentRunner::runOne(spec);
+        EXPECT_EQ(out.cycles, g.cycles)
+            << sb::schemeName(g.scheme) << " on " << g.workload;
+        EXPECT_EQ(out.instructions, g.instructions)
+            << sb::schemeName(g.scheme) << " on " << g.workload;
+    }
+}
+
+TEST(TimingParity, RepeatedRunsAreDeterministic)
+{
+    sb::RunSpec spec;
+    spec.core = sb::CoreConfig::mega();
+    spec.scheme.scheme = sb::Scheme::SttRename;
+    spec.workload = "505.mcf";
+    spec.warmupInsts = 5000;
+    spec.measureInsts = 20000;
+
+    const sb::RunOutcome a = sb::ExperimentRunner::runOne(spec);
+    const sb::RunOutcome b = sb::ExperimentRunner::runOne(spec);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+} // anonymous namespace
