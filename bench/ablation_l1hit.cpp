@@ -1,73 +1,16 @@
 /**
  * @file
- * Ablation of paper Sec. 5.1: NDA with and without speculative
- * L1-hit scheduling. The paper removes the logic from NDA (it cannot
- * benefit: broadcasts wait for the visibility point anyway), which
- * also improves NDA's synthesis timing. This ablation quantifies the
- * IPC side: keeping the logic barely helps NDA, confirming the
- * design decision.
+ * Thin wrapper over the "ablation_l1hit" scenario
+ * (src/harness/scenarios.cc): NDA with and without speculative
+ * L1-hit scheduling (paper Sec. 5.1). The unified driver
+ * (tools/sbsim.cpp) runs the same definition with cross-scenario
+ * dedup and the result cache.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-#include "harness/reporting.hh"
-#include "synth/timing_model.hh"
+#include "harness/scenario.hh"
 
 int
 main()
 {
-    using namespace sb;
-
-    std::printf("=== Ablation (Sec. 5.1): NDA +/- speculative L1-hit "
-                "scheduling ===\n\n");
-
-    const std::vector<std::string> benches = {
-        "503.bwaves", "538.imagick", "505.mcf", "502.gcc",
-        "548.exchange2", "520.omnetpp",
-    };
-
-    SchemeConfig base;
-    SchemeConfig nda;
-    nda.scheme = Scheme::Nda;
-    SchemeConfig nda_spec = nda;
-    nda_spec.ndaKeepSpeculativeScheduling = true;
-
-    std::vector<RunSpec> specs;
-    for (const auto &cfg : {base, nda, nda_spec}) {
-        for (const auto &b : benches) {
-            RunSpec s;
-            s.core = CoreConfig::mega();
-            s.scheme = cfg;
-            s.workload = b;
-            s.measureInsts = 120000;
-            specs.push_back(std::move(s));
-        }
-    }
-    ExperimentRunner runner;
-    const auto outcomes = runner.runAll(specs);
-    const std::size_t n = benches.size();
-
-    TextTable t;
-    t.header({"benchmark", "base IPC", "NDA (no spec sched)",
-              "NDA (keep spec sched)"});
-    for (std::size_t i = 0; i < n; ++i) {
-        const double b = outcomes[i].ipc;
-        t.row({benches[i], TextTable::num(b, 3),
-               TextTable::pct(outcomes[n + i].ipc / b),
-               TextTable::pct(outcomes[2 * n + i].ipc / b)});
-    }
-    std::printf("%s\n", t.render().c_str());
-
-    std::printf("Timing side (Mega): removing the logic lets NDA reach "
-                "%.1f MHz vs the baseline's %.1f MHz.\n",
-                TimingModel::frequencyMhz(CoreConfig::mega(),
-                                          Scheme::Nda),
-                TimingModel::frequencyMhz(CoreConfig::mega(),
-                                          Scheme::Baseline));
-    std::printf("Conclusion (paper Sec. 5.1): the IPC benefit of "
-                "keeping the logic is marginal for NDA, while removing "
-                "it simplifies timing.\n");
-    return 0;
+    return sb::runScenarioMain("ablation_l1hit");
 }

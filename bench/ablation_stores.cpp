@@ -1,77 +1,16 @@
 /**
  * @file
- * Ablation of paper Sec. 9.2: partial store issue and store-to-load
- * forwarding errors on 548.exchange2.
- *
- * Single-taint STT-Rename blocks a store's address generation when
- * its *data* operand is tainted, so younger loads bypass unknown
- * store addresses and get flushed when the address finally appears.
- * The two-taint optimization (one YRoT per store operand) restores
- * the partial address issue; STT-Issue avoids the problem naturally.
+ * Thin wrapper over the "ablation_stores" scenario
+ * (src/harness/scenarios.cc): store taints and store-to-load
+ * forwarding errors on 548.exchange2 (paper Sec. 9.2). The unified
+ * driver (tools/sbsim.cpp) runs the same definition with
+ * cross-scenario dedup and the result cache.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
+#include "harness/scenario.hh"
 
 int
 main()
 {
-    using namespace sb;
-
-    std::printf("=== Ablation (Sec. 9.2): store taints and forwarding "
-                "errors on 548.exchange2 ===\n\n");
-
-    struct Variant
-    {
-        const char *label;
-        SchemeConfig cfg;
-    };
-    std::vector<Variant> variants;
-    {
-        SchemeConfig c;
-        variants.push_back({"Baseline", c});
-        c.scheme = Scheme::SttRename;
-        variants.push_back({"STT-Rename (single taint)", c});
-        c.twoTaintStores = true;
-        variants.push_back({"STT-Rename (two-taint stores)", c});
-        SchemeConfig i;
-        i.scheme = Scheme::SttIssue;
-        variants.push_back({"STT-Issue", i});
-        SchemeConfig n;
-        n.scheme = Scheme::Nda;
-        variants.push_back({"NDA", n});
-    }
-
-    std::vector<RunSpec> specs;
-    for (const auto &v : variants) {
-        RunSpec s;
-        s.core = CoreConfig::mega();
-        s.scheme = v.cfg;
-        s.workload = "548.exchange2";
-        s.measureInsts = 150000;
-        specs.push_back(std::move(s));
-    }
-    ExperimentRunner runner;
-    const auto outcomes = runner.runAll(specs);
-
-    const double base_ipc = outcomes.front().ipc;
-    TextTable t;
-    t.header({"variant", "IPC", "relative", "forwarding errors",
-              "scheme blocks"});
-    for (std::size_t i = 0; i < variants.size(); ++i) {
-        const auto &o = outcomes[i];
-        t.row({variants[i].label, TextTable::num(o.ipc, 3),
-               TextTable::pct(o.ipc / base_ipc),
-               std::to_string(o.stat("mem_order_violations")),
-               std::to_string(o.stat("scheme_select_blocks"))});
-    }
-    std::printf("%s\n", t.render().c_str());
-
-    std::printf("Paper observation: STT-Rename suffered ~1350x the "
-                "forwarding errors of NDA on exchange2 (abs IPC 1.44 "
-                "vs 1.77);\nthe two-taint optimization and STT-Issue "
-                "both eliminate the error storm.\n");
-    return 0;
+    return sb::runScenarioMain("ablation_stores");
 }

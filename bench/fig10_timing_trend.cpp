@@ -1,57 +1,15 @@
 /**
  * @file
- * Reproduces Figure 10: best relative synthesis timing of each
- * scheme against the absolute baseline IPC of the configuration.
- * Paper shape: NDA flat at ~1.0; STT-Issue drops early then flattens;
- * STT-Rename degrades increasingly with wider configurations.
+ * Thin wrapper over the "fig10" scenario (src/harness/scenarios.cc):
+ * best relative synthesis timing against absolute baseline IPC.
+ * The unified driver (tools/sbsim.cpp) runs the same definition with
+ * cross-scenario dedup and the result cache.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-#include "harness/reporting.hh"
-#include "synth/timing_model.hh"
+#include "harness/scenario.hh"
 
 int
 main()
 {
-    using namespace sb;
-
-    std::printf("=== Figure 10: relative timing vs absolute IPC ===\n\n");
-
-    // Baseline IPC per configuration (simulated).
-    SchemeConfig baseline;
-    const auto configs = CoreConfig::boomPresets();
-    ExperimentRunner runner;
-    const auto outcomes =
-        runner.runAll(suiteSpecs(configs, {baseline}, 100000));
-
-    TextTable t;
-    t.header({"config", "abs IPC", "STT-Rename", "STT-Issue", "NDA"});
-    std::map<Scheme, std::vector<double>> xs, ys;
-    for (const auto &cfg : configs) {
-        const auto base =
-            aggregate(filter(outcomes, cfg.name, Scheme::Baseline));
-        std::vector<std::string> row{cfg.name,
-                                     TextTable::num(base.meanIpc, 3)};
-        for (Scheme s : {Scheme::SttRename, Scheme::SttIssue,
-                         Scheme::Nda}) {
-            const double rel = TimingModel::relativeFrequency(cfg, s);
-            xs[s].push_back(base.meanIpc);
-            ys[s].push_back(rel);
-            row.push_back(TextTable::pct(rel));
-        }
-        t.row(row);
-    }
-    std::printf("%s\n", t.render().c_str());
-
-    for (Scheme s : {Scheme::SttRename, Scheme::SttIssue, Scheme::Nda}) {
-        const LinearFit fit = fitLine(xs[s], ys[s]);
-        std::printf("  %-11s rel-timing = %.3f %+.3f * IPC\n",
-                    schemeName(s), fit.intercept, fit.slope);
-    }
-    std::printf("\nShape check: NDA ~flat at 1.0; STT-Rename slope "
-                "most negative (paper Sec. 8.3).\n");
-    return 0;
+    return sb::runScenarioMain("fig10");
 }

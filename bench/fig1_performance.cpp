@@ -1,83 +1,15 @@
 /**
  * @file
- * Reproduces Figure 1: normalized performance (IPC x timing) of the
- * secure schemes against the absolute baseline IPC of each core
- * configuration, with the linear trend the paper extrapolates from.
- * Paper Mega points: STT-Rename 0.65, STT-Issue 0.73, NDA 0.78.
+ * Thin wrapper over the "fig1" scenario (src/harness/scenarios.cc):
+ * normalized performance (IPC x timing) vs absolute baseline IPC.
+ * The unified driver (tools/sbsim.cpp) runs the same definition with
+ * cross-scenario dedup and the result cache.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-#include "harness/reporting.hh"
-#include "synth/timing_model.hh"
+#include "harness/scenario.hh"
 
 int
 main()
 {
-    using namespace sb;
-
-    std::printf("=== Figure 1: normalized performance (IPC x timing) "
-                "vs absolute IPC ===\n\n");
-
-    std::vector<SchemeConfig> schemes;
-    for (Scheme s : {Scheme::Baseline, Scheme::SttRename,
-                     Scheme::SttIssue, Scheme::Nda}) {
-        SchemeConfig c;
-        c.scheme = s;
-        schemes.push_back(c);
-    }
-    const auto configs = CoreConfig::boomPresets();
-    ExperimentRunner runner;
-    const auto outcomes =
-        runner.runAll(suiteSpecs(configs, schemes, 100000));
-
-    TextTable t;
-    t.header({"config", "base IPC", "STT-Rename", "STT-Issue", "NDA"});
-
-    std::map<Scheme, std::vector<double>> xs, ys;
-    for (const auto &cfg : configs) {
-        const auto base =
-            aggregate(filter(outcomes, cfg.name, Scheme::Baseline));
-        std::vector<std::string> row{cfg.name,
-                                     TextTable::num(base.meanIpc, 3)};
-        for (Scheme s : {Scheme::SttRename, Scheme::SttIssue,
-                         Scheme::Nda}) {
-            const auto agg = aggregate(filter(outcomes, cfg.name, s));
-            const double perf = (agg.meanIpc / base.meanIpc)
-                                * TimingModel::relativeFrequency(cfg, s);
-            xs[s].push_back(base.meanIpc);
-            ys[s].push_back(perf);
-            row.push_back(TextTable::num(perf, 3));
-        }
-        t.row(row);
-    }
-    t.row({"paper (Mega)", "1.27", "0.65", "0.73", "0.78"});
-    std::printf("%s\n", t.render().c_str());
-
-    std::printf("Linear trends (performance vs absolute IPC) and the "
-                "Redwood Cove point (IPC %.2f):\n",
-                IntelReference::specIpc);
-    for (Scheme s : {Scheme::SttRename, Scheme::SttIssue, Scheme::Nda}) {
-        const LinearFit fit = fitLine(xs[s], ys[s]);
-        std::printf("  %-11s perf = %.3f %+.3f * IPC   -> linear at "
-                    "Intel: %.3f, half-slope: %.3f\n",
-                    schemeName(s), fit.intercept, fit.slope,
-                    fit.at(IntelReference::specIpc),
-                    fit.atHalfSlope(IntelReference::specIpc,
-                                    xs[s].back(), ys[s].back()));
-    }
-
-    std::printf("\nFigure 1 scatter (x = absolute IPC, # at relative "
-                "performance):\n");
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-        std::printf("  IPC %.2f  STT-R |%-40s|\n", xs[Scheme::SttRename][i],
-                    bar(ys[Scheme::SttRename][i]).c_str());
-        std::printf("           STT-I |%-40s|\n",
-                    bar(ys[Scheme::SttIssue][i]).c_str());
-        std::printf("           NDA   |%-40s|\n",
-                    bar(ys[Scheme::Nda][i]).c_str());
-    }
-    return 0;
+    return sb::runScenarioMain("fig1");
 }

@@ -1,72 +1,15 @@
 /**
  * @file
- * Reproduces Figure 6: per-benchmark IPC normalised to the unsafe
- * baseline for STT-Rename, STT-Issue and NDA on the Mega BOOM
- * configuration, plus the Sec. 8.1 suite means (paper: 81.9 %,
- * 84.5 %, 73.6 % of baseline).
+ * Thin wrapper over the "fig6" scenario (src/harness/scenarios.cc):
+ * per-benchmark IPC normalised to the unsafe baseline on Mega BOOM.
+ * The unified driver (tools/sbsim.cpp) runs the same definition with
+ * cross-scenario dedup and the result cache.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-#include "harness/reporting.hh"
-#include "trace/spec_suite.hh"
+#include "harness/scenario.hh"
 
 int
 main()
 {
-    using namespace sb;
-
-    std::printf("=== Figure 6: normalized IPC per benchmark, "
-                "Mega BOOM ===\n\n");
-
-    std::vector<SchemeConfig> schemes;
-    for (Scheme s : {Scheme::Baseline, Scheme::SttRename,
-                     Scheme::SttIssue, Scheme::Nda}) {
-        SchemeConfig c;
-        c.scheme = s;
-        schemes.push_back(c);
-    }
-
-    ExperimentRunner runner;
-    const auto outcomes =
-        runner.runAll(suiteSpecs({CoreConfig::mega()}, schemes));
-
-    const auto base = aggregate(filter(outcomes, "mega",
-                                       Scheme::Baseline));
-    const auto rename = aggregate(filter(outcomes, "mega",
-                                         Scheme::SttRename));
-    const auto issue = aggregate(filter(outcomes, "mega",
-                                        Scheme::SttIssue));
-    const auto nda = aggregate(filter(outcomes, "mega", Scheme::Nda));
-
-    TextTable t;
-    t.header({"benchmark", "base IPC", "STT-Rename", "STT-Issue",
-              "NDA"});
-    for (const auto &name : SpecSuite::benchmarkNames()) {
-        const double b = base.perBench.at(name);
-        t.row({name, TextTable::num(b, 3),
-               TextTable::pct(rename.perBench.at(name) / b),
-               TextTable::pct(issue.perBench.at(name) / b),
-               TextTable::pct(nda.perBench.at(name) / b)});
-    }
-    t.row({"suite mean (SPEC method)", TextTable::num(base.meanIpc, 3),
-           TextTable::pct(rename.meanIpc / base.meanIpc),
-           TextTable::pct(issue.meanIpc / base.meanIpc),
-           TextTable::pct(nda.meanIpc / base.meanIpc)});
-    t.row({"paper suite mean", "1.27", "81.9%", "84.5%", "73.6%"});
-    std::printf("%s\n", t.render().c_str());
-
-    std::printf("Figure 6 bars (normalized IPC, # = 2.5%%):\n");
-    for (const auto &name : SpecSuite::benchmarkNames()) {
-        const double b = base.perBench.at(name);
-        std::printf("  %-16s STT-R |%-40s|\n", name.c_str(),
-                    bar(rename.perBench.at(name) / b).c_str());
-        std::printf("  %-16s STT-I |%-40s|\n", "",
-                    bar(issue.perBench.at(name) / b).c_str());
-        std::printf("  %-16s NDA   |%-40s|\n", "",
-                    bar(nda.perBench.at(name) / b).c_str());
-    }
-    return 0;
+    return sb::runScenarioMain("fig6");
 }

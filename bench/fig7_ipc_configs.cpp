@@ -1,68 +1,15 @@
 /**
  * @file
- * Reproduces Figure 7 (a/b/c): per-benchmark IPC normalised to the
- * unsafe baseline, for each of the four BOOM configurations, for
- * STT-Rename, STT-Issue, and NDA. Paper shape: the average
- * normalised IPC worsens as the core gets wider, consistently across
- * benchmarks except the insensitive ones (bwaves, roms).
+ * Thin wrapper over the "fig7" scenario (src/harness/scenarios.cc):
+ * per-benchmark normalized IPC for each BOOM configuration.
+ * The unified driver (tools/sbsim.cpp) runs the same definition with
+ * cross-scenario dedup and the result cache.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-#include "harness/reporting.hh"
-#include "trace/spec_suite.hh"
+#include "harness/scenario.hh"
 
 int
 main()
 {
-    using namespace sb;
-
-    std::printf("=== Figure 7: normalized IPC per configuration ===\n");
-
-    std::vector<SchemeConfig> schemes;
-    for (Scheme s : {Scheme::Baseline, Scheme::SttRename,
-                     Scheme::SttIssue, Scheme::Nda}) {
-        SchemeConfig c;
-        c.scheme = s;
-        schemes.push_back(c);
-    }
-    const auto configs = CoreConfig::boomPresets();
-    ExperimentRunner runner;
-    const auto outcomes =
-        runner.runAll(suiteSpecs(configs, schemes, 100000));
-
-    for (Scheme s : {Scheme::SttRename, Scheme::SttIssue, Scheme::Nda}) {
-        std::printf("\n--- Figure 7: %s ---\n", schemeName(s));
-        TextTable t;
-        t.header({"benchmark", "small", "medium", "large", "mega"});
-        for (const auto &name : SpecSuite::benchmarkNames()) {
-            std::vector<std::string> row{name};
-            for (const auto &cfg : configs) {
-                const auto base = aggregate(
-                    filter(outcomes, cfg.name, Scheme::Baseline));
-                const auto agg = aggregate(filter(outcomes, cfg.name, s));
-                row.push_back(TextTable::pct(agg.perBench.at(name)
-                                             / base.perBench.at(name)));
-            }
-            t.row(row);
-        }
-        std::vector<std::string> mean_row{"suite mean"};
-        for (const auto &cfg : configs) {
-            const auto base =
-                aggregate(filter(outcomes, cfg.name, Scheme::Baseline));
-            const auto agg = aggregate(filter(outcomes, cfg.name, s));
-            mean_row.push_back(TextTable::pct(agg.meanIpc
-                                              / base.meanIpc));
-        }
-        t.row(mean_row);
-        std::printf("%s", t.render().c_str());
-    }
-
-    std::printf("\nPaper suite-mean IPC losses for comparison "
-                "(Table 5): Medium 7.3/6.4/10.7%%, Large "
-                "11.3/10.0/18.6%%, Mega 17.6/15.8/22.4%% for "
-                "STT-Rename/STT-Issue/NDA.\n");
-    return 0;
+    return sb::runScenarioMain("fig7");
 }

@@ -1,69 +1,15 @@
 /**
  * @file
- * Reproduces Figure 8: relative IPC of each scheme against the
- * absolute baseline IPC of the configuration, with the linear trend
- * used to estimate the IPC loss of a Redwood Cove class processor
- * (paper: upward of 20 % loss at IPC 2.03).
+ * Thin wrapper over the "fig8" scenario (src/harness/scenarios.cc):
+ * relative IPC against absolute baseline IPC with the linear trend.
+ * The unified driver (tools/sbsim.cpp) runs the same definition with
+ * cross-scenario dedup and the result cache.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-#include "harness/reporting.hh"
+#include "harness/scenario.hh"
 
 int
 main()
 {
-    using namespace sb;
-
-    std::printf("=== Figure 8: relative IPC vs absolute baseline IPC "
-                "===\n\n");
-
-    std::vector<SchemeConfig> schemes;
-    for (Scheme s : {Scheme::Baseline, Scheme::SttRename,
-                     Scheme::SttIssue, Scheme::Nda}) {
-        SchemeConfig c;
-        c.scheme = s;
-        schemes.push_back(c);
-    }
-    const auto configs = CoreConfig::boomPresets();
-    ExperimentRunner runner;
-    const auto outcomes =
-        runner.runAll(suiteSpecs(configs, schemes, 100000));
-
-    TextTable t;
-    t.header({"config", "abs IPC", "STT-Rename", "STT-Issue", "NDA"});
-    std::map<Scheme, std::vector<double>> xs, ys;
-    for (const auto &cfg : configs) {
-        const auto base =
-            aggregate(filter(outcomes, cfg.name, Scheme::Baseline));
-        std::vector<std::string> row{cfg.name,
-                                     TextTable::num(base.meanIpc, 3)};
-        for (Scheme s : {Scheme::SttRename, Scheme::SttIssue,
-                         Scheme::Nda}) {
-            const auto agg = aggregate(filter(outcomes, cfg.name, s));
-            const double rel = agg.meanIpc / base.meanIpc;
-            xs[s].push_back(base.meanIpc);
-            ys[s].push_back(rel);
-            row.push_back(TextTable::pct(rel));
-        }
-        t.row(row);
-    }
-    std::printf("%s\n", t.render().c_str());
-
-    std::printf("Linear trends and the Redwood Cove estimate "
-                "(IPC %.2f):\n", IntelReference::specIpc);
-    for (Scheme s : {Scheme::SttRename, Scheme::SttIssue, Scheme::Nda}) {
-        const LinearFit fit = fitLine(xs[s], ys[s]);
-        const double at_intel = fit.at(IntelReference::specIpc);
-        std::printf("  %-11s rel-IPC = %.3f %+.3f * IPC -> %.3f at "
-                    "Intel (%.1f%% loss; paper predicts > 20%%)\n",
-                    schemeName(s), fit.intercept, fit.slope, at_intel,
-                    (1.0 - at_intel) * 100.0);
-    }
-
-    std::printf("\nShape check: relative IPC must fall as absolute IPC "
-                "rises (negative slopes above).\n");
-    return 0;
+    return sb::runScenarioMain("fig8");
 }

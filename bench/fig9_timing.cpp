@@ -1,63 +1,14 @@
 /**
  * @file
- * Reproduces Figure 9: achieved synthesis frequency (MHz) for every
- * scheme on the four BOOM configurations. Paper shape: NDA matches
- * or beats baseline everywhere; STT-Rename degrades sharply with
- * width (80 % of baseline at Mega); STT-Issue pays a flat cost.
+ * Thin wrapper over the "fig9" scenario (src/harness/scenarios.cc):
+ * achieved synthesis frequency per scheme and configuration
+ * (model-only, no simulation cells).
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "synth/timing_model.hh"
+#include "harness/scenario.hh"
 
 int
 main()
 {
-    using namespace sb;
-
-    std::printf("=== Figure 9: achieved frequency (MHz) per "
-                "configuration ===\n\n");
-
-    const auto configs = CoreConfig::boomPresets();
-    const Scheme schemes[] = {Scheme::Baseline, Scheme::SttRename,
-                              Scheme::SttIssue, Scheme::Nda};
-
-    TextTable t;
-    t.header({"scheme", "Small", "Medium", "Large", "Mega"});
-    for (Scheme s : schemes) {
-        std::vector<std::string> row{schemeName(s)};
-        for (const auto &cfg : configs) {
-            row.push_back(TextTable::num(
-                TimingModel::frequencyMhz(cfg, s), 1));
-        }
-        t.row(row);
-    }
-    std::printf("%s\n", t.render().c_str());
-
-    TextTable r;
-    r.header({"scheme (relative)", "Small", "Medium", "Large", "Mega",
-              "paper Mega"});
-    const char *paper[] = {"100%", "~79%", "~87%", "~100%"};
-    int i = 0;
-    for (Scheme s : schemes) {
-        std::vector<std::string> row{schemeName(s)};
-        for (const auto &cfg : configs) {
-            row.push_back(TextTable::pct(
-                TimingModel::relativeFrequency(cfg, s)));
-        }
-        row.push_back(paper[i++]);
-        r.row(row);
-    }
-    std::printf("%s\n", r.render().c_str());
-
-    std::printf("Critical-path breakdown (Mega, gate-depth units):\n");
-    for (Scheme s : schemes) {
-        const auto b = TimingModel::analyze(CoreConfig::mega(), s);
-        std::printf("  %-11s rename=%6.1f issue=%6.1f bypass=%6.1f "
-                    "-> critical=%6.1f (%.1f MHz)\n",
-                    schemeName(s), b.renameStage, b.issueStage,
-                    b.bypassNetwork, b.criticalPath, b.frequencyMhz);
-    }
-    return 0;
+    return sb::runScenarioMain("fig9");
 }

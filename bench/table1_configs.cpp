@@ -1,49 +1,15 @@
 /**
  * @file
- * Reproduces Table 1: the four BOOM configurations with their key
- * characteristics and the absolute SPEC CPU2017 IPC of the unsafe
- * baseline (paper: 0.46 / 0.60 / 0.943 / 1.27; Redwood Cove 2.03 as
- * an external reference point).
+ * Thin wrapper over the "table1" scenario (src/harness/scenarios.cc):
+ * the four BOOM configurations and their baseline SPEC2017 IPC.
+ * The unified driver (tools/sbsim.cpp) runs the same definition with
+ * cross-scenario dedup and the result cache.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-#include "harness/reporting.hh"
+#include "harness/scenario.hh"
 
 int
 main()
 {
-    using namespace sb;
-
-    std::printf("=== Table 1: BOOM configurations and baseline "
-                "SPEC2017 IPC ===\n\n");
-
-    SchemeConfig baseline;
-    const auto configs = CoreConfig::boomPresets();
-    ExperimentRunner runner;
-    const auto outcomes = runner.runAll(suiteSpecs(configs, {baseline}));
-
-    TextTable t;
-    t.header({"", "Small", "Medium", "Large", "Mega", "Intel (ref)"});
-    t.row({"Core Width", "1", "2", "3", "4", "6"});
-    t.row({"Memory Ports", "1", "1", "1", "2", "3+2"});
-    t.row({"ROB Entries", "32", "64", "96", "128", "512"});
-
-    std::vector<std::string> ipc_row{"SPEC2017 IPC (measured)"};
-    std::vector<std::string> paper_row{"SPEC2017 IPC (paper)"};
-    for (const auto &cfg : configs) {
-        const auto agg =
-            aggregate(filter(outcomes, cfg.name, Scheme::Baseline));
-        ipc_row.push_back(TextTable::num(agg.meanIpc, 3));
-    }
-    ipc_row.push_back("2.03");
-    for (const char *v : {"0.46", "0.60", "0.943", "1.27", "2.03"})
-        paper_row.push_back(v);
-    t.row(ipc_row);
-    t.row(paper_row);
-
-    std::printf("%s\n", t.render().c_str());
-    return 0;
+    return sb::runScenarioMain("table1");
 }

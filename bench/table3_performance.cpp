@@ -1,70 +1,15 @@
 /**
  * @file
- * Reproduces Table 3: normalized performance (IPC x timing) per
- * configuration, with the halved-slope linear estimate for an Intel
- * Redwood Cove class processor. Paper values:
- *   STT-Rename 0.98 0.93 0.84 0.65 | Intel 0.53
- *   STT-Issue  0.98 0.86 0.81 0.73 | Intel 0.62
- *   NDA        1.01 0.88 0.80 0.78 | Intel 0.66
+ * Thin wrapper over the "table3" scenario (src/harness/scenarios.cc):
+ * normalized performance per configuration with the half-slope Intel
+ * estimate. The unified driver (tools/sbsim.cpp) runs the same
+ * definition with cross-scenario dedup and the result cache.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-#include "harness/reporting.hh"
-#include "synth/timing_model.hh"
+#include "harness/scenario.hh"
 
 int
 main()
 {
-    using namespace sb;
-
-    std::printf("=== Table 3: normalized performance per "
-                "configuration ===\n\n");
-
-    std::vector<SchemeConfig> schemes;
-    for (Scheme s : {Scheme::Baseline, Scheme::SttRename,
-                     Scheme::SttIssue, Scheme::Nda}) {
-        SchemeConfig c;
-        c.scheme = s;
-        schemes.push_back(c);
-    }
-    const auto configs = CoreConfig::boomPresets();
-    ExperimentRunner runner;
-    const auto outcomes =
-        runner.runAll(suiteSpecs(configs, schemes, 100000));
-
-    TextTable t;
-    t.header({"scheme", "Small", "Medium", "Large", "Mega",
-              "Intel (half-slope)", "paper row"});
-    const char *paper[] = {"0.98 0.93 0.84 0.65 | 0.53",
-                           "0.98 0.86 0.81 0.73 | 0.62",
-                           "1.01 0.88 0.80 0.78 | 0.66"};
-    int pi = 0;
-    for (Scheme s : {Scheme::SttRename, Scheme::SttIssue, Scheme::Nda}) {
-        std::vector<double> xs, ys;
-        std::vector<std::string> row{schemeName(s)};
-        for (const auto &cfg : configs) {
-            const auto base =
-                aggregate(filter(outcomes, cfg.name, Scheme::Baseline));
-            const auto agg = aggregate(filter(outcomes, cfg.name, s));
-            const double perf = (agg.meanIpc / base.meanIpc)
-                                * TimingModel::relativeFrequency(cfg, s);
-            xs.push_back(base.meanIpc);
-            ys.push_back(perf);
-            row.push_back(TextTable::num(perf, 2));
-        }
-        const LinearFit fit = fitLine(xs, ys);
-        row.push_back(TextTable::num(
-            fit.atHalfSlope(IntelReference::specIpc, xs.back(),
-                            ys.back()),
-            2));
-        row.push_back(paper[pi++]);
-        t.row(row);
-    }
-    std::printf("%s\n", t.render().c_str());
-    std::printf("Performance = (suite-mean IPC relative to baseline) x "
-                "(relative synthesis frequency).\n");
-    return 0;
+    return sb::runScenarioMain("table3");
 }

@@ -1,56 +1,14 @@
 /**
  * @file
- * Reproduces Table 4: LUTs, flip-flops, and power for every scheme,
- * normalised to the unsafe baseline (synthesised at 50 MHz on the
- * Mega configuration). Paper values: STT-Rename 1.060/1.094/1.008,
- * STT-Issue 1.059/1.039/1.026, NDA 0.980/1.027/0.936.
+ * Thin wrapper over the "table4" scenario (src/harness/scenarios.cc):
+ * LUT/FF/power per scheme relative to baseline (model-only, no
+ * simulation cells).
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "synth/area_model.hh"
-#include "synth/power_model.hh"
+#include "harness/scenario.hh"
 
 int
 main()
 {
-    using namespace sb;
-
-    std::printf("=== Table 4: area and power, normalised to baseline "
-                "(Mega) ===\n\n");
-
-    const CoreConfig mega = CoreConfig::mega();
-
-    TextTable t;
-    t.header({"scheme", "LUTs", "FFs", "Power", "paper (LUT/FF/P)"});
-    const char *paper[] = {"1.060 / 1.094 / 1.008",
-                           "1.059 / 1.039 / 1.026",
-                           "0.980 / 1.027 / 0.936"};
-    int i = 0;
-    for (Scheme s : {Scheme::SttRename, Scheme::SttIssue, Scheme::Nda}) {
-        const AreaEstimate rel = AreaModel::relative(mega, s);
-        t.row({schemeName(s), TextTable::num(rel.luts, 3),
-               TextTable::num(rel.ffs, 3),
-               TextTable::num(PowerModel::relative(mega, s), 3),
-               paper[i++]});
-    }
-    std::printf("%s\n", t.render().c_str());
-
-    std::printf("Absolute structure estimates (arbitrary units):\n");
-    for (Scheme s : {Scheme::Baseline, Scheme::SttRename,
-                     Scheme::SttIssue, Scheme::Nda}) {
-        const AreaEstimate a = AreaModel::estimate(mega, s);
-        std::printf("  %-11s LUTs=%8.0f FFs=%8.0f\n", schemeName(s),
-                    a.luts, a.ffs);
-    }
-
-    std::printf("\nExtension: NDA-Strict area/power (not in the "
-                "paper):\n");
-    const AreaEstimate strict = AreaModel::relative(mega,
-                                                    Scheme::NdaStrict);
-    std::printf("  NDA-Strict  LUTs=%.3f FFs=%.3f Power=%.3f\n",
-                strict.luts, strict.ffs,
-                PowerModel::relative(mega, Scheme::NdaStrict));
-    return 0;
+    return sb::runScenarioMain("table4");
 }

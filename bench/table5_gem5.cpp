@@ -1,82 +1,15 @@
 /**
  * @file
- * Reproduces Table 5: IPC loss on the BOOM Medium/Large/Mega
- * configurations next to runs using the original papers' gem5-style
- * configurations (STT's window-rich single-cycle-L1 setup and NDA's
- * Haswell-like setup, Sec. 9.5). Paper: gem5-STT baseline IPC 1.12
- * with 17.2 % STT-Rename loss; gem5-NDA baseline 0.79 with 13.0 %
- * NDA loss — simulator configuration choices shift the conclusion.
+ * Thin wrapper over the "table5" scenario (src/harness/scenarios.cc):
+ * BOOM configurations next to the original papers' gem5-style setups.
+ * The unified driver (tools/sbsim.cpp) runs the same definition with
+ * cross-scenario dedup and the result cache.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-#include "harness/reporting.hh"
-
-namespace
-{
-
-double
-lossPct(double base, double scheme)
-{
-    return (1.0 - scheme / base) * 100.0;
-}
-
-} // anonymous namespace
+#include "harness/scenario.hh"
 
 int
 main()
 {
-    using namespace sb;
-
-    std::printf("=== Table 5: BOOM vs gem5-style configurations ===\n\n");
-
-    std::vector<SchemeConfig> schemes;
-    for (Scheme s : {Scheme::Baseline, Scheme::SttRename,
-                     Scheme::SttIssue, Scheme::Nda}) {
-        SchemeConfig c;
-        c.scheme = s;
-        schemes.push_back(c);
-    }
-    const std::vector<CoreConfig> configs = {
-        CoreConfig::medium(), CoreConfig::large(), CoreConfig::mega(),
-        CoreConfig::gem5Stt(), CoreConfig::gem5Nda(),
-    };
-    ExperimentRunner runner;
-    const auto outcomes =
-        runner.runAll(suiteSpecs(configs, schemes, 100000));
-
-    TextTable t;
-    t.header({"configuration", "base IPC", "STT-Rename loss",
-              "STT-Issue loss", "NDA loss"});
-    for (const auto &cfg : configs) {
-        const auto base =
-            aggregate(filter(outcomes, cfg.name, Scheme::Baseline));
-        const auto rename =
-            aggregate(filter(outcomes, cfg.name, Scheme::SttRename));
-        const auto issue =
-            aggregate(filter(outcomes, cfg.name, Scheme::SttIssue));
-        const auto nda =
-            aggregate(filter(outcomes, cfg.name, Scheme::Nda));
-        t.row({cfg.name, TextTable::num(base.meanIpc, 2),
-               TextTable::num(lossPct(base.meanIpc, rename.meanIpc), 1)
-                   + "%",
-               TextTable::num(lossPct(base.meanIpc, issue.meanIpc), 1)
-                   + "%",
-               TextTable::num(lossPct(base.meanIpc, nda.meanIpc), 1)
-                   + "%"});
-    }
-    t.row({"paper BOOM Medium", "0.54", "7.3%", "6.4%", "10.7%"});
-    t.row({"paper BOOM Large", "0.83", "11.3%", "10.0%", "18.6%"});
-    t.row({"paper BOOM Mega", "1.09", "17.6%", "15.8%", "22.4%"});
-    t.row({"paper gem5 (STT cfg)", "1.12", "17.2%", "N/A", "-"});
-    t.row({"paper gem5 (NDA cfg)", "0.79", "-", "N/A", "13.0%"});
-    std::printf("%s\n", t.render().c_str());
-
-    std::printf("Shape check (Sec. 9.5): the gem5-STT configuration's "
-                "single-cycle L1 and large window yield a higher\n"
-                "baseline IPC; the gem5-NDA configuration lands "
-                "between Medium and Large with a milder NDA loss.\n");
-    return 0;
+    return sb::runScenarioMain("table5");
 }

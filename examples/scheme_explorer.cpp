@@ -13,7 +13,7 @@
 #include <string>
 
 #include "common/table.hh"
-#include "harness/experiment.hh"
+#include "harness/engine.hh"
 #include "synth/area_model.hh"
 #include "synth/power_model.hh"
 #include "synth/timing_model.hh"
@@ -57,8 +57,10 @@ main(int argc, char **argv)
             specs.push_back(std::move(s));
         }
     }
-    ExperimentRunner runner;
-    const auto outcomes = runner.runAll(specs);
+    // The engine dedups identical cells and honours SB_JOBS; a cache
+    // directory could be passed via Options to memoize across runs.
+    ExperimentEngine engine;
+    const auto outcomes = engine.run(specs);
 
     for (std::size_t ci = 0; ci < configs.size(); ++ci) {
         const auto &cfg = configs[ci];

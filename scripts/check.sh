@@ -4,7 +4,9 @@
 #
 #   scripts/check.sh          # Release build + full test suite
 #   scripts/check.sh --asan   # Sanitizer build + full test suite
-#   scripts/check.sh --bench  # Also run the sim-speed benchmark
+#   scripts/check.sh --bench  # Also run sim-speed + the sbsim grid
+#
+# SB_JOBS bounds simulation worker threads (tests and sbsim).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,4 +39,10 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 if [ "$run_bench" = 1 ]; then
     (cd "$build_dir" && ./bench_simspeed)
     echo "sim-speed results: $build_dir/BENCH_simspeed.json"
+    # Full grid through the scenario engine: dedup + result cache make
+    # a warm rerun near-instant; BENCH_gridspeed.json tracks grid
+    # throughput across PRs next to BENCH_simspeed.json.
+    (cd "$build_dir" && ./sbsim all --cache-dir .sbsim-cache > sbsim_all.log)
+    tail -n 12 "$build_dir/sbsim_all.log"
+    echo "grid-speed results: $build_dir/BENCH_gridspeed.json (full report: $build_dir/sbsim_all.log)"
 fi

@@ -1,5 +1,7 @@
 #include "common/config.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace sb
@@ -18,10 +20,65 @@ schemeName(Scheme scheme)
     sb_panic("unknown scheme");
 }
 
+bool
+schemeFromName(const std::string &name, Scheme &out)
+{
+    for (Scheme s : {Scheme::Baseline, Scheme::SttRename,
+                     Scheme::SttIssue, Scheme::Nda, Scheme::NdaStrict}) {
+        if (name == schemeName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::vector<Scheme>
 paperSchemes()
 {
     return {Scheme::SttRename, Scheme::SttIssue, Scheme::Nda};
+}
+
+std::string
+CacheConfig::canonical() const
+{
+    std::ostringstream oss;
+    oss << "size=" << sizeBytes << ";assoc=" << assoc
+        << ";line=" << lineBytes << ";lat=" << latency
+        << ";mshrs=" << mshrs << ";pf=" << (stridePrefetcher ? 1 : 0)
+        << ";pfdeg=" << prefetchDegree;
+    return oss.str();
+}
+
+std::string
+CoreConfig::canonical() const
+{
+    std::ostringstream oss;
+    oss << "name=" << name << ";fw=" << fetchWidth
+        << ";fbuf=" << fetchBufferEntries << ";cw=" << coreWidth
+        << ";iw=" << issueWidth << ";memp=" << memPorts
+        << ";fpp=" << fpPorts << ";rob=" << robEntries
+        << ";iq=" << iqEntries << ";ldq=" << ldqEntries
+        << ";stq=" << stqEntries << ";pregs=" << numPhysRegs
+        << ";br=" << maxBranches << ";alu=" << aluLatency
+        << ";mul=" << mulLatency << ";div=" << divLatency
+        << ";fp=" << fpLatency << ";fpdiv=" << fpDivLatency
+        << ";brlat=" << branchResolveLatency
+        << ";l1d{" << l1d.canonical() << "};l2{" << l2.canonical()
+        << "};mem=" << memLatency
+        << ";specsched=" << (speculativeScheduling ? 1 : 0)
+        << ";festages=" << frontendStages;
+    return oss.str();
+}
+
+std::string
+SchemeConfig::canonical() const
+{
+    std::ostringstream oss;
+    oss << "scheme=" << schemeName(scheme)
+        << ";2taint=" << (twoTaintStores ? 1 : 0)
+        << ";ndaspec=" << (ndaKeepSpeculativeScheduling ? 1 : 0);
+    return oss.str();
 }
 
 CoreConfig

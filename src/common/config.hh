@@ -31,6 +31,13 @@ enum class Scheme
 /** Printable scheme name, matching the paper's labels. */
 const char *schemeName(Scheme scheme);
 
+/**
+ * Inverse of schemeName(). Returns false (leaving @p out untouched)
+ * on an unknown name, so stale cache lines degrade to a miss instead
+ * of an abort.
+ */
+bool schemeFromName(const std::string &name, Scheme &out);
+
 /** All schemes evaluated in the paper, in presentation order. */
 std::vector<Scheme> paperSchemes();
 
@@ -44,6 +51,14 @@ struct CacheConfig
     unsigned mshrs = 8;        ///< Outstanding-miss capacity.
     bool stridePrefetcher = true;
     unsigned prefetchDegree = 6;  ///< Lines fetched ahead per trigger.
+
+    /**
+     * Stable `key=value` serialization covering every field, used to
+     * content-address simulation results (RunSpec::specKey()). Any
+     * new field must be appended here or identical-looking configs
+     * would alias in the result cache.
+     */
+    std::string canonical() const;
 };
 
 /**
@@ -108,6 +123,9 @@ struct CoreConfig
 
     /** The four BOOM presets in width order. */
     static std::vector<CoreConfig> boomPresets();
+
+    /** Stable full-field serialization (see CacheConfig::canonical). */
+    std::string canonical() const;
 };
 
 /** Per-scheme knobs, including the paper's ablations. */
@@ -126,6 +144,9 @@ struct SchemeConfig
      * under NDA instead of removing it.
      */
     bool ndaKeepSpeculativeScheduling = false;
+
+    /** Stable full-field serialization (see CacheConfig::canonical). */
+    std::string canonical() const;
 };
 
 /**

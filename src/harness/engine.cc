@@ -1,0 +1,193 @@
+#include "harness/engine.hh"
+
+#include <chrono>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "harness/result_cache.hh"
+
+namespace sb
+{
+
+ExperimentEngine::ExperimentEngine() : ExperimentEngine(Options{}) {}
+
+ExperimentEngine::ExperimentEngine(Options options)
+    : numJobs(resolveJobs(options.jobs))
+{
+    if (!options.cacheDir.empty()) {
+        diskCache = std::make_unique<ResultCache>(options.cacheDir);
+        // An unusable directory already warned; run uncached.
+        if (!diskCache->ok())
+            diskCache.reset();
+    }
+    // Workers are spawned lazily on the first batch with work, so an
+    // engine that only ever serves cached/model-only requests never
+    // parks idle threads.
+}
+
+ExperimentEngine::~ExperimentEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(poolMutex);
+        shuttingDown = true;
+    }
+    workReady.notify_all();
+    for (auto &t : pool)
+        t.join();
+}
+
+void
+ExperimentEngine::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(poolMutex);
+    while (true) {
+        workReady.wait(lock, [this] {
+            return shuttingDown
+                   || (batchSpecs && nextIndex < batchSpecs->size());
+        });
+        if (shuttingDown)
+            return;
+        while (batchSpecs && nextIndex < batchSpecs->size()) {
+            const std::size_t idx = nextIndex++;
+            const RunSpec &spec = (*batchSpecs)[idx];
+            const std::string &key = (*batchKeys)[idx];
+            std::vector<RunOutcome> *results = batchResults;
+            lock.unlock();
+            RunOutcome out = ExperimentRunner::runOne(spec);
+            // Flush to disk as cells complete so an interrupted grid
+            // run keeps its progress (empty key: cell is banned from
+            // the cache after a collision).
+            if (diskCache && !key.empty())
+                diskCache->store(key, out);
+            lock.lock();
+            (*results)[idx] = std::move(out);
+            if (++completedCount == results->size())
+                batchDone.notify_all();
+        }
+    }
+}
+
+std::vector<RunOutcome>
+ExperimentEngine::run(const std::vector<RunSpec> &specs)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+    accounting.requested += specs.size();
+
+    // Collapse the request onto unique cells (content-addressed).
+    struct Cell
+    {
+        std::string key;
+        const RunSpec *spec;
+        std::vector<std::size_t> users; ///< Input indices served.
+        bool cacheable = true;
+        bool resolved = false;
+        RunOutcome outcome;
+    };
+    std::vector<Cell> cells;
+    std::unordered_map<std::string, std::size_t> cellByKey;
+    cells.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        std::string key = specs[i].specKey();
+        auto it = cellByKey.find(key);
+        if (it != cellByKey.end()) {
+            Cell &prior = cells[it->second];
+            // Dedup only on identical content, not the 64-bit hash
+            // alone: a key collision between distinct specs keeps
+            // both cells and bans the shared cache address.
+            if (prior.spec->canonical() == specs[i].canonical()) {
+                prior.users.push_back(i);
+                ++accounting.dedupHits;
+                continue;
+            }
+            sb_warn("specKey collision (", key, "): '",
+                    prior.spec->canonical(), "' vs '",
+                    specs[i].canonical(), "'; not caching either");
+            prior.cacheable = false;
+            cells.push_back(Cell{std::move(key), &specs[i], {i}, false,
+                                 false, RunOutcome{}});
+            continue;
+        }
+        cellByKey.emplace(key, cells.size());
+        cells.push_back(Cell{std::move(key), &specs[i], {i}, true,
+                             false, RunOutcome{}});
+    }
+
+    // Serve what the disk cache already knows. A hit must also match
+    // the spec on the fields the outcome carries, so a cross-process
+    // key collision (or a hand-edited cache) re-simulates instead of
+    // silently serving another spec's numbers.
+    std::vector<RunSpec> toRun;
+    std::vector<std::string> toRunKeys;
+    std::vector<std::size_t> toRunCell;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        Cell &cell = cells[c];
+        if (diskCache && cell.cacheable
+            && diskCache->lookup(cell.key, cell.outcome)) {
+            if (cell.outcome.workload == cell.spec->workload
+                && cell.outcome.coreName == cell.spec->core.name
+                && cell.outcome.scheme == cell.spec->scheme.scheme) {
+                cell.resolved = true;
+                ++accounting.cacheHits;
+                continue;
+            }
+            // Leave the cell cacheable: the fresh result overwrites
+            // the bad entry (last line wins on load), so a corrupt
+            // entry self-heals instead of re-warning forever.
+            sb_warn("cache entry ", cell.key,
+                    " does not match its spec ('",
+                    cell.spec->canonical(), "'); re-simulating");
+        }
+        toRun.push_back(*cell.spec);
+        // An empty key tells the worker not to store this cell.
+        toRunKeys.push_back(cell.cacheable ? cell.key : std::string());
+        toRunCell.push_back(c);
+    }
+
+    // Simulate the remainder on the persistent pool.
+    std::vector<RunOutcome> ran(toRun.size());
+    if (!toRun.empty()) {
+        if (pool.empty()) {
+            pool.reserve(numJobs);
+            for (unsigned i = 0; i < numJobs; ++i)
+                pool.emplace_back([this] { workerLoop(); });
+        }
+        {
+            std::lock_guard<std::mutex> lock(poolMutex);
+            batchSpecs = &toRun;
+            batchKeys = &toRunKeys;
+            batchResults = &ran;
+            nextIndex = 0;
+            completedCount = 0;
+        }
+        workReady.notify_all();
+        {
+            std::unique_lock<std::mutex> lock(poolMutex);
+            batchDone.wait(lock, [this, &toRun] {
+                return completedCount == toRun.size();
+            });
+            batchSpecs = nullptr;
+            batchKeys = nullptr;
+            batchResults = nullptr;
+        }
+        accounting.simulated += toRun.size();
+    }
+    for (std::size_t j = 0; j < toRunCell.size(); ++j) {
+        cells[toRunCell[j]].outcome = std::move(ran[j]);
+        cells[toRunCell[j]].resolved = true;
+    }
+
+    // Fan unique cells back out to the input order.
+    std::vector<RunOutcome> results(specs.size());
+    for (const Cell &cell : cells) {
+        sb_assert(cell.resolved, "engine: unresolved cell");
+        for (const std::size_t user : cell.users)
+            results[user] = cell.outcome;
+    }
+
+    accounting.wallSeconds +=
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return results;
+}
+
+} // namespace sb

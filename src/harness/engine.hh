@@ -1,0 +1,103 @@
+/**
+ * @file
+ * ExperimentEngine: the grid-scale successor of ExperimentRunner.
+ *
+ * Three things distinguish it from the simple runner:
+ *  - a persistent worker pool (threads live for the engine's
+ *    lifetime, not per batch), sized by resolveJobs() so SB_JOBS and
+ *    --jobs bound simulation parallelism everywhere;
+ *  - in-batch deduplication: specs with the same specKey() are
+ *    simulated once and fanned back out, so scenarios sharing grid
+ *    cells (fig7 / fig8 / table3 / ...) pay for each cell once;
+ *  - an optional content-addressed on-disk result cache
+ *    (ResultCache), making warm reruns of the whole reproduction
+ *    near-instant and letting one figure reuse another's cells across
+ *    process lifetimes.
+ *
+ * Results are returned in input order and are bit-identical to
+ * ExperimentRunner::runOne whichever path (simulated, deduped,
+ * cached) served them.
+ */
+
+#ifndef SB_HARNESS_ENGINE_HH
+#define SB_HARNESS_ENGINE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace sb
+{
+
+class ResultCache;
+
+/** Grid accounting accumulated over every run() batch of one engine. */
+struct EngineStats
+{
+    std::uint64_t requested = 0;  ///< Specs passed to run().
+    std::uint64_t simulated = 0;  ///< Cells actually simulated.
+    std::uint64_t dedupHits = 0;  ///< Duplicates of an in-batch cell.
+    std::uint64_t cacheHits = 0;  ///< Unique cells served from disk.
+    double wallSeconds = 0.0;     ///< Wall-clock spent inside run().
+};
+
+class ExperimentEngine
+{
+  public:
+    struct Options
+    {
+        /** Worker threads; 0 defers to SB_JOBS then hardware. */
+        unsigned jobs = 0;
+        /** Result-cache directory; empty disables the disk cache. */
+        std::string cacheDir;
+    };
+
+    ExperimentEngine();
+    explicit ExperimentEngine(Options options);
+    ~ExperimentEngine();
+
+    ExperimentEngine(const ExperimentEngine &) = delete;
+    ExperimentEngine &operator=(const ExperimentEngine &) = delete;
+
+    /**
+     * Execute every spec; results match the input order. Duplicate
+     * specs and cache hits are not re-simulated.
+     */
+    std::vector<RunOutcome> run(const std::vector<RunSpec> &specs);
+
+    const EngineStats &stats() const { return accounting; }
+    unsigned jobs() const { return numJobs; }
+    /** Null when caching is disabled. */
+    const ResultCache *cache() const { return diskCache.get(); }
+
+  private:
+    void workerLoop();
+
+    unsigned numJobs;
+    std::unique_ptr<ResultCache> diskCache;
+    EngineStats accounting;
+
+    // Persistent-pool state, all guarded by poolMutex. A batch is
+    // published by pointing batchSpecs/batchKeys/batchResults at
+    // run()-local vectors; workers claim indices via nextIndex.
+    std::mutex poolMutex;
+    std::condition_variable workReady;
+    std::condition_variable batchDone;
+    bool shuttingDown = false;
+    const std::vector<RunSpec> *batchSpecs = nullptr;
+    const std::vector<std::string> *batchKeys = nullptr;
+    std::vector<RunOutcome> *batchResults = nullptr;
+    std::size_t nextIndex = 0;
+    std::size_t completedCount = 0;
+    std::vector<std::thread> pool;
+};
+
+} // namespace sb
+
+#endif // SB_HARNESS_ENGINE_HH

@@ -1,6 +1,10 @@
 #include "harness/experiment.hh"
 
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
 #include <thread>
 
 #include "common/logging.hh"
@@ -18,10 +22,53 @@ RunOutcome::stat(const std::string &name) const
     return it == stats.end() ? 0 : it->second;
 }
 
+std::string
+RunSpec::canonical() const
+{
+    std::ostringstream oss;
+    oss << "core{" << core.canonical() << "}|scheme{"
+        << scheme.canonical() << "}|workload=" << workload
+        << "|warmup=" << warmupInsts << "|measure=" << measureInsts
+        << "|maxcycles=" << maxCycles;
+    return oss.str();
+}
+
+std::string
+RunSpec::specKey() const
+{
+    // FNV-1a 64-bit over the canonical serialization.
+    const std::string text = canonical();
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested)
+        return requested;
+    if (const char *env = std::getenv("SB_JOBS")) {
+        char *end = nullptr;
+        errno = 0;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && errno == 0 && v > 0
+            && v <= maxJobs)
+            return static_cast<unsigned>(v);
+        sb_warn("ignoring SB_JOBS='", env, "' (want an integer in [1, ",
+                maxJobs, "])");
+    }
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
 ExperimentRunner::ExperimentRunner(unsigned threads)
-    : numThreads(threads ? threads
-                         : std::max(1u,
-                                    std::thread::hardware_concurrency()))
+    : numThreads(resolveJobs(threads))
 {
 }
 

@@ -26,7 +26,33 @@ struct RunSpec
     std::uint64_t warmupInsts = 30000;
     std::uint64_t measureInsts = 120000;
     std::uint64_t maxCycles = 40'000'000;
+
+    /**
+     * Canonical serialization of everything that determines the
+     * simulation's outcome (the simulator is deterministic, so this
+     * string identifies the run by content).
+     */
+    std::string canonical() const;
+
+    /**
+     * Content hash of canonical() (16 hex chars, FNV-1a 64). Two
+     * specs with the same key compute the same RunOutcome; the
+     * ExperimentEngine uses it for in-batch dedup and as the
+     * result-cache address.
+     */
+    std::string specKey() const;
 };
+
+/** Upper bound on worker threads accepted from SB_JOBS / --jobs. */
+constexpr unsigned maxJobs = 4096;
+
+/**
+ * Worker-thread count policy, used everywhere a runner would
+ * otherwise reach for hardware_concurrency(): an explicit
+ * @p requested wins, then SB_JOBS when it holds an integer in
+ * [1, maxJobs], then the hardware concurrency (min 1).
+ */
+unsigned resolveJobs(unsigned requested);
 
 /** Measured outcome of one simulation (measurement window only). */
 struct RunOutcome
@@ -53,7 +79,7 @@ struct RunOutcome
 class ExperimentRunner
 {
   public:
-    /** @param threads worker count; 0 = hardware concurrency. */
+    /** @param threads worker count; 0 defers to resolveJobs(). */
     explicit ExperimentRunner(unsigned threads = 0);
 
     /** Execute every spec (order of results matches input order). */

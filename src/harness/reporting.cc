@@ -11,8 +11,9 @@ namespace sb
 SuiteAggregate
 aggregate(const std::vector<RunOutcome> &outcomes)
 {
-    sb_assert(!outcomes.empty(), "aggregate of no outcomes");
     SuiteAggregate agg;
+    if (outcomes.empty())
+        return agg;
     agg.coreName = outcomes.front().coreName;
     agg.scheme = outcomes.front().scheme;
 
@@ -41,6 +42,84 @@ filter(const std::vector<RunOutcome> &all, const std::string &core_name,
             out.push_back(o);
     }
     return out;
+}
+
+Json
+toJson(const RunOutcome &outcome)
+{
+    Json stats = Json::object();
+    for (const auto &kv : outcome.stats)
+        stats.set(kv.first, Json::num(kv.second));
+
+    Json j = Json::object();
+    j.set("workload", Json::str(outcome.workload));
+    j.set("core", Json::str(outcome.coreName));
+    j.set("scheme", Json::str(schemeName(outcome.scheme)));
+    j.set("cycles", Json::num(outcome.cycles));
+    j.set("instructions", Json::num(outcome.instructions));
+    j.set("ipc", Json::num(outcome.ipc));
+    j.set("transmit_violations", Json::num(outcome.transmitViolations));
+    j.set("consume_violations", Json::num(outcome.consumeViolations));
+    j.set("stats", std::move(stats));
+    return j;
+}
+
+Json
+toJson(const SuiteAggregate &aggregate)
+{
+    Json per_bench = Json::object();
+    for (const auto &kv : aggregate.perBench)
+        per_bench.set(kv.first, Json::num(kv.second));
+
+    Json j = Json::object();
+    j.set("core", Json::str(aggregate.coreName));
+    j.set("scheme", Json::str(schemeName(aggregate.scheme)));
+    j.set("mean_ipc", Json::num(aggregate.meanIpc));
+    j.set("per_bench", std::move(per_bench));
+    return j;
+}
+
+bool
+outcomeFromJson(const Json &json, RunOutcome &out)
+{
+    if (!json.isObject())
+        return false;
+    const auto hasKind = [&json](const char *key, Json::Kind kind) {
+        return json.has(key) && json.at(key).kind() == kind;
+    };
+    for (const char *key : {"workload", "core", "scheme"}) {
+        if (!hasKind(key, Json::Kind::String))
+            return false;
+    }
+    for (const char *key : {"cycles", "instructions",
+                            "transmit_violations",
+                            "consume_violations"}) {
+        if (!hasKind(key, Json::Kind::Uint))
+            return false;
+    }
+    if (!hasKind("stats", Json::Kind::Object))
+        return false;
+    for (const auto &kv : json.at("stats").fields()) {
+        if (kv.second.kind() != Json::Kind::Uint)
+            return false;
+    }
+    RunOutcome o;
+    o.workload = json.at("workload").asString();
+    o.coreName = json.at("core").asString();
+    if (!schemeFromName(json.at("scheme").asString(), o.scheme))
+        return false;
+    o.cycles = json.at("cycles").asUint();
+    o.instructions = json.at("instructions").asUint();
+    o.ipc = o.cycles == 0
+                ? 0.0
+                : static_cast<double>(o.instructions)
+                      / static_cast<double>(o.cycles);
+    o.transmitViolations = json.at("transmit_violations").asUint();
+    o.consumeViolations = json.at("consume_violations").asUint();
+    for (const auto &kv : json.at("stats").fields())
+        o.stats[kv.first] = kv.second.asUint();
+    out = std::move(o);
+    return true;
 }
 
 LinearFit

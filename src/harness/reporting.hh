@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/json.hh"
 #include "harness/experiment.hh"
 
 namespace sb
@@ -31,13 +32,35 @@ struct SuiteAggregate
     std::map<std::string, double> perBench;
 };
 
-/** Compute the suite aggregate over outcomes of one (config, scheme). */
+/**
+ * Compute the suite aggregate over outcomes of one (config, scheme).
+ * An empty input (e.g. a filter() miss) yields a zeroed aggregate
+ * with no benchmarks rather than dividing by zero.
+ */
 SuiteAggregate aggregate(const std::vector<RunOutcome> &outcomes);
 
-/** Select outcomes matching (core, scheme) from a mixed result set. */
+/**
+ * Select outcomes matching (core, scheme) from a mixed result set.
+ * An unknown core name or scheme simply selects nothing; combined
+ * with aggregate()'s empty-input behaviour the pipeline is total.
+ */
 std::vector<RunOutcome> filter(const std::vector<RunOutcome> &all,
                                const std::string &core_name,
                                Scheme scheme);
+
+/** JSON form of one measured cell (see README "Cache layout"). */
+Json toJson(const RunOutcome &outcome);
+
+/** JSON form of one suite-level (config, scheme) aggregate. */
+Json toJson(const SuiteAggregate &aggregate);
+
+/**
+ * Rebuild a RunOutcome from toJson() output. The IPC is recomputed
+ * from the integer cycle/instruction counts (bit-identical to a
+ * fresh simulation) instead of trusting the serialized double.
+ * Returns false on a malformed or unrecognizable object.
+ */
+bool outcomeFromJson(const Json &json, RunOutcome &out);
 
 /** Least-squares line fit y = a + b x. */
 struct LinearFit

@@ -1,0 +1,105 @@
+#include "harness/result_cache.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "harness/reporting.hh"
+
+namespace sb
+{
+
+ResultCache::ResultCache(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    filePath = (std::filesystem::path(dir) / "results.jsonl").string();
+    if (ec) {
+        sb_warn("cannot create cache directory '", dir,
+                "': ", ec.message(), "; caching disabled");
+        return;
+    }
+
+    std::ifstream in(filePath);
+    std::string line;
+    std::size_t bad = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        Json entry;
+        RunOutcome outcome;
+        if (!Json::parse(line, entry) || !entry.isObject()
+            || !entry.has("key")
+            || entry.at("key").kind() != Json::Kind::String
+            || !entry.has("outcome")
+            || !outcomeFromJson(entry.at("outcome"), outcome)) {
+            ++bad;
+            continue;
+        }
+        entries[entry.at("key").asString()] = std::move(outcome);
+    }
+    in.close();
+    if (bad)
+        sb_warn("result cache ", filePath, ": skipped ", bad,
+                " unreadable line(s)");
+
+    appendFd = ::open(filePath.c_str(), O_WRONLY | O_APPEND | O_CREAT,
+                      0644);
+    if (appendFd < 0)
+        sb_warn("cannot open '", filePath, "' for appending: ",
+                std::strerror(errno), "; caching disabled");
+}
+
+ResultCache::~ResultCache()
+{
+    if (appendFd >= 0)
+        ::close(appendFd);
+}
+
+bool
+ResultCache::lookup(const std::string &key, RunOutcome &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = entries.find(key);
+    if (it == entries.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+ResultCache::store(const std::string &key, const RunOutcome &out)
+{
+    Json entry = Json::object();
+    entry.set("key", Json::str(key));
+    entry.set("outcome", toJson(out));
+    const std::string line = entry.dump() + "\n";
+
+    std::lock_guard<std::mutex> lock(mutex);
+    entries[key] = out;
+    if (appendFd < 0)
+        return;
+    // One write() per line: with O_APPEND the kernel appends the
+    // whole buffer contiguously, so concurrent writers (other
+    // threads via the mutex, other processes via O_APPEND) cannot
+    // splice partial lines into each other.
+    const ssize_t written = ::write(appendFd, line.data(), line.size());
+    if (written != static_cast<ssize_t>(line.size()))
+        sb_warn("result cache ", filePath, ": short write (",
+                written, "/", line.size(), "), entry may be dropped");
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return entries.size();
+}
+
+} // namespace sb

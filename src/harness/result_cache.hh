@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Content-addressed on-disk result cache.
+ *
+ * One JSONL file (`<dir>/results.jsonl`) holds one line per simulated
+ * cell: `{"key": "<RunSpec::specKey()>", "outcome": {...}}` with the
+ * outcome in toJson(RunOutcome) form. The file is append-only: new
+ * results are flushed line-by-line as they complete, so an
+ * interrupted grid run keeps everything it already simulated, and a
+ * later line for the same key wins on load (last-writer-wins). Each
+ * line is appended with a single O_APPEND write so concurrent
+ * processes sharing a cache directory cannot interleave partial
+ * lines. Malformed or unrecognizable lines are skipped with a
+ * warning — a stale cache can only cause extra simulation, never
+ * wrong results.
+ */
+
+#ifndef SB_HARNESS_RESULT_CACHE_HH
+#define SB_HARNESS_RESULT_CACHE_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "harness/experiment.hh"
+
+namespace sb
+{
+
+class ResultCache
+{
+  public:
+    /**
+     * Create @p dir if needed and load any existing results.jsonl.
+     * An unusable directory or file leaves the cache disabled (see
+     * ok()) with a warning rather than aborting.
+     */
+    explicit ResultCache(const std::string &dir);
+    ~ResultCache();
+
+    /** False when the backing file could not be opened for append. */
+    bool ok() const { return appendFd >= 0; }
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /** Fetch the outcome cached under @p key, if any. */
+    bool lookup(const std::string &key, RunOutcome &out) const;
+
+    /**
+     * Persist @p out under @p key (thread-safe, flushed per line).
+     * A no-op beyond the in-memory map when !ok().
+     */
+    void store(const std::string &key, const RunOutcome &out);
+
+    /** Number of distinct keys currently cached. */
+    std::size_t size() const;
+
+    /** Path of the backing JSONL file. */
+    const std::string &path() const { return filePath; }
+
+  private:
+    std::string filePath;
+    int appendFd = -1;
+    mutable std::mutex mutex;
+    std::map<std::string, RunOutcome> entries;
+};
+
+} // namespace sb
+
+#endif // SB_HARNESS_RESULT_CACHE_HH

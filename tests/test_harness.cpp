@@ -85,6 +85,36 @@ TEST(Aggregate, SpecMeanIsRatioOfMeans)
     EXPECT_EQ(agg.perBench.size(), 2u);
 }
 
+TEST(Aggregate, EmptyInputYieldsZeroedAggregate)
+{
+    const auto agg = sb::aggregate({});
+    EXPECT_EQ(agg.meanIpc, 0.0);
+    EXPECT_TRUE(agg.perBench.empty());
+    EXPECT_TRUE(agg.coreName.empty());
+    EXPECT_EQ(agg.scheme, sb::Scheme::Baseline);
+}
+
+TEST(Aggregate, FilterOnUnknownCellIsEmptyAndAggregatable)
+{
+    sb::RunOutcome a;
+    a.coreName = "m";
+    a.scheme = sb::Scheme::Nda;
+    a.cycles = 10;
+    a.instructions = 5;
+
+    const auto by_core = sb::filter({a}, "no-such-core",
+                                    sb::Scheme::Nda);
+    EXPECT_TRUE(by_core.empty());
+    const auto by_scheme = sb::filter({a}, "m", sb::Scheme::SttIssue);
+    EXPECT_TRUE(by_scheme.empty());
+
+    // The filter -> aggregate pipeline is total: a miss aggregates to
+    // the zeroed SuiteAggregate instead of dividing by zero.
+    const auto agg = sb::aggregate(by_core);
+    EXPECT_EQ(agg.meanIpc, 0.0);
+    EXPECT_TRUE(agg.perBench.empty());
+}
+
 TEST(Aggregate, FilterSelectsMatchingCells)
 {
     sb::RunOutcome a;

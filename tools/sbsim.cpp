@@ -1,0 +1,242 @@
+/**
+ * @file
+ * sbsim: the unified driver over the scenario registry.
+ *
+ *   sbsim list                       # scenarios, cell counts, titles
+ *   sbsim run <scenario...> [opts]   # any slice of the grid
+ *   sbsim all [opts]                 # the whole reproduction
+ *
+ * Options:
+ *   --jobs N        worker threads (default: SB_JOBS, else hardware)
+ *   --cache-dir D   result-cache directory (default: .sbsim-cache)
+ *   --no-cache      disable the on-disk result cache
+ *   --json          also write SBSIM_<scenario>.json outcome dumps
+ *
+ * All requested scenarios are collected into one ExperimentEngine
+ * batch, so overlapping grid cells are simulated once (in-batch
+ * dedup) and persist across invocations (content-addressed cache).
+ * `sbsim all` additionally writes BENCH_gridspeed.json with the grid
+ * throughput accounting (cells requested / simulated / deduped /
+ * cached, wall-clock) so the perf trajectory tracks grid cost next
+ * to BENCH_simspeed.json.
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "harness/engine.hh"
+#include "harness/result_cache.hh"
+#include "harness/reporting.hh"
+#include "harness/scenario.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s list\n"
+                 "       %s run <scenario...> [--jobs N] [--cache-dir D]"
+                 " [--no-cache] [--json]\n"
+                 "       %s all [--jobs N] [--cache-dir D] [--no-cache]"
+                 " [--json]\n",
+                 argv0, argv0, argv0);
+    return 2;
+}
+
+int
+listScenarios()
+{
+    const auto &registry = sb::ScenarioRegistry::instance();
+    std::printf("%-16s %7s  %s\n", "scenario", "cells", "title");
+    for (const auto &name : registry.names()) {
+        const sb::Scenario *s = registry.find(name);
+        std::printf("%-16s %7zu  %s\n", s->name.c_str(),
+                    s->specs().size(), s->title.c_str());
+    }
+    return 0;
+}
+
+void
+writeOutcomesJson(const std::string &scenario,
+                  const std::vector<sb::RunOutcome> &outcomes)
+{
+    sb::Json doc = sb::Json::object();
+    doc.set("scenario", sb::Json::str(scenario));
+    sb::Json arr = sb::Json::array();
+    for (const auto &o : outcomes)
+        arr.push(sb::toJson(o));
+    doc.set("outcomes", std::move(arr));
+
+    const std::string path = "SBSIM_" + scenario + ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "%s\n", doc.dump().c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+}
+
+void
+writeGridspeedJson(const std::vector<std::string> &scenarios,
+                   const sb::ExperimentEngine &engine)
+{
+    const sb::EngineStats &st = engine.stats();
+    sb::Json doc = sb::Json::object();
+    doc.set("bench", sb::Json::str("gridspeed"));
+    sb::Json names = sb::Json::array();
+    for (const auto &n : scenarios)
+        names.push(sb::Json::str(n));
+    doc.set("scenarios", std::move(names));
+    doc.set("jobs", sb::Json::num(std::uint64_t(engine.jobs())));
+    doc.set("cells_requested", sb::Json::num(st.requested));
+    doc.set("cells_simulated", sb::Json::num(st.simulated));
+    doc.set("cells_from_dedup", sb::Json::num(st.dedupHits));
+    doc.set("cells_from_cache", sb::Json::num(st.cacheHits));
+    doc.set("wall_seconds", sb::Json::num(st.wallSeconds));
+
+    std::FILE *f = std::fopen("BENCH_gridspeed.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open BENCH_gridspeed.json\n");
+        return;
+    }
+    std::fprintf(f, "%s\n", doc.dump().c_str());
+    std::fclose(f);
+    std::printf("wrote BENCH_gridspeed.json\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    const std::string command = argv[1];
+    if (command == "list")
+        return listScenarios();
+    if (command != "run" && command != "all")
+        return usage(argv[0]);
+
+    std::vector<std::string> names;
+    unsigned jobs = 0;
+    std::string cache_dir = ".sbsim-cache";
+    bool use_cache = true;
+    bool emit_json = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            char *end = nullptr;
+            errno = 0;
+            const long v = std::strtol(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0' || errno != 0 || v <= 0
+                || v > static_cast<long>(sb::maxJobs)) {
+                std::fprintf(stderr,
+                             "--jobs wants an integer in [1, %u]\n",
+                             sb::maxJobs);
+                return 2;
+            }
+            jobs = static_cast<unsigned>(v);
+        } else if (arg == "--cache-dir") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            cache_dir = argv[i];
+        } else if (arg == "--no-cache") {
+            use_cache = false;
+        } else if (arg == "--json") {
+            emit_json = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(argv[0]);
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    const auto &registry = sb::ScenarioRegistry::instance();
+    if (command == "all") {
+        if (!names.empty())
+            return usage(argv[0]);
+        names = registry.names();
+    } else if (names.empty()) {
+        return usage(argv[0]);
+    }
+
+    std::vector<const sb::Scenario *> scenarios;
+    for (const auto &name : names) {
+        const sb::Scenario *s = registry.find(name);
+        if (!s) {
+            std::fprintf(stderr,
+                         "unknown scenario '%s' (try: %s list)\n",
+                         name.c_str(), argv[0]);
+            return 2;
+        }
+        scenarios.push_back(s);
+    }
+
+    // One batch over everything requested: cross-scenario cells dedup
+    // inside the engine, and cached cells skip simulation entirely.
+    std::vector<sb::RunSpec> specs;
+    std::vector<std::size_t> offsets;
+    for (const sb::Scenario *s : scenarios) {
+        offsets.push_back(specs.size());
+        auto mine = s->specs();
+        specs.insert(specs.end(), std::make_move_iterator(mine.begin()),
+                     std::make_move_iterator(mine.end()));
+    }
+    offsets.push_back(specs.size());
+
+    sb::ExperimentEngine::Options options;
+    options.jobs = jobs;
+    // Model-only requests (zero cells) should not create a cache
+    // directory as a side effect.
+    options.cacheDir =
+        use_cache && !specs.empty() ? cache_dir : std::string();
+    sb::ExperimentEngine engine(options);
+
+    std::printf("sbsim: %zu scenario(s), %zu cells, %u jobs, cache %s\n",
+                scenarios.size(), specs.size(), engine.jobs(),
+                use_cache ? cache_dir.c_str() : "off");
+    const auto results = engine.run(specs);
+
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const std::vector<sb::RunOutcome> slice(
+            results.begin() + offsets[i],
+            results.begin() + offsets[i + 1]);
+        std::printf("\n");
+        scenarios[i]->report(slice, stdout);
+        if (emit_json)
+            writeOutcomesJson(scenarios[i]->name, slice);
+    }
+
+    const sb::EngineStats &st = engine.stats();
+    std::printf("\n--- grid summary ---\n");
+    std::printf("cells requested:   %llu\n",
+                static_cast<unsigned long long>(st.requested));
+    std::printf("cells simulated:   %llu\n",
+                static_cast<unsigned long long>(st.simulated));
+    std::printf("served by dedup:   %llu\n",
+                static_cast<unsigned long long>(st.dedupHits));
+    std::printf("served by cache:   %llu\n",
+                static_cast<unsigned long long>(st.cacheHits));
+    std::printf("wall-clock:        %.3f s (%u jobs)\n", st.wallSeconds,
+                engine.jobs());
+    if (engine.cache())
+        std::printf("cache file:        %s (%zu entries)\n",
+                    engine.cache()->path().c_str(),
+                    engine.cache()->size());
+
+    if (command == "all")
+        writeGridspeedJson(names, engine);
+    return 0;
+}
