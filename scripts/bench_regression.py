@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff the simulator throughput artifacts
+against the committed baselines.
+
+    scripts/bench_regression.py [--build-dir build]
+                                [--baseline-dir bench/baselines]
+                                [--tolerance 0.20] [--update]
+
+Compares BENCH_simspeed.json (per-scheme simulated MIPS) against the
+committed baseline and exits nonzero when any scheme regressed by more
+than the tolerance (default 20%, override with --tolerance or the
+SB_BENCH_TOLERANCE environment variable). BENCH_gridspeed.json is
+diffed informationally: its cell accounting (requested / simulated /
+dedup / cache) is deterministic and drift there means the scenario
+grid itself changed, but its wall-clock depends on cache warmth so it
+never gates.
+
+--update refreshes the committed baselines from the current build
+directory (run on the reference machine after an intentional
+performance change, and say so in the commit).
+
+Only the standard library is used; no third-party dependencies.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+SIMSPEED = "BENCH_simspeed.json"
+GRIDSPEED = "BENCH_gridspeed.json"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"bench_regression: missing {path}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"bench_regression: malformed {path}: {err}")
+
+
+def diff_simspeed(baseline, current, tolerance):
+    base_schemes = {s["name"]: s for s in baseline.get("schemes", [])}
+    cur_schemes = {s["name"]: s for s in current.get("schemes", [])}
+    failures = []
+
+    print(f"--- {SIMSPEED} (gate: MIPS within -{tolerance:.0%}) ---")
+    print(f"{'scheme':<12} {'base MIPS':>10} {'now MIPS':>10} {'delta':>8}")
+    for name, base in base_schemes.items():
+        cur = cur_schemes.get(name)
+        if cur is None:
+            failures.append(f"scheme '{name}' missing from current run")
+            continue
+        base_mips = float(base["mips"])
+        cur_mips = float(cur["mips"])
+        delta = (cur_mips - base_mips) / base_mips if base_mips else 0.0
+        marker = ""
+        if base_mips and cur_mips < base_mips * (1.0 - tolerance):
+            failures.append(
+                f"{name}: {cur_mips:.3f} MIPS vs baseline "
+                f"{base_mips:.3f} ({delta:+.1%})"
+            )
+            marker = "  <-- REGRESSION"
+        print(f"{name:<12} {base_mips:>10.3f} {cur_mips:>10.3f} "
+              f"{delta:>+7.1%}{marker}")
+    for name in cur_schemes.keys() - base_schemes.keys():
+        print(f"{name:<12} {'(new)':>10} "
+              f"{float(cur_schemes[name]['mips']):>10.3f}")
+    return failures
+
+
+def diff_gridspeed(baseline, current):
+    print(f"\n--- {GRIDSPEED} (informational) ---")
+    keys = ["cells_requested", "cells_simulated", "cells_from_dedup",
+            "cells_from_cache"]
+    drifted = False
+    for key in keys:
+        base_v = baseline.get(key)
+        cur_v = current.get(key)
+        note = ""
+        # The *requested* cell count is a property of the scenario
+        # registry, not of cache warmth; a change there means the grid
+        # itself changed shape and the baseline wants refreshing.
+        if key == "cells_requested" and base_v != cur_v:
+            note = "  <-- grid shape changed (refresh baseline?)"
+            drifted = True
+        print(f"{key:<20} base={base_v}  now={cur_v}{note}")
+    print(f"{'wall_seconds':<20} base={baseline.get('wall_seconds')}  "
+          f"now={current.get('wall_seconds')} (cache-warmth dependent)")
+    return drifted
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("SB_BENCH_TOLERANCE", "0.20")),
+    )
+    parser.add_argument("--update", action="store_true",
+                        help="refresh the committed baselines")
+    args = parser.parse_args()
+
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for name in (SIMSPEED, GRIDSPEED):
+            src = os.path.join(args.build_dir, name)
+            if not os.path.exists(src):
+                sys.exit(f"bench_regression: cannot update, missing {src}")
+            shutil.copyfile(src, os.path.join(args.baseline_dir, name))
+            print(f"updated {args.baseline_dir}/{name}")
+        return
+
+    failures = diff_simspeed(
+        load(os.path.join(args.baseline_dir, SIMSPEED)),
+        load(os.path.join(args.build_dir, SIMSPEED)),
+        args.tolerance,
+    )
+    diff_gridspeed(
+        load(os.path.join(args.baseline_dir, GRIDSPEED)),
+        load(os.path.join(args.build_dir, GRIDSPEED)),
+    )
+
+    if failures:
+        print("\nFAIL: MIPS regression beyond tolerance:")
+        for failure in failures:
+            print(f"  - {failure}")
+        sys.exit(1)
+    print("\nbench regression gate: PASS")
+
+
+if __name__ == "__main__":
+    main()

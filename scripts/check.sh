@@ -2,11 +2,18 @@
 # One-command verification gate: configure + build + ctest (the
 # tier-1 command), optionally under AddressSanitizer/UBSan.
 #
-#   scripts/check.sh          # Release build + full test suite
-#   scripts/check.sh --asan   # Sanitizer build + full test suite
-#   scripts/check.sh --bench  # Also run sim-speed + the sbsim grid
+#   scripts/check.sh           # Release build + full test suite
+#   scripts/check.sh --asan    # Sanitizer build + full test suite
+#   scripts/check.sh --bench   # Also run sim-speed + the sbsim grid
+#   scripts/check.sh --verify  # Also run the Spectre gadget battery
 #
 # SB_JOBS bounds simulation worker threads (tests and sbsim).
+# Flags compose: e.g. `check.sh --asan --verify`.
+#
+# Every optional block runs with its exit status checked explicitly:
+# a failing bench or battery fails the script even as the final
+# command (a bare trailing `if` can otherwise mask the status under
+# `set -e`, which does not apply inside conditionals).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,6 +21,7 @@ cd "$(dirname "$0")/.."
 build_dir=build
 cmake_flags=()
 run_bench=0
+run_verify=0
 for arg in "$@"; do
     case "$arg" in
       --asan)
@@ -23,8 +31,11 @@ for arg in "$@"; do
       --bench)
         run_bench=1
         ;;
+      --verify)
+        run_verify=1
+        ;;
       *)
-        echo "usage: $0 [--asan] [--bench]" >&2
+        echo "usage: $0 [--asan] [--bench] [--verify]" >&2
         exit 2
         ;;
     esac
@@ -36,13 +47,40 @@ cmake -B "$build_dir" -S . "${cmake_flags[@]}"
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
+status=0
+
+if [ "$run_verify" = 1 ]; then
+    # The security battery: every gadget x scheme cell, differentially
+    # checked; `sbsim verify` exits nonzero on any contract breach.
+    # Deliberately --no-cache: the result cache is addressed by
+    # configuration, not by simulator/scheme *code*, so a cached
+    # verdict could green-light a scheme broken by the very change
+    # under test. The battery re-simulates in ~2 s; honesty is cheap.
+    if (cd "$build_dir" && ./sbsim verify --no-cache --json); then
+        echo "leak matrix: $build_dir/SBSIM_verify.json"
+    else
+        echo "FAIL: security battery reported a leak / divergence" >&2
+        status=1
+    fi
+fi
+
 if [ "$run_bench" = 1 ]; then
-    (cd "$build_dir" && ./bench_simspeed)
-    echo "sim-speed results: $build_dir/BENCH_simspeed.json"
+    if (cd "$build_dir" && ./bench_simspeed); then
+        echo "sim-speed results: $build_dir/BENCH_simspeed.json"
+    else
+        echo "FAIL: bench_simspeed" >&2
+        status=1
+    fi
     # Full grid through the scenario engine: dedup + result cache make
     # a warm rerun near-instant; BENCH_gridspeed.json tracks grid
     # throughput across PRs next to BENCH_simspeed.json.
-    (cd "$build_dir" && ./sbsim all --cache-dir .sbsim-cache > sbsim_all.log)
-    tail -n 12 "$build_dir/sbsim_all.log"
-    echo "grid-speed results: $build_dir/BENCH_gridspeed.json (full report: $build_dir/sbsim_all.log)"
+    if (cd "$build_dir" && ./sbsim all --cache-dir .sbsim-cache > sbsim_all.log); then
+        tail -n 12 "$build_dir/sbsim_all.log"
+        echo "grid-speed results: $build_dir/BENCH_gridspeed.json (full report: $build_dir/sbsim_all.log)"
+    else
+        echo "FAIL: sbsim all (log: $build_dir/sbsim_all.log)" >&2
+        status=1
+    fi
 fi
+
+exit "$status"

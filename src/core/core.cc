@@ -183,11 +183,17 @@ Core::commitPhase()
         if (inst->isLoad()) {
             lsu.releaseLoad(*inst);
             ++st.committedLoads;
+            if (observing) {
+                observations.push_back(LoadObservation{
+                    inst->pc, cycle, inst->completeAt, inst->l1Hit});
+            }
         }
         if (inst->isBranch()) {
             sb_assert(branchesInFlight > 0, "branch count underflow");
             --branchesInFlight;
-            if (inst->uop.op != Op::Jmp) {
+            if (inst->uop.op == Op::JmpReg) {
+                btb[inst->pc] = inst->actualTarget;
+            } else if (inst->uop.op != Op::Jmp) {
                 predictor.update(inst->pc, inst->histSnapshot,
                                  inst->actualTaken);
             }
@@ -320,16 +326,23 @@ Core::executeBranch(const DynInstPtr &inst)
     inst->resolved = true;
     inst->completed = true;
 
+    // An indirect jump's destination is its operand value; direct
+    // branches take the static target or fall through.
     const std::uint32_t correct_next =
-        inst->actualTaken ? inst->uop.target : inst->pc + 1;
+        inst->uop.op == Op::JmpReg
+            ? static_cast<std::uint32_t>(s1)
+            : (inst->actualTaken ? inst->uop.target : inst->pc + 1);
     const std::uint32_t predicted_next =
-        inst->predTaken ? inst->uop.target : inst->pc + 1;
+        inst->uop.op == Op::JmpReg
+            ? inst->predTarget
+            : (inst->predTaken ? inst->uop.target : inst->pc + 1);
+    inst->actualTarget = correct_next;
     if (correct_next != predicted_next) {
         inst->mispredicted = true;
         ++st.branchMispredicts;
         trace("mispredict", *inst);
         squash(inst->seq, correct_next);
-        if (inst->uop.op != Op::Jmp) {
+        if (inst->uop.op != Op::Jmp && inst->uop.op != Op::JmpReg) {
             ghist = (inst->histSnapshot << 1)
                     | (inst->actualTaken ? 1u : 0u);
         }
@@ -743,6 +756,20 @@ Core::fetchPhase()
         inst->uop = uop;
 
         if (uop.isBranch()) {
+            if (uop.op == Op::JmpReg) {
+                // Always taken; the BTB supplies the target. An
+                // untrained entry predicts fall-through, so laying the
+                // preferred target right after the jr makes a cold
+                // BTB harmless.
+                inst->predTaken = true;
+                const auto hit = btb.find(pc);
+                inst->predTarget =
+                    hit != btb.end() ? hit->second : pc + 1;
+                fetchQueue.push_back(inst);
+                ++n;
+                pc = inst->predTarget;
+                break; // Redirect: resume at the target next cycle.
+            }
             if (uop.op == Op::Jmp) {
                 inst->predTaken = true;
             } else {
@@ -807,7 +834,7 @@ Core::squash(SeqNum from_seq, std::uint32_t new_pc)
         if (inst->isBranch()) {
             sb_assert(branchesInFlight > 0, "branch count underflow");
             --branchesInFlight;
-            if (inst->uop.op != Op::Jmp)
+            if (inst->uop.op != Op::Jmp && inst->uop.op != Op::JmpReg)
                 ghist_restore = inst->histSnapshot;
         }
         rob.pop_back();

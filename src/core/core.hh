@@ -27,6 +27,7 @@
 #include <map>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "branch/tage.hh"
@@ -109,6 +110,31 @@ struct CoreStats
     Counter &squashes;
 };
 
+/**
+ * One attacker-visible memory observation, recorded at commit time.
+ * The sequence of these records over a run is the core's observation
+ * trace: everything a same-address-space timing adversary can measure
+ * about the committed loads (program point, when the value committed,
+ * how long memory took, and whether it hit in the L1). The
+ * differential leakage verifier (src/harness/verify.hh) runs paired
+ * executions that differ only in a secret byte and requires the two
+ * traces to be identical under a secure scheme.
+ */
+struct LoadObservation
+{
+    std::uint32_t pc = 0;   ///< Static code index of the load.
+    Cycle commitCycle = 0;  ///< Cycle the load committed.
+    Cycle completeCycle = 0;///< Cycle the data became available.
+    bool l1Hit = false;     ///< Demand access hit in the L1.
+
+    bool
+    operator==(const LoadObservation &o) const
+    {
+        return pc == o.pc && commitCycle == o.commitCycle
+               && completeCycle == o.completeCycle && l1Hit == o.l1Hit;
+    }
+};
+
 /** Result of a simulation run. */
 struct RunResult
 {
@@ -183,6 +209,20 @@ class Core
     /** Per-commit observer (used by examples, e.g. the attack PoC). */
     using CommitHook = std::function<void(const DynInst &, Cycle)>;
     void setCommitHook(CommitHook hook) { commitHook = std::move(hook); }
+
+    /**
+     * Record a LoadObservation for every committed load from now on
+     * (the observation hook the differential leakage verifier runs
+     * on). Off by default: the recording branch costs one predictable
+     * test per commit, and perf runs never enable it.
+     */
+    void enableObservationTrace() { observing = true; }
+
+    /** Committed-load observations recorded so far (program order). */
+    const std::vector<LoadObservation> &observationTrace() const
+    {
+        return observations;
+    }
 
     /**
      * Pipeline-event observer (the stand-in for the paper's
@@ -297,6 +337,10 @@ class Core
     // --- Front-end state -------------------------------------------------------
     std::uint32_t pc = 0;
     std::uint64_t ghist = 0;
+    /** Branch target buffer for indirect jumps (JmpReg): last
+     *  committed target per static PC. Trained at commit so wrong-path
+     *  execution cannot pollute it (keeps runs deterministic). */
+    std::unordered_map<std::uint32_t, std::uint32_t> btb;
     Cycle fetchStallUntil = 0;
     bool fetchHalted = false;
     unsigned frontendExtraDelay = 0;
@@ -327,6 +371,8 @@ class Core
     CoreStats st;           ///< Cached handles into statGroup.
     CommitHook commitHook;
     TraceHook traceHook;
+    bool observing = false; ///< Record LoadObservations at commit.
+    std::vector<LoadObservation> observations;
 };
 
 } // namespace sb

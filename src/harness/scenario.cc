@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "harness/engine.hh"
+#include "harness/verify.hh"
 
 namespace sb
 {
@@ -12,6 +13,7 @@ ScenarioRegistry::instance()
     static ScenarioRegistry registry = [] {
         ScenarioRegistry r;
         registerPaperScenarios(r);
+        registerSecurityScenarios(r);
         return r;
     }();
     return registry;

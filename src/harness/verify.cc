@@ -1,0 +1,316 @@
+#include "harness/verify.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "harness/attack.hh"
+#include "harness/scenario.hh"
+#include "secure/factory.hh"
+
+namespace sb
+{
+
+namespace
+{
+
+constexpr const char *gadgetPrefix = "gadget:";
+
+/** Strict base-10 parse of a full token. */
+bool
+parseUint(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || errno != 0)
+        return false;
+    out = v;
+    return true;
+}
+
+/** The five schemes the battery verifies, in presentation order. */
+std::vector<SchemeConfig>
+batterySchemes()
+{
+    std::vector<SchemeConfig> schemes;
+    for (Scheme s : {Scheme::Baseline, Scheme::SttRename,
+                     Scheme::SttIssue, Scheme::Nda, Scheme::NdaStrict}) {
+        SchemeConfig c;
+        c.scheme = s;
+        schemes.push_back(c);
+    }
+    return schemes;
+}
+
+} // anonymous namespace
+
+std::string
+gadgetWorkloadName(GadgetKind kind, std::uint8_t secret,
+                   std::uint64_t seed)
+{
+    return std::string(gadgetPrefix) + gadgetName(kind)
+           + ":secret=" + std::to_string(unsigned(secret))
+           + ":seed=" + std::to_string(seed);
+}
+
+bool
+isGadgetWorkload(const std::string &workload)
+{
+    return workload.rfind(gadgetPrefix, 0) == 0;
+}
+
+bool
+parseGadgetWorkload(const std::string &workload, GadgetKind &kind,
+                    std::uint8_t &secret, std::uint64_t &seed)
+{
+    if (!isGadgetWorkload(workload))
+        return false;
+    const std::string rest = workload.substr(std::string(gadgetPrefix).size());
+    const std::size_t colon1 = rest.find(':');
+    if (colon1 == std::string::npos)
+        return false;
+    const std::size_t colon2 = rest.find(':', colon1 + 1);
+    if (colon2 == std::string::npos)
+        return false;
+
+    GadgetKind parsed_kind;
+    if (!gadgetFromName(rest.substr(0, colon1), parsed_kind))
+        return false;
+    const std::string secret_tok = rest.substr(colon1 + 1,
+                                               colon2 - colon1 - 1);
+    const std::string seed_tok = rest.substr(colon2 + 1);
+    if (secret_tok.rfind("secret=", 0) != 0
+        || seed_tok.rfind("seed=", 0) != 0)
+        return false;
+    std::uint64_t secret_val = 0;
+    std::uint64_t seed_val = 0;
+    if (!parseUint(secret_tok.substr(7), secret_val)
+        || !parseUint(seed_tok.substr(5), seed_val))
+        return false;
+    if (secret_val < 1 || secret_val > 255)
+        return false;
+
+    kind = parsed_kind;
+    secret = static_cast<std::uint8_t>(secret_val);
+    seed = seed_val;
+    return true;
+}
+
+RunOutcome
+runGadgetCell(const RunSpec &spec)
+{
+    GadgetKind kind;
+    std::uint8_t secret = 0;
+    std::uint64_t seed = 0;
+    if (!parseGadgetWorkload(spec.workload, kind, secret, seed))
+        sb_fatal("malformed gadget workload '", spec.workload, "'");
+
+    const AttackResult res =
+        runGadget(kind, spec.core, spec.scheme, secret, seed);
+
+    RunOutcome out;
+    out.workload = spec.workload;
+    out.coreName = spec.core.name;
+    out.scheme = spec.scheme.scheme;
+    out.cycles = res.cycles;
+    out.transmitViolations = res.transmitViolations;
+    out.consumeViolations = res.consumeViolations;
+    out.stats["gadget_leaked"] = res.leaked ? 1 : 0;
+    // Bytes are stored +1 so "no signal" (-1) round-trips as 0.
+    out.stats["gadget_timing_byte"] =
+        static_cast<std::uint64_t>(res.timingByte + 1);
+    out.stats["gadget_oracle_byte"] =
+        static_cast<std::uint64_t>(res.oracleByte + 1);
+    out.stats["gadget_trace_hash"] = res.traceHash;
+    out.stats["gadget_trace_len"] = res.traceLength;
+    // Probe gaps are integral cycle deltas; stored as counters.
+    out.stats["gadget_median_gap"] =
+        static_cast<std::uint64_t>(res.medianGap);
+    out.stats["gadget_min_gap"] =
+        static_cast<std::uint64_t>(res.minGap);
+    return out;
+}
+
+bool
+VerifyCell::pass() const
+{
+    if (claimsTransmitterSafety) {
+        if (leaked || diverged || transmitViolations != 0)
+            return false;
+        if (claimsConsumeSafety && consumeViolations != 0)
+            return false;
+        return true;
+    }
+    // A non-claiming scheme (the unsafe baseline) must demonstrably
+    // leak on both paired runs: that is the proof the gadget is armed
+    // and a blocked leak under a real scheme means something.
+    return armed;
+}
+
+std::vector<RunSpec>
+verifyBatterySpecs(const CoreConfig &core,
+                   const std::vector<SchemeConfig> &schemes)
+{
+    std::vector<RunSpec> specs;
+    for (const SchemeConfig &scheme : schemes) {
+        for (GadgetKind kind : allGadgets()) {
+            for (std::uint8_t secret : {verifySecretA, verifySecretB}) {
+                RunSpec s;
+                s.core = core;
+                s.scheme = scheme;
+                s.workload =
+                    gadgetWorkloadName(kind, secret, verifyGadgetSeed);
+                // A gadget run is a complete program, not a windowed
+                // measurement; the window fields stay zero so cells
+                // with equal gadgets share a cache address.
+                s.warmupInsts = 0;
+                s.measureInsts = 0;
+                specs.push_back(std::move(s));
+            }
+        }
+    }
+    return specs;
+}
+
+VerifyMatrix
+foldVerifyOutcomes(const std::vector<RunOutcome> &outcomes)
+{
+    sb_assert(outcomes.size() % 2 == 0,
+              "battery outcomes must come in secret pairs");
+    VerifyMatrix matrix;
+    for (std::size_t i = 0; i + 1 < outcomes.size(); i += 2) {
+        const RunOutcome &a = outcomes[i];
+        const RunOutcome &b = outcomes[i + 1];
+
+        GadgetKind kind_a, kind_b;
+        std::uint8_t secret_a = 0, secret_b = 0;
+        std::uint64_t seed_a = 0, seed_b = 0;
+        if (!parseGadgetWorkload(a.workload, kind_a, secret_a, seed_a)
+            || !parseGadgetWorkload(b.workload, kind_b, secret_b,
+                                    seed_b)) {
+            sb_fatal("non-gadget outcome in battery fold: '",
+                     a.workload, "' / '", b.workload, "'");
+        }
+        sb_assert(kind_a == kind_b && a.scheme == b.scheme
+                      && seed_a == seed_b && secret_a != secret_b,
+                  "battery pair mismatch: ", a.workload, " vs ",
+                  b.workload);
+
+        VerifyCell cell;
+        cell.gadget = gadgetName(kind_a);
+        cell.core = a.coreName;
+        cell.scheme = a.scheme;
+        SchemeConfig scfg;
+        scfg.scheme = a.scheme;
+        const auto scheme_impl = makeScheme(scfg);
+        cell.claimsTransmitterSafety =
+            scheme_impl->claimsTransmitterSafety();
+        cell.claimsConsumeSafety = scheme_impl->claimsConsumeSafety();
+
+        const bool leaked_a = a.stat("gadget_leaked") != 0;
+        const bool leaked_b = b.stat("gadget_leaked") != 0;
+        cell.leaked = leaked_a || leaked_b;
+        cell.armed = leaked_a && leaked_b;
+        cell.diverged =
+            a.stat("gadget_trace_hash") != b.stat("gadget_trace_hash")
+            || a.stat("gadget_trace_len") != b.stat("gadget_trace_len")
+            || a.cycles != b.cycles;
+        cell.transmitViolations =
+            std::max(a.transmitViolations, b.transmitViolations);
+        cell.consumeViolations =
+            std::max(a.consumeViolations, b.consumeViolations);
+        cell.timingByteA =
+            static_cast<int>(a.stat("gadget_timing_byte")) - 1;
+        cell.timingByteB =
+            static_cast<int>(b.stat("gadget_timing_byte")) - 1;
+        cell.cyclesA = a.cycles;
+        cell.cyclesB = b.cycles;
+        matrix.cells.push_back(std::move(cell));
+    }
+    return matrix;
+}
+
+Json
+toJson(const VerifyMatrix &matrix)
+{
+    Json doc = Json::object();
+    doc.set("schema", Json::num(std::uint64_t(1)));
+    doc.set("ok", Json::boolean(matrix.ok()));
+    doc.set("secret_a", Json::num(std::uint64_t(verifySecretA)));
+    doc.set("secret_b", Json::num(std::uint64_t(verifySecretB)));
+    Json cells = Json::array();
+    for (const VerifyCell &cell : matrix.cells) {
+        Json c = Json::object();
+        c.set("gadget", Json::str(cell.gadget));
+        c.set("scheme", Json::str(schemeName(cell.scheme)));
+        c.set("core", Json::str(cell.core));
+        c.set("claims_transmitter_safety",
+              Json::boolean(cell.claimsTransmitterSafety));
+        c.set("claims_consume_safety",
+              Json::boolean(cell.claimsConsumeSafety));
+        c.set("leaked", Json::boolean(cell.leaked));
+        c.set("armed", Json::boolean(cell.armed));
+        c.set("diverged", Json::boolean(cell.diverged));
+        c.set("transmit_violations", Json::num(cell.transmitViolations));
+        c.set("consume_violations", Json::num(cell.consumeViolations));
+        c.set("timing_byte_a",
+              Json::num(std::uint64_t(cell.timingByteA + 1)));
+        c.set("timing_byte_b",
+              Json::num(std::uint64_t(cell.timingByteB + 1)));
+        c.set("cycles_a", Json::num(cell.cyclesA));
+        c.set("cycles_b", Json::num(cell.cyclesB));
+        c.set("pass", Json::boolean(cell.pass()));
+        cells.push(std::move(c));
+    }
+    doc.set("cells", std::move(cells));
+    return doc;
+}
+
+void
+printVerifyMatrix(const VerifyMatrix &matrix, std::FILE *out)
+{
+    std::fprintf(out, "=== Security: Spectre gadget battery + "
+                      "differential leakage check ===\n\n");
+    TextTable t;
+    t.header({"gadget", "scheme", "core", "leaked", "diverged",
+              "t-viol", "c-viol", "verdict"});
+    for (const VerifyCell &cell : matrix.cells) {
+        t.row({cell.gadget, schemeName(cell.scheme), cell.core,
+               cell.leaked ? "yes" : "no",
+               cell.diverged ? "yes" : "no",
+               std::to_string(cell.transmitViolations),
+               std::to_string(cell.consumeViolations),
+               cell.pass() ? "pass" : "FAIL"});
+    }
+    std::fprintf(out, "%s\n", t.render().c_str());
+    std::fprintf(out,
+                 "Secure schemes must show leaked=no diverged=no with "
+                 "clean obligations;\nthe unsafe baseline must leak on "
+                 "every gadget (proof the battery is armed).\n");
+    std::fprintf(out, "verdict: %s\n",
+                 matrix.ok() ? "PASS" : "FAIL");
+}
+
+void
+registerSecurityScenarios(ScenarioRegistry &registry)
+{
+    Scenario s;
+    s.name = "security";
+    s.title = "Security: Spectre gadget battery + differential "
+              "leakage check (leak matrix)";
+    s.specs = [] {
+        return verifyBatterySpecs(CoreConfig::mega(), batterySchemes());
+    };
+    s.report = [](const std::vector<RunOutcome> &outcomes,
+                  std::FILE *out) {
+        printVerifyMatrix(foldVerifyOutcomes(outcomes), out);
+    };
+    registry.add(std::move(s));
+}
+
+} // namespace sb

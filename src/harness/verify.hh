@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Differential leakage verifier.
+ *
+ * The battery runs every (gadget x scheme x config) cell as a *pair*
+ * of executions that differ only in the secret byte, and checks two
+ * independent things:
+ *
+ *  - *Recovery*: does either receiver (timing probe, residency
+ *    oracle) recover the run's own secret? The unsafe baseline must
+ *    leak on every gadget — proof the gadgets are armed — while any
+ *    scheme claiming the STT obligation must never leak.
+ *  - *Differential equivalence* (the Contract-Shadow-Logic-style
+ *    check): the committed-load observation traces of the paired runs
+ *    must be bit-identical under a secure scheme. Architecturally the
+ *    two programs are identical up to the secret byte sitting in
+ *    memory, so any trace divergence is secret-dependent
+ *    microarchitectural state becoming visible — leakage, even if
+ *    neither receiver decodes the byte.
+ *
+ * Battery cells are ordinary RunSpecs with a "gadget:" workload, so
+ * they flow through the ExperimentEngine's in-batch dedup and
+ * content-addressed result cache like every performance cell, and the
+ * battery is registered as the "security" scenario (sbsim). The
+ * `sbsim verify` command folds the outcomes into a leak matrix
+ * (SBSIM_verify.json) and fails the process on any contract breach.
+ */
+
+#ifndef SB_HARNESS_VERIFY_HH
+#define SB_HARNESS_VERIFY_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "harness/experiment.hh"
+#include "trace/gadgets.hh"
+
+namespace sb
+{
+
+class ScenarioRegistry;
+
+/** The paired secrets every battery cell is run with. */
+constexpr std::uint8_t verifySecretA = 0xA7;
+constexpr std::uint8_t verifySecretB = 0x3C;
+/** Pointer-chase shuffle seed for battery programs. */
+constexpr std::uint64_t verifyGadgetSeed = 42;
+
+/**
+ * Workload-name encoding of one gadget run, e.g.
+ * "gadget:spectre-v1:secret=167:seed=42". RunSpec::specKey() hashes
+ * the workload string, so the secret and seed are part of the cell's
+ * cache address.
+ */
+std::string gadgetWorkloadName(GadgetKind kind, std::uint8_t secret,
+                               std::uint64_t seed);
+
+/** Is @p workload a gadget cell (vs a SPEC stand-in benchmark)? */
+bool isGadgetWorkload(const std::string &workload);
+
+/**
+ * Decode a gadgetWorkloadName(). Returns false on anything
+ * malformed, leaving the outputs untouched.
+ */
+bool parseGadgetWorkload(const std::string &workload, GadgetKind &kind,
+                         std::uint8_t &secret, std::uint64_t &seed);
+
+/**
+ * Execute one gadget cell (ExperimentRunner::runOne dispatches here
+ * for gadget workloads). The attack receivers' results and the
+ * observation-trace digest land in RunOutcome::stats under
+ * "gadget_*" keys; warmup/measure counts are ignored (a gadget run
+ * is a complete program, not a windowed measurement).
+ */
+RunOutcome runGadgetCell(const RunSpec &spec);
+
+/** One folded (gadget x scheme x core) battery cell. */
+struct VerifyCell
+{
+    std::string gadget;
+    std::string core;
+    Scheme scheme = Scheme::Baseline;
+    /** The scheme's own contract (SecureScheme::claims*Safety). */
+    bool claimsTransmitterSafety = false;
+    bool claimsConsumeSafety = false;
+    /** Either paired run recovered its own secret. */
+    bool leaked = false;
+    /** Both paired runs recovered their own secrets — the gadget is
+     *  demonstrably armed (what the unsafe baseline must show). */
+    bool armed = false;
+    /** Paired observation traces differ (timing divergence). */
+    bool diverged = false;
+    /** Worst-case monitor counts over the pair. */
+    std::uint64_t transmitViolations = 0;
+    std::uint64_t consumeViolations = 0;
+    /** Per-run diagnostics. */
+    int timingByteA = -1;
+    int timingByteB = -1;
+    std::uint64_t cyclesA = 0;
+    std::uint64_t cyclesB = 0;
+
+    /**
+     * Contract check: a claiming scheme must block recovery, show no
+     * differential divergence, and keep its monitor obligations; the
+     * baseline must demonstrably leak.
+     */
+    bool pass() const;
+};
+
+/** The folded battery. */
+struct VerifyMatrix
+{
+    std::vector<VerifyCell> cells;
+
+    bool
+    ok() const
+    {
+        for (const VerifyCell &cell : cells)
+            if (!cell.pass())
+                return false;
+        return !cells.empty();
+    }
+};
+
+/**
+ * The battery's RunSpecs: for each scheme and gadget, the secret-A
+ * and secret-B runs adjacent (foldVerifyOutcomes() relies on the
+ * pairing order).
+ */
+std::vector<RunSpec>
+verifyBatterySpecs(const CoreConfig &core,
+                   const std::vector<SchemeConfig> &schemes);
+
+/** Fold engine outcomes (in verifyBatterySpecs() order) into cells. */
+VerifyMatrix foldVerifyOutcomes(const std::vector<RunOutcome> &outcomes);
+
+/** Machine-readable leak matrix (the SBSIM_verify.json document). */
+Json toJson(const VerifyMatrix &matrix);
+
+/** Human-readable leak matrix. */
+void printVerifyMatrix(const VerifyMatrix &matrix, std::FILE *out);
+
+/** Register the "security" scenario (the whole battery) into @p r. */
+void registerSecurityScenarios(ScenarioRegistry &registry);
+
+} // namespace sb
+
+#endif // SB_HARNESS_VERIFY_HH

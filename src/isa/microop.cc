@@ -43,6 +43,7 @@ MicroOp::opClass() const
       case Op::Blt:
       case Op::Bge:
       case Op::Jmp:
+      case Op::JmpReg:
         return OpClass::Branch;
     }
     sb_panic("unknown op");
@@ -57,6 +58,7 @@ MicroOp::isBranch() const
       case Op::Blt:
       case Op::Bge:
       case Op::Jmp:
+      case Op::JmpReg:
         return true;
       default:
         return false;
@@ -120,6 +122,7 @@ evalBranch(const MicroOp &uop, Word src1, Word src2)
         return static_cast<std::int64_t>(src1)
                >= static_cast<std::int64_t>(src2);
       case Op::Jmp:
+      case Op::JmpReg:
         return true;
       default:
         sb_panic("evalBranch on non-branch op");
@@ -132,7 +135,7 @@ MicroOp::disassemble() const
     static const char *names[] = {
         "nop", "movi", "add", "addi", "sub", "and", "or", "xor", "shl",
         "shr", "mul", "div", "fadd", "fmul", "fdiv", "ld", "st", "beq",
-        "bne", "blt", "bge", "jmp", "halt",
+        "bne", "blt", "bge", "jmp", "jr", "halt",
     };
     std::ostringstream oss;
     oss << names[static_cast<unsigned>(op)];
@@ -146,7 +149,7 @@ MicroOp::disassemble() const
         || op == Op::Store) {
         oss << ", " << imm;
     }
-    if (isBranch())
+    if (isBranch() && op != Op::JmpReg)
         oss << " -> " << target;
     return oss.str();
 }

@@ -46,6 +46,7 @@ enum class Op : std::uint8_t
     Blt,     ///< signed less-than
     Bge,
     Jmp,     ///< unconditional branch to target
+    JmpReg,  ///< indirect branch: jump to the address held in src1
     Halt,    ///< stop the program (drains and ends simulation)
 };
 
@@ -72,7 +73,9 @@ struct MicroOp
     ArchReg src1 = invalidArchReg;
     ArchReg src2 = invalidArchReg;
     std::int64_t imm = 0;
-    std::uint32_t target = 0;   ///< Branch target (code index).
+    /** Branch target (code index). Unused by JmpReg, whose target is
+     *  the runtime value of src1 (predicted through the BTB). */
+    std::uint32_t target = 0;
 
     /** Scheduling class for this op. */
     OpClass opClass() const;

@@ -250,6 +250,15 @@ ProgramBuilder::jmp(Label target)
 }
 
 std::uint32_t
+ProgramBuilder::jr(ArchReg target_reg)
+{
+    MicroOp uop;
+    uop.op = Op::JmpReg;
+    uop.src1 = target_reg;
+    return emit(uop);
+}
+
+std::uint32_t
 ProgramBuilder::halt()
 {
     MicroOp uop;
@@ -260,8 +269,11 @@ ProgramBuilder::halt()
 Program
 ProgramBuilder::build(std::string name)
 {
-    // Resolve future labels.
+    // Resolve future labels. JmpReg carries no static target: its
+    // destination is the runtime value of src1.
     for (auto &uop : code) {
+        if (uop.op == Op::JmpReg)
+            continue;
         if (uop.isBranch() && uop.target >= unboundBase) {
             const std::size_t idx = uop.target - unboundBase;
             sb_assert(idx < futureTargets.size(), "unknown label in branch");
@@ -271,7 +283,7 @@ ProgramBuilder::build(std::string name)
         }
     }
     for (const auto &uop : code) {
-        if (uop.isBranch()) {
+        if (uop.isBranch() && uop.op != Op::JmpReg) {
             sb_assert(uop.target < code.size(),
                       "branch target out of range");
         }

@@ -111,6 +111,7 @@ class ProgramBuilder
     std::uint32_t blt(ArchReg src1, ArchReg src2, Label target);
     std::uint32_t bge(ArchReg src1, ArchReg src2, Label target);
     std::uint32_t jmp(Label target);
+    std::uint32_t jr(ArchReg target_reg); ///< Indirect jump via register.
     std::uint32_t halt();
 
     /** Direct access to the memory image being built. */

@@ -34,6 +34,8 @@ class NdaScheme : public SecureScheme
 
     const char *name() const override { return "NDA"; }
     Scheme kind() const override { return Scheme::Nda; }
+    bool claimsTransmitterSafety() const override { return true; }
+    bool claimsConsumeSafety() const override { return true; }
 
     bool deferBroadcast(const DynInstPtr &inst, Cycle ready_at) override;
     void tick() override;

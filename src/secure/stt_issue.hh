@@ -40,6 +40,7 @@ class SttIssueScheme : public SecureScheme
 
     const char *name() const override { return "STT-Issue"; }
     Scheme kind() const override { return Scheme::SttIssue; }
+    bool claimsTransmitterSafety() const override { return true; }
 
     void attach(Core &core) override;
     bool selectVeto(const DynInst &inst, bool addr_half) override;

@@ -41,6 +41,7 @@ class SttRenameScheme : public SecureScheme
 
     const char *name() const override { return "STT-Rename"; }
     Scheme kind() const override { return Scheme::SttRename; }
+    bool claimsTransmitterSafety() const override { return true; }
 
     void onRenameGroup(const std::vector<DynInstPtr> &group) override;
     bool selectVeto(const DynInst &inst, bool addr_half) override;

@@ -1,0 +1,399 @@
+#include "trace/gadgets.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sb
+{
+
+namespace
+{
+
+using gadget_layout::array2Base;
+using gadget_layout::probeStride;
+
+// Memory layout shared by every gadget.
+constexpr Addr array1Base = 0x200000;
+constexpr Addr secretOffset = 0x10000;   ///< Out-of-range index.
+constexpr Addr idxArrayBase = 0x600000;
+constexpr Addr staleBase = 0xA00000;     ///< v4 sanitised-pointer slots.
+constexpr Addr chaseBase = 0x800000;
+constexpr unsigned chaseNodes = 2048;
+constexpr unsigned trainingRounds = 48;
+constexpr std::int64_t inRangeLength = 8;
+/** v4 needs no predictor training; each round leaks independently. */
+constexpr unsigned ssbRounds = 16;
+/** Mask for the v1 "false mitigation": wide enough to pass the
+ *  malicious index (secretOffset < 0x20000), so it mitigates nothing
+ *  while leaving the in-range training indices untouched. */
+constexpr std::int64_t falseMask = 0x1ffff;
+
+/** Register assignments shared by every gadget. */
+struct Regs
+{
+    static constexpr ArchReg a1 = 1, a2 = 2, idxp = 3, idx = 4;
+    static constexpr ArchReg bound = 5, chase = 6, hop1 = 7, hop2 = 8;
+    static constexpr ArchReg secret = 10, offs = 11, slot = 12;
+    static constexpr ArchReg leakv = 13, probeAddr = 14, probeVal = 15;
+    static constexpr ArchReg targ = 16, paddr = 17, preg = 18;
+    static constexpr ArchReg cnt = 20, lim = 21, one = 22, mask = 23;
+    static constexpr ArchReg byteMask = 24, nine = 25, acc = 26;
+    static constexpr ArchReg chain0 = 27, zero = 28;
+};
+
+/**
+ * Cold pointer chase: a shuffled cyclic chain of 64-byte nodes. Each
+ * node holds its successor's address at +0 and the (benign) bound at
+ * +8; offsets +16 and +24 are free for per-round gadget payloads
+ * (v2 jump targets, v4 store addresses). Dependent hops through the
+ * cold chain are what delay each gadget's squash trigger.
+ */
+struct ChaseChain
+{
+    std::vector<std::uint32_t> order;
+
+    Addr
+    nodeAddr(unsigned i) const
+    {
+        return chaseBase + Addr(order[i % chaseNodes]) * 64;
+    }
+};
+
+ChaseChain
+buildChase(ProgramBuilder &b, Rng &rng)
+{
+    ChaseChain chain;
+    chain.order.resize(chaseNodes);
+    for (unsigned i = 0; i < chaseNodes; ++i)
+        chain.order[i] = i;
+    for (unsigned i = chaseNodes - 1; i > 0; --i) {
+        const unsigned j = rng.below(i);
+        std::swap(chain.order[i], chain.order[j]);
+    }
+    for (unsigned i = 0; i < chaseNodes; ++i) {
+        const Addr node = chain.nodeAddr(i);
+        const Addr next = chain.nodeAddr(i + 1);
+        b.memory().write(node, next);
+        b.memory().write(node + 8, inRangeLength); // The bound.
+    }
+    return chain;
+}
+
+/** In-range victim entries are all zero, so architectural execution
+ *  only ever warms probe slot 0 (excluded from scoring). */
+void
+initVictimArrays(ProgramBuilder &b, std::uint8_t secret_byte)
+{
+    for (unsigned i = 0; i < inRangeLength; ++i)
+        b.memory().write(array1Base + 8 * i, 0);
+    b.memory().write(array1Base + secretOffset, secret_byte);
+}
+
+/** Common register preamble; gadget-specific registers ride along. */
+void
+emitPreamble(ProgramBuilder &b, const ChaseChain &chain,
+             unsigned rounds)
+{
+    b.movi(Regs::a1, array1Base);
+    b.movi(Regs::a2, array2Base);
+    b.movi(Regs::idxp, idxArrayBase);
+    b.movi(Regs::chase, chain.nodeAddr(0));
+    b.movi(Regs::cnt, 0);
+    b.movi(Regs::lim, rounds);
+    b.movi(Regs::one, 1);
+    b.movi(Regs::byteMask, 0xff);
+    b.movi(Regs::nine, 9);
+    b.movi(Regs::acc, 0);
+    b.movi(Regs::chain0, 0);
+    b.movi(Regs::zero, 0);
+}
+
+/**
+ * The shared transmitter: read array1[idx], encode the byte into the
+ * residency of probe slot array2[byte * 512]. Transient execution of
+ * this sequence with a malicious idx is what every gadget arranges.
+ */
+void
+emitTransmitter(ProgramBuilder &b)
+{
+    b.add(Regs::offs, Regs::a1, Regs::idx);
+    b.load(Regs::secret, Regs::offs, 0);   // Reads the secret.
+    b.and_(Regs::secret, Regs::secret, Regs::byteMask);
+    b.shl(Regs::slot, Regs::secret, Regs::nine); // * 512.
+    b.add(Regs::slot, Regs::a2, Regs::slot);
+    b.load(Regs::leakv, Regs::slot, 0);    // Transmit: warms the slot.
+    b.add(Regs::acc, Regs::acc, Regs::leakv);
+}
+
+/**
+ * Shared receiver: a serialisation barrier of six more cold dependent
+ * hops (so no probe load can execute until long after any wrong-path
+ * window closed; the harness pauses at the first barrier load to read
+ * the residency oracle before the probe pollutes the cache), then a
+ * fully serialised timing probe over slots 1..255.
+ */
+void
+emitBarrierAndProbe(ProgramBuilder &b, GadgetProgram &out)
+{
+    out.barrierPc = b.load(Regs::hop1, Regs::chase, 0);
+    b.load(Regs::hop2, Regs::hop1, 0);
+    b.load(Regs::hop1, Regs::hop2, 0);
+    b.load(Regs::hop2, Regs::hop1, 0);
+    b.load(Regs::hop1, Regs::hop2, 0);
+    b.load(Regs::bound, Regs::hop1, 0);
+    b.and_(Regs::chain0, Regs::bound, Regs::zero);
+
+    for (unsigned v = 1; v < 256; ++v) {
+        const std::uint32_t movi_pc =
+            b.movi(Regs::probeAddr, array2Base + Addr(v) * probeStride);
+        if (v == 1)
+            out.firstProbePc = movi_pc + 2;
+        b.add(Regs::probeAddr, Regs::probeAddr, Regs::chain0);
+        b.load(Regs::probeVal, Regs::probeAddr, 0);
+        b.and_(Regs::chain0, Regs::probeVal, Regs::zero);
+    }
+    b.halt();
+}
+
+// ---------------------------------------------------------------------
+// Spectre v1 (and the masked false-mitigation variant)
+// ---------------------------------------------------------------------
+
+GadgetProgram
+buildV1(std::uint8_t secret_byte, std::uint64_t seed, bool masked)
+{
+    ProgramBuilder b;
+    Rng rng(seed);
+
+    initVictimArrays(b, secret_byte);
+
+    // Index sequence: training values, then the malicious index.
+    const unsigned rounds = trainingRounds + 1;
+    for (unsigned t = 0; t < trainingRounds; ++t)
+        b.memory().write(idxArrayBase + 8 * t, t % inRangeLength);
+    b.memory().write(idxArrayBase + 8 * trainingRounds, secretOffset);
+
+    const ChaseChain chain = buildChase(b, rng);
+
+    emitPreamble(b, chain, rounds);
+    if (masked)
+        b.movi(Regs::mask, falseMask);
+
+    const auto round = b.here();
+    // Three dependent cold loads delay the bound by ~300 cycles.
+    b.load(Regs::hop1, Regs::chase, 0);
+    b.load(Regs::hop2, Regs::hop1, 0);
+    b.load(Regs::bound, Regs::hop2, 8);
+    b.add(Regs::chase, Regs::hop2, Regs::zero); // Advance the head.
+    b.load(Regs::idx, Regs::idxp, 0);
+    b.addi(Regs::idxp, Regs::idxp, 8);
+    if (masked) {
+        // The "mitigation": clamp the index before the bounds check.
+        // The mask passes secretOffset, so the gadget leaks anyway.
+        b.and_(Regs::idx, Regs::idx, Regs::mask);
+    }
+    const auto skip = b.futureLabel();
+    b.bge(Regs::idx, Regs::bound, skip); // The trained bounds check.
+    emitTransmitter(b);
+    b.bind(skip);
+    b.add(Regs::cnt, Regs::cnt, Regs::one);
+    // Loop structure matters for receiver hygiene: the exit branch is
+    // not-taken through every round, so any mispredicted wrong path
+    // falls back *into* the loop, never into the probe code.
+    const auto exit_label = b.futureLabel();
+    b.beq(Regs::cnt, Regs::lim, exit_label);
+    b.jmp(round);
+    b.bind(exit_label);
+
+    GadgetProgram out;
+    emitBarrierAndProbe(b, out);
+    out.program = b.build(masked ? "spectre-v1-mask" : "spectre-v1");
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Spectre v2: indirect-branch target misprediction
+// ---------------------------------------------------------------------
+
+GadgetProgram
+buildV2(std::uint8_t secret_byte, std::uint64_t seed)
+{
+    ProgramBuilder b;
+    Rng rng(seed);
+
+    initVictimArrays(b, secret_byte);
+
+    const unsigned rounds = trainingRounds + 1;
+    for (unsigned t = 0; t < trainingRounds; ++t)
+        b.memory().write(idxArrayBase + 8 * t, t % inRangeLength);
+    b.memory().write(idxArrayBase + 8 * trainingRounds, secretOffset);
+
+    const ChaseChain chain = buildChase(b, rng);
+
+    emitPreamble(b, chain, rounds);
+
+    const auto round = b.here();
+    // The per-round jump target rides on the cold chase, so the
+    // indirect branch stays unresolved for ~300 cycles while fetch
+    // follows the BTB.
+    b.load(Regs::hop1, Regs::chase, 0);
+    b.load(Regs::hop2, Regs::hop1, 0);
+    b.load(Regs::targ, Regs::hop2, 16); // This round's destination.
+    b.add(Regs::chase, Regs::hop2, Regs::zero);
+    b.load(Regs::idx, Regs::idxp, 0);
+    b.addi(Regs::idxp, Regs::idxp, 8);
+    b.jr(Regs::targ);
+    // The gadget sits directly after the jr: a cold BTB predicts
+    // fall-through, which is also the architectural target of every
+    // training round, so training is mispredict-free from round 0.
+    const std::uint32_t gadget_pc = b.here();
+    emitTransmitter(b);
+    // Training rounds fall through the gadget into the join.
+    const std::uint32_t join_pc = b.here();
+    b.add(Regs::cnt, Regs::cnt, Regs::one);
+    const auto exit_label = b.futureLabel();
+    b.beq(Regs::cnt, Regs::lim, exit_label);
+    b.jmp(round);
+    b.bind(exit_label);
+
+    GadgetProgram out;
+    emitBarrierAndProbe(b, out);
+
+    // Per-round targets, written now that the PCs are known: round r
+    // reads its destination from the node its third hop lands on.
+    // Training rounds architecturally enter the gadget (with in-range
+    // indices); the attack round's architectural target skips it, but
+    // the trained BTB sends transient fetch through it with the
+    // malicious index.
+    for (unsigned r = 0; r < rounds; ++r) {
+        const Addr node = chain.nodeAddr(2 * r + 2);
+        b.memory().write(node + 16,
+                         r < trainingRounds ? gadget_pc : join_pc);
+    }
+
+    out.program = b.build("spectre-v2-indirect");
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Spectre v4: speculative store bypass
+// ---------------------------------------------------------------------
+
+GadgetProgram
+buildV4(std::uint8_t secret_byte, std::uint64_t seed)
+{
+    ProgramBuilder b;
+    Rng rng(seed);
+
+    initVictimArrays(b, secret_byte);
+
+    // Each round has its own "pointer" slot, pre-loaded with the
+    // malicious stale index. The victim sanitises the slot with a
+    // store of zero, then immediately reloads it — but the store's
+    // address rides on the cold chase, so the load speculatively
+    // bypasses the unknown-address store and reads the stale value.
+    for (unsigned r = 0; r < ssbRounds; ++r)
+        b.memory().write(staleBase + 64 * r, secretOffset);
+
+    const ChaseChain chain = buildChase(b, rng);
+
+    emitPreamble(b, chain, ssbRounds);
+    b.movi(Regs::preg, staleBase);
+
+    // Warm the pointer slots so the bypassing load hits in the L1 and
+    // the transmitter runs well inside the disambiguation window.
+    for (unsigned r = 0; r < ssbRounds; ++r)
+        b.load(Regs::hop1, Regs::preg, 64 * r);
+
+    const auto round = b.here();
+    b.load(Regs::hop1, Regs::chase, 0);
+    b.load(Regs::hop2, Regs::hop1, 0);
+    b.load(Regs::paddr, Regs::hop2, 24); // This round's slot address.
+    b.add(Regs::chase, Regs::hop2, Regs::zero);
+    // The sanitising store: address unknown for ~300 cycles.
+    b.store(Regs::paddr, Regs::zero, 0);
+    // The victim load of the same slot: address known immediately, so
+    // it optimistically bypasses the store and reads the stale index.
+    b.load(Regs::idx, Regs::preg, 0);
+    emitTransmitter(b);
+    b.addi(Regs::preg, Regs::preg, 64);
+    b.add(Regs::cnt, Regs::cnt, Regs::one);
+    const auto exit_label = b.futureLabel();
+    b.beq(Regs::cnt, Regs::lim, exit_label);
+    b.jmp(round);
+    b.bind(exit_label);
+
+    GadgetProgram out;
+    emitBarrierAndProbe(b, out);
+
+    // The store's delayed address, parked on the chase like v2's
+    // targets: round r's third hop carries staleBase + 64r.
+    for (unsigned r = 0; r < ssbRounds; ++r) {
+        const Addr node = chain.nodeAddr(2 * r + 2);
+        b.memory().write(node + 24, staleBase + 64 * r);
+    }
+
+    out.program = b.build("spectre-v4-ssb");
+    return out;
+}
+
+} // anonymous namespace
+
+const char *
+gadgetName(GadgetKind kind)
+{
+    switch (kind) {
+      case GadgetKind::SpectreV1:
+        return "spectre-v1";
+      case GadgetKind::SpectreV1Mask:
+        return "spectre-v1-mask";
+      case GadgetKind::SpectreV2Indirect:
+        return "spectre-v2-indirect";
+      case GadgetKind::SpectreV4StoreBypass:
+        return "spectre-v4-ssb";
+    }
+    sb_panic("unknown gadget kind");
+}
+
+bool
+gadgetFromName(const std::string &name, GadgetKind &out)
+{
+    for (GadgetKind kind : allGadgets()) {
+        if (name == gadgetName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<GadgetKind>
+allGadgets()
+{
+    return {GadgetKind::SpectreV1, GadgetKind::SpectreV1Mask,
+            GadgetKind::SpectreV2Indirect,
+            GadgetKind::SpectreV4StoreBypass};
+}
+
+GadgetProgram
+buildGadgetProgram(GadgetKind kind, std::uint8_t secret_byte,
+                   std::uint64_t seed)
+{
+    sb_assert(secret_byte >= 1,
+              "secret byte must be 1..255 (slot 0 is warmed by training)");
+    switch (kind) {
+      case GadgetKind::SpectreV1:
+        return buildV1(secret_byte, seed, false);
+      case GadgetKind::SpectreV1Mask:
+        return buildV1(secret_byte, seed, true);
+      case GadgetKind::SpectreV2Indirect:
+        return buildV2(secret_byte, seed);
+      case GadgetKind::SpectreV4StoreBypass:
+        return buildV4(secret_byte, seed);
+    }
+    sb_panic("unknown gadget kind");
+}
+
+} // namespace sb

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the differential leakage verifier: gadget workload
+ * encoding, the ExperimentRunner dispatch into the attack harness,
+ * battery pairing/folding, and — most importantly — that an
+ * intentionally leaky scheme which *claims* safety is caught by the
+ * differential check.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/attack.hh"
+#include "harness/engine.hh"
+#include "harness/verify.hh"
+
+namespace
+{
+
+sb::RunSpec
+gadgetSpec(sb::GadgetKind kind, std::uint8_t secret, sb::Scheme scheme)
+{
+    sb::RunSpec spec;
+    spec.core = sb::CoreConfig::mega();
+    spec.scheme.scheme = scheme;
+    spec.workload =
+        sb::gadgetWorkloadName(kind, secret, sb::verifyGadgetSeed);
+    spec.warmupInsts = 0;
+    spec.measureInsts = 0;
+    return spec;
+}
+
+TEST(GadgetWorkloads, EncodingRoundTrips)
+{
+    for (const auto kind : sb::allGadgets()) {
+        const std::string name = sb::gadgetWorkloadName(kind, 0xA7, 42);
+        EXPECT_TRUE(sb::isGadgetWorkload(name));
+
+        sb::GadgetKind parsed_kind;
+        std::uint8_t secret = 0;
+        std::uint64_t seed = 0;
+        ASSERT_TRUE(sb::parseGadgetWorkload(name, parsed_kind, secret,
+                                            seed))
+            << name;
+        EXPECT_EQ(parsed_kind, kind);
+        EXPECT_EQ(secret, 0xA7);
+        EXPECT_EQ(seed, 42u);
+    }
+}
+
+TEST(GadgetWorkloads, ParseRejectsMalformed)
+{
+    sb::GadgetKind kind;
+    std::uint8_t secret = 0;
+    std::uint64_t seed = 0;
+    for (const char *bad :
+         {"505.mcf", "gadget:", "gadget:spectre-v1",
+          "gadget:spectre-v1:secret=167", "gadget:nope:secret=1:seed=2",
+          "gadget:spectre-v1:secret=0:seed=2",
+          "gadget:spectre-v1:secret=256:seed=2",
+          "gadget:spectre-v1:secret=x:seed=2",
+          "gadget:spectre-v1:seed=2:secret=167"}) {
+        EXPECT_FALSE(sb::parseGadgetWorkload(bad, kind, secret, seed))
+            << bad;
+    }
+    EXPECT_FALSE(sb::isGadgetWorkload("505.mcf"));
+}
+
+TEST(GadgetWorkloads, SpecKeySeparatesSecretsAndGadgets)
+{
+    const auto a = gadgetSpec(sb::GadgetKind::SpectreV1,
+                              sb::verifySecretA, sb::Scheme::Baseline);
+    const auto a2 = gadgetSpec(sb::GadgetKind::SpectreV1,
+                               sb::verifySecretA, sb::Scheme::Baseline);
+    const auto b = gadgetSpec(sb::GadgetKind::SpectreV1,
+                              sb::verifySecretB, sb::Scheme::Baseline);
+    const auto mask =
+        gadgetSpec(sb::GadgetKind::SpectreV1Mask, sb::verifySecretA,
+                   sb::Scheme::Baseline);
+    EXPECT_EQ(a.specKey(), a2.specKey());
+    EXPECT_NE(a.specKey(), b.specKey());
+    EXPECT_NE(a.specKey(), mask.specKey());
+}
+
+TEST(GadgetCells, RunnerDispatchesIntoAttackHarness)
+{
+    const auto spec = gadgetSpec(sb::GadgetKind::SpectreV1,
+                                 sb::verifySecretA, sb::Scheme::Baseline);
+    const auto out = sb::ExperimentRunner::runOne(spec);
+    EXPECT_EQ(out.workload, spec.workload);
+    EXPECT_EQ(out.stat("gadget_leaked"), 1u);
+    EXPECT_EQ(out.stat("gadget_oracle_byte"),
+              std::uint64_t(sb::verifySecretA) + 1);
+    EXPECT_GT(out.stat("gadget_trace_len"), 0u);
+    EXPECT_GT(out.transmitViolations, 0u);
+
+    const auto safe = sb::ExperimentRunner::runOne(gadgetSpec(
+        sb::GadgetKind::SpectreV1, sb::verifySecretA,
+        sb::Scheme::SttRename));
+    EXPECT_EQ(safe.stat("gadget_leaked"), 0u);
+    EXPECT_EQ(safe.transmitViolations, 0u);
+}
+
+TEST(Battery, SpecsComeInAdjacentSecretPairs)
+{
+    sb::SchemeConfig baseline;
+    const auto specs =
+        sb::verifyBatterySpecs(sb::CoreConfig::mega(), {baseline});
+    ASSERT_EQ(specs.size(), 2 * sb::allGadgets().size());
+    for (std::size_t i = 0; i + 1 < specs.size(); i += 2) {
+        sb::GadgetKind ka, kb;
+        std::uint8_t sa = 0, sbyte = 0;
+        std::uint64_t seed_a = 0, seed_b = 0;
+        ASSERT_TRUE(sb::parseGadgetWorkload(specs[i].workload, ka, sa,
+                                            seed_a));
+        ASSERT_TRUE(sb::parseGadgetWorkload(specs[i + 1].workload, kb,
+                                            sbyte, seed_b));
+        EXPECT_EQ(ka, kb);
+        EXPECT_EQ(sa, sb::verifySecretA);
+        EXPECT_EQ(sbyte, sb::verifySecretB);
+    }
+}
+
+TEST(Battery, FoldAndJsonOverEngineOutcomes)
+{
+    sb::SchemeConfig baseline;
+    std::vector<sb::RunSpec> specs;
+    for (std::uint8_t secret : {sb::verifySecretA, sb::verifySecretB}) {
+        specs.push_back(gadgetSpec(sb::GadgetKind::SpectreV1, secret,
+                                   sb::Scheme::Baseline));
+    }
+    sb::ExperimentEngine engine;
+    const auto outcomes = engine.run(specs);
+
+    const auto matrix = sb::foldVerifyOutcomes(outcomes);
+    ASSERT_EQ(matrix.cells.size(), 1u);
+    const auto &cell = matrix.cells[0];
+    EXPECT_EQ(cell.gadget, "spectre-v1");
+    EXPECT_TRUE(cell.leaked);
+    EXPECT_TRUE(cell.armed);
+    EXPECT_TRUE(cell.diverged);   // A leaky run is secret-dependent.
+    EXPECT_FALSE(cell.claimsTransmitterSafety);
+    EXPECT_TRUE(cell.pass());     // The baseline is *supposed* to leak.
+    EXPECT_TRUE(matrix.ok());
+
+    const sb::Json doc = sb::toJson(matrix);
+    EXPECT_TRUE(doc.at("ok").asBool());
+    EXPECT_EQ(doc.at("cells").items().size(), 1u);
+    EXPECT_EQ(doc.at("cells").items()[0].at("gadget").asString(),
+              "spectre-v1");
+}
+
+/**
+ * A scheme that *claims* the STT obligation but implements nothing:
+ * the whole point of the differential checker is that this must be
+ * caught, whatever its self-report says.
+ */
+class LeakyDummyScheme : public sb::SecureScheme
+{
+  public:
+    const char *name() const override { return "LeakyDummy"; }
+    bool claimsTransmitterSafety() const override { return true; }
+};
+
+TEST(Differential, LeakyDummySchemeIsCaught)
+{
+    sb::SchemeConfig scfg; // Baseline knobs; the scheme is injected.
+    const auto core_cfg = sb::CoreConfig::mega();
+
+    const auto gadget_a = sb::buildGadgetProgram(
+        sb::GadgetKind::SpectreV1, sb::verifySecretA,
+        sb::verifyGadgetSeed);
+    const auto gadget_b = sb::buildGadgetProgram(
+        sb::GadgetKind::SpectreV1, sb::verifySecretB,
+        sb::verifyGadgetSeed);
+
+    const auto res_a = sb::runGadgetAttack(
+        gadget_a, core_cfg, scfg, std::make_unique<LeakyDummyScheme>(),
+        sb::verifySecretA);
+    const auto res_b = sb::runGadgetAttack(
+        gadget_b, core_cfg, scfg, std::make_unique<LeakyDummyScheme>(),
+        sb::verifySecretB);
+
+    // The do-nothing scheme leaks, and the paired observation traces
+    // diverge: the differential signal fires with no knowledge of the
+    // receivers at all.
+    EXPECT_TRUE(res_a.leaked);
+    EXPECT_TRUE(res_b.leaked);
+    EXPECT_NE(res_a.traceHash, res_b.traceHash);
+
+    sb::VerifyCell cell;
+    cell.gadget = "spectre-v1";
+    cell.scheme = sb::Scheme::Baseline;
+    cell.claimsTransmitterSafety =
+        LeakyDummyScheme().claimsTransmitterSafety();
+    cell.leaked = res_a.leaked || res_b.leaked;
+    cell.armed = res_a.leaked && res_b.leaked;
+    cell.diverged = res_a.traceHash != res_b.traceHash
+                    || res_a.traceLength != res_b.traceLength
+                    || res_a.cycles != res_b.cycles;
+    cell.transmitViolations = std::max(res_a.transmitViolations,
+                                       res_b.transmitViolations);
+    EXPECT_FALSE(cell.pass()) << "a leaky scheme claiming safety "
+                                 "must fail verification";
+}
+
+TEST(Differential, SecureSchemeTracesAreEquivalent)
+{
+    // Positive control for the equivalence check: under STT-Rename
+    // the paired traces must be bit-identical, so the differential
+    // checker's pass is meaningful (not just an insensitive hash).
+    sb::SchemeConfig scfg;
+    scfg.scheme = sb::Scheme::SttRename;
+    const auto res_a =
+        sb::runGadget(sb::GadgetKind::SpectreV2Indirect,
+                      sb::CoreConfig::mega(), scfg, sb::verifySecretA,
+                      sb::verifyGadgetSeed);
+    const auto res_b =
+        sb::runGadget(sb::GadgetKind::SpectreV2Indirect,
+                      sb::CoreConfig::mega(), scfg, sb::verifySecretB,
+                      sb::verifyGadgetSeed);
+    EXPECT_EQ(res_a.traceHash, res_b.traceHash);
+    EXPECT_EQ(res_a.traceLength, res_b.traceLength);
+    EXPECT_EQ(res_a.cycles, res_b.cycles);
+    EXPECT_GT(res_a.traceLength, 0u);
+}
+
+} // anonymous namespace
