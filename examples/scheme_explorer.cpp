@@ -3,7 +3,8 @@
  * Scheme explorer: sweep any benchmark across every (configuration x
  * scheme) cell and report IPC, synthesis frequency, and the combined
  * performance — the full paper-style comparison for one workload,
- * including the NDA-Strict extension and the two-taint-store
+ * across the whole scheme roster (including the NDA-Strict,
+ * Delay-on-Miss, and DelayAll extensions) plus the two-taint-store
  * ablation.
  *
  * Usage: scheme_explorer [benchmark]
@@ -32,12 +33,8 @@ main(int argc, char **argv)
         SchemeConfig cfg;
     };
     std::vector<Variant> variants;
-    for (Scheme s : {Scheme::Baseline, Scheme::SttRename,
-                     Scheme::SttIssue, Scheme::Nda, Scheme::NdaStrict}) {
-        SchemeConfig c;
-        c.scheme = s;
-        variants.push_back({schemeName(s), c});
-    }
+    for (const SchemeConfig &c : allSchemeConfigs())
+        variants.push_back({schemeName(c.scheme), c});
     {
         SchemeConfig c;
         c.scheme = Scheme::SttRename;

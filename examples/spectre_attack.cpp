@@ -44,9 +44,7 @@ runBattery(sb::GadgetKind gadget, const sb::CoreConfig &cfg,
     using namespace sb;
 
     std::printf("--- %s ---\n", gadgetName(gadget));
-    const Scheme schemes[] = {Scheme::Baseline, Scheme::SttRename,
-                              Scheme::SttIssue, Scheme::Nda};
-    for (Scheme s : schemes) {
+    for (Scheme s : allSchemes()) {
         SchemeConfig scfg;
         scfg.scheme = s;
         std::string timing_out, oracle_out;

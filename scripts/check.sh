@@ -6,6 +6,7 @@
 #   scripts/check.sh --asan    # Sanitizer build + full test suite
 #   scripts/check.sh --bench   # Also run sim-speed + the sbsim grid
 #   scripts/check.sh --verify  # Also run the Spectre gadget battery
+#   scripts/check.sh --docs    # Also run the markdown docs link check
 #
 # SB_JOBS bounds simulation worker threads (tests and sbsim).
 # Flags compose: e.g. `check.sh --asan --verify`.
@@ -22,6 +23,7 @@ build_dir=build
 cmake_flags=()
 run_bench=0
 run_verify=0
+run_docs=0
 for arg in "$@"; do
     case "$arg" in
       --asan)
@@ -34,8 +36,11 @@ for arg in "$@"; do
       --verify)
         run_verify=1
         ;;
+      --docs)
+        run_docs=1
+        ;;
       *)
-        echo "usage: $0 [--asan] [--bench] [--verify]" >&2
+        echo "usage: $0 [--asan] [--bench] [--verify] [--docs]" >&2
         exit 2
         ;;
     esac
@@ -79,6 +84,16 @@ if [ "$run_bench" = 1 ]; then
         echo "grid-speed results: $build_dir/BENCH_gridspeed.json (full report: $build_dir/sbsim_all.log)"
     else
         echo "FAIL: sbsim all (log: $build_dir/sbsim_all.log)" >&2
+        status=1
+    fi
+fi
+
+if [ "$run_docs" = 1 ]; then
+    # Markdown link/anchor check: the docs layer must not rot.
+    if python3 scripts/check_docs.py; then
+        :
+    else
+        echo "FAIL: broken markdown links (scripts/check_docs.py)" >&2
         status=1
     fi
 fi

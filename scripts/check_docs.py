@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Markdown link/anchor checker for the docs layer.
+
+Walks every tracked *.md file (git ls-files, falling back to a
+filesystem walk), extracts inline links and images, and fails on:
+
+  - relative links whose target file does not exist;
+  - fragment links (#anchor) whose heading does not exist in the
+    target file (GitHub slugification rules);
+  - empty link targets.
+
+External http(s)/mailto links are not fetched (CI must not depend on
+the network); their syntax is still validated. Exit status is the
+number of broken links, so `python3 scripts/check_docs.py` composes
+directly into scripts/check.sh and CI.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Inline links/images: [text](target "title") — tolerates one level of
+# balanced parentheses inside the target (GitHub does the same).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]*(?:\([^()]*\)[^()\s]*)*)"
+                     r"(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def tracked_markdown():
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "--cached", "--others",
+             "--exclude-standard", "*.md", "**/*.md"],
+            cwd=REPO, capture_output=True, text=True, check=True)
+        files = [f for f in out.stdout.splitlines() if f.strip()]
+        if files:
+            return sorted(set(files))
+    except (subprocess.CalledProcessError, OSError):
+        pass
+    found = []
+    for root, dirs, names in os.walk(REPO):
+        dirs[:] = [d for d in dirs
+                   if d not in {".git", "build", "build-asan"}]
+        for name in names:
+            if name.endswith(".md"):
+                found.append(os.path.relpath(os.path.join(root, name),
+                                             REPO))
+    return sorted(found)
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->-.
+
+    Underscores are word characters and survive slugification (e.g. a
+    heading quoting `stt_rename.cc` keeps its underscore); only
+    backtick/asterisk formatting is stripped.
+    """
+    text = re.sub(r"[`*]", "", heading)           # inline formatting
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def headings_of(path):
+    slugs = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(2))
+            # Duplicate headings get -1, -2, ... suffixes on GitHub.
+            n = slugs.get(slug, -1) + 1
+            slugs[slug] = n
+            if n:
+                slugs[f"{slug}-{n}"] = 0
+    return set(slugs)
+
+
+def links_of(path):
+    links = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                links.append((lineno, m.group(1)))
+    return links
+
+
+def main():
+    errors = []
+    files = tracked_markdown()
+    checked = 0
+    for rel in files:
+        path = os.path.join(REPO, rel)
+        if not os.path.isfile(path):
+            continue
+        for lineno, target in links_of(path):
+            checked += 1
+            where = f"{rel}:{lineno}"
+            if not target:
+                errors.append(f"{where}: empty link target")
+                continue
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                continue  # http(s)/mailto/...: not fetched.
+            base, _, fragment = target.partition("#")
+            if base:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(path), base))
+                if os.path.commonpath([REPO, dest]) != REPO:
+                    # Escapes the repo (e.g. the ../../actions/...
+                    # CI-badge URL): resolves on the forge, not on
+                    # disk — nothing to validate locally.
+                    continue
+                if not os.path.exists(dest):
+                    errors.append(f"{where}: missing target '{base}'")
+                    continue
+            else:
+                dest = path
+            if fragment and dest.endswith(".md"):
+                if fragment not in headings_of(dest):
+                    errors.append(
+                        f"{where}: no heading for anchor "
+                        f"'#{fragment}' in {os.path.relpath(dest, REPO)}")
+    for e in errors:
+        print(f"check_docs: {e}", file=sys.stderr)
+    print(f"check_docs: {len(files)} files, {checked} links, "
+          f"{len(errors)} broken")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

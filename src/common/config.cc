@@ -11,11 +11,13 @@ const char *
 schemeName(Scheme scheme)
 {
     switch (scheme) {
-      case Scheme::Baseline:  return "Baseline";
-      case Scheme::SttRename: return "STT-Rename";
-      case Scheme::SttIssue:  return "STT-Issue";
-      case Scheme::Nda:       return "NDA";
-      case Scheme::NdaStrict: return "NDA-Strict";
+      case Scheme::Baseline:    return "Baseline";
+      case Scheme::SttRename:   return "STT-Rename";
+      case Scheme::SttIssue:    return "STT-Issue";
+      case Scheme::Nda:         return "NDA";
+      case Scheme::NdaStrict:   return "NDA-Strict";
+      case Scheme::DelayOnMiss: return "DoM";
+      case Scheme::DelayAll:    return "DelayAll";
     }
     sb_panic("unknown scheme");
 }
@@ -23,8 +25,7 @@ schemeName(Scheme scheme)
 bool
 schemeFromName(const std::string &name, Scheme &out)
 {
-    for (Scheme s : {Scheme::Baseline, Scheme::SttRename,
-                     Scheme::SttIssue, Scheme::Nda, Scheme::NdaStrict}) {
+    for (Scheme s : allSchemes()) {
         if (name == schemeName(s)) {
             out = s;
             return true;
@@ -37,6 +38,26 @@ std::vector<Scheme>
 paperSchemes()
 {
     return {Scheme::SttRename, Scheme::SttIssue, Scheme::Nda};
+}
+
+std::vector<Scheme>
+allSchemes()
+{
+    return {Scheme::Baseline,  Scheme::SttRename,   Scheme::SttIssue,
+            Scheme::Nda,       Scheme::NdaStrict,   Scheme::DelayOnMiss,
+            Scheme::DelayAll};
+}
+
+std::vector<SchemeConfig>
+allSchemeConfigs()
+{
+    std::vector<SchemeConfig> configs;
+    for (Scheme s : allSchemes()) {
+        SchemeConfig c;
+        c.scheme = s;
+        configs.push_back(c);
+    }
+    return configs;
 }
 
 std::string

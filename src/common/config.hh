@@ -21,11 +21,14 @@ namespace sb
 /** Which secure speculation scheme the core runs. */
 enum class Scheme
 {
-    Baseline,  ///< Unsafe, unprotected core.
-    SttRename, ///< STT with taint computation in the rename stage.
-    SttIssue,  ///< STT with taint computation at instruction issue.
-    Nda,       ///< NDA-Permissive: delayed load broadcast.
-    NdaStrict, ///< NDA-Strict extension: speculation is a full barrier.
+    Baseline,    ///< Unsafe, unprotected core.
+    SttRename,   ///< STT with taint computation in the rename stage.
+    SttIssue,    ///< STT with taint computation at instruction issue.
+    Nda,         ///< NDA-Permissive: delayed load broadcast.
+    NdaStrict,   ///< NDA-Strict extension: speculation is a full barrier.
+    DelayOnMiss, ///< Speculative loads that miss in L1 wait for the
+                 ///< visibility point; speculative hits proceed.
+    DelayAll,    ///< Eager baseline: no load issues while speculative.
 };
 
 /** Printable scheme name, matching the paper's labels. */
@@ -40,6 +43,15 @@ bool schemeFromName(const std::string &name, Scheme &out);
 
 /** All schemes evaluated in the paper, in presentation order. */
 std::vector<Scheme> paperSchemes();
+
+/** Every implemented scheme (baseline first), in roster order. */
+std::vector<Scheme> allSchemes();
+
+struct SchemeConfig;
+
+/** allSchemes() as default-knob SchemeConfigs (the roster the
+ *  battery, scheme_compare, and the examples all sweep). */
+std::vector<SchemeConfig> allSchemeConfigs();
 
 /** Geometry of one cache level. */
 struct CacheConfig

@@ -382,6 +382,15 @@ Core::loadMemoryStage(const DynInstPtr &inst)
         finishLoad(inst, cycle + cfg.l1d.latency, fwd.data, fwd.source);
         return;
     }
+    // Delay-on-Miss interposition: the scheme may park the demand
+    // access instead of launching it (it probes L1 residency itself;
+    // store forwarding above is in-core and never delayed). The
+    // memory port charged at select is wasted, like an issue kill.
+    if (schemePtr->delayLoadMiss(inst)) {
+        ++st.schemeMissDelays;
+        trace("delay-miss", *inst);
+        return;
+    }
     MemAccessResult res = mem.access(inst->effAddr, inst->pc, cycle,
                                      false);
     if (!res.accepted) {

@@ -74,6 +74,7 @@ struct CoreStats
           loadsBecameSafe(g.counter("loads_became_safe")),
           schemeSelectBlocks(g.counter("scheme_select_blocks")),
           schemeIssueKills(g.counter("scheme_issue_kills")),
+          schemeMissDelays(g.counter("scheme_miss_delays")),
           iqFullStalls(g.counter("iq_full_stalls")),
           robFullStalls(g.counter("rob_full_stalls")),
           freelistStalls(g.counter("freelist_stalls")),
@@ -101,6 +102,7 @@ struct CoreStats
     Counter &loadsBecameSafe;
     Counter &schemeSelectBlocks;
     Counter &schemeIssueKills;
+    Counter &schemeMissDelays;
     Counter &iqFullStalls;
     Counter &robFullStalls;
     Counter &freelistStalls;
@@ -205,6 +207,14 @@ class Core
      * schemes that own deferred broadcasts, e.g. NDA).
      */
     void scheduleWakeup(PhysReg preg, Cycle at, const DynInstPtr &producer);
+
+    /**
+     * Re-inject a load the scheme took ownership of through
+     * SecureScheme::delayLoadMiss(): it re-arbitrates for a memory
+     * port like an MSHR-rejected retry (scheme tick() runs before the
+     * select phase, so a load released there retries the same cycle).
+     */
+    void retryLoad(const DynInstPtr &load) { retryLoads.push_back(load); }
 
     /** Per-commit observer (used by examples, e.g. the attack PoC). */
     using CommitHook = std::function<void(const DynInst &, Cycle)>;

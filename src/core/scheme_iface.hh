@@ -79,6 +79,18 @@ class SecureScheme
         return false;
     }
 
+    /**
+     * Miss-delay interposer (Delay-on-Miss): called from the load
+     * memory stage when @p load is about to launch a demand access
+     * (its address is known; store forwarding was already ruled out).
+     * The scheme probes L1 residency / speculation state itself.
+     * Return true to take ownership of the load — the scheme must
+     * park it and later re-inject it via Core::retryLoad() (typically
+     * once the visibility point has passed it). Returning false lets
+     * the access proceed normally.
+     */
+    virtual bool delayLoadMiss(const DynInstPtr &) { return false; }
+
     /** Per-cycle scheme machinery (e.g. draining broadcast queues). */
     virtual void tick() {}
 
@@ -110,6 +122,22 @@ class SecureScheme
     /** Claim of the stronger NDA obligation (no instruction consumes
      *  a speculative load's value at all). Implies the STT claim. */
     virtual bool claimsConsumeSafety() const { return false; }
+
+    /**
+     * The purely observational contract (the weakest claim the
+     * verifier can police): paired secret-flipped runs must neither
+     * recover the secret through a receiver nor diverge in their
+     * committed-load observation traces. Schemes that satisfy a
+     * dataflow obligation claim it implicitly; schemes that close the
+     * channel without policing dataflow (Delay-on-Miss lets tainted
+     * transmitters *hit*, it only hides the misses) claim exactly
+     * this and nothing stronger.
+     */
+    virtual bool
+    claimsLeakFreedom() const
+    {
+        return claimsTransmitterSafety() || claimsConsumeSafety();
+    }
 
     /** Reset all scheme state (between runs). */
     virtual void reset() {}

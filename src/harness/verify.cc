@@ -33,20 +33,6 @@ parseUint(const std::string &text, std::uint64_t &out)
     return true;
 }
 
-/** The five schemes the battery verifies, in presentation order. */
-std::vector<SchemeConfig>
-batterySchemes()
-{
-    std::vector<SchemeConfig> schemes;
-    for (Scheme s : {Scheme::Baseline, Scheme::SttRename,
-                     Scheme::SttIssue, Scheme::Nda, Scheme::NdaStrict}) {
-        SchemeConfig c;
-        c.scheme = s;
-        schemes.push_back(c);
-    }
-    return schemes;
-}
-
 } // anonymous namespace
 
 std::string
@@ -139,8 +125,10 @@ runGadgetCell(const RunSpec &spec)
 bool
 VerifyCell::pass() const
 {
-    if (claimsTransmitterSafety) {
-        if (leaked || diverged || transmitViolations != 0)
+    if (claimsLeakFreedom) {
+        if (leaked || diverged)
+            return false;
+        if (claimsTransmitterSafety && transmitViolations != 0)
             return false;
         if (claimsConsumeSafety && consumeViolations != 0)
             return false;
@@ -211,6 +199,7 @@ foldVerifyOutcomes(const std::vector<RunOutcome> &outcomes)
         cell.claimsTransmitterSafety =
             scheme_impl->claimsTransmitterSafety();
         cell.claimsConsumeSafety = scheme_impl->claimsConsumeSafety();
+        cell.claimsLeakFreedom = scheme_impl->claimsLeakFreedom();
 
         const bool leaked_a = a.stat("gadget_leaked") != 0;
         const bool leaked_b = b.stat("gadget_leaked") != 0;
@@ -239,7 +228,7 @@ Json
 toJson(const VerifyMatrix &matrix)
 {
     Json doc = Json::object();
-    doc.set("schema", Json::num(std::uint64_t(1)));
+    doc.set("schema", Json::num(std::uint64_t(2)));
     doc.set("ok", Json::boolean(matrix.ok()));
     doc.set("secret_a", Json::num(std::uint64_t(verifySecretA)));
     doc.set("secret_b", Json::num(std::uint64_t(verifySecretB)));
@@ -253,6 +242,8 @@ toJson(const VerifyMatrix &matrix)
               Json::boolean(cell.claimsTransmitterSafety));
         c.set("claims_consume_safety",
               Json::boolean(cell.claimsConsumeSafety));
+        c.set("claims_leak_freedom",
+              Json::boolean(cell.claimsLeakFreedom));
         c.set("leaked", Json::boolean(cell.leaked));
         c.set("armed", Json::boolean(cell.armed));
         c.set("diverged", Json::boolean(cell.diverged));
@@ -277,10 +268,15 @@ printVerifyMatrix(const VerifyMatrix &matrix, std::FILE *out)
     std::fprintf(out, "=== Security: Spectre gadget battery + "
                       "differential leakage check ===\n\n");
     TextTable t;
-    t.header({"gadget", "scheme", "core", "leaked", "diverged",
-              "t-viol", "c-viol", "verdict"});
+    t.header({"gadget", "scheme", "core", "claims", "leaked",
+              "diverged", "t-viol", "c-viol", "verdict"});
     for (const VerifyCell &cell : matrix.cells) {
-        t.row({cell.gadget, schemeName(cell.scheme), cell.core,
+        const char *claims =
+            cell.claimsConsumeSafety       ? "consume"
+            : cell.claimsTransmitterSafety ? "transmit"
+            : cell.claimsLeakFreedom       ? "leak-free"
+                                           : "none";
+        t.row({cell.gadget, schemeName(cell.scheme), cell.core, claims,
                cell.leaked ? "yes" : "no",
                cell.diverged ? "yes" : "no",
                std::to_string(cell.transmitViolations),
@@ -289,9 +285,12 @@ printVerifyMatrix(const VerifyMatrix &matrix, std::FILE *out)
     }
     std::fprintf(out, "%s\n", t.render().c_str());
     std::fprintf(out,
-                 "Secure schemes must show leaked=no diverged=no with "
-                 "clean obligations;\nthe unsafe baseline must leak on "
-                 "every gadget (proof the battery is armed).\n");
+                 "Claiming schemes must show leaked=no diverged=no, "
+                 "plus clean monitor obligations for the dataflow\n"
+                 "contracts they claim (transmit/consume; leak-free "
+                 "is the purely observational contract, e.g. DoM);\n"
+                 "the unsafe baseline must leak on every gadget "
+                 "(proof the battery is armed).\n");
     std::fprintf(out, "verdict: %s\n",
                  matrix.ok() ? "PASS" : "FAIL");
 }
@@ -304,7 +303,8 @@ registerSecurityScenarios(ScenarioRegistry &registry)
     s.title = "Security: Spectre gadget battery + differential "
               "leakage check (leak matrix)";
     s.specs = [] {
-        return verifyBatterySpecs(CoreConfig::mega(), batterySchemes());
+        return verifyBatterySpecs(CoreConfig::mega(),
+                                  allSchemeConfigs());
     };
     s.report = [](const std::vector<RunOutcome> &outcomes,
                   std::FILE *out) {

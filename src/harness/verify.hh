@@ -83,9 +83,14 @@ struct VerifyCell
     std::string gadget;
     std::string core;
     Scheme scheme = Scheme::Baseline;
-    /** The scheme's own contract (SecureScheme::claims*Safety). */
+    /** The scheme's own contract (SecureScheme::claims*). The
+     *  dataflow obligations (transmitter/consume) are checked against
+     *  the ground-truth monitor; leak freedom is the observational
+     *  contract every non-baseline scheme must honour (no recovery,
+     *  no differential divergence) — Delay-on-Miss claims only it. */
     bool claimsTransmitterSafety = false;
     bool claimsConsumeSafety = false;
+    bool claimsLeakFreedom = false;
     /** Either paired run recovered its own secret. */
     bool leaked = false;
     /** Both paired runs recovered their own secrets — the gadget is
@@ -103,9 +108,11 @@ struct VerifyCell
     std::uint64_t cyclesB = 0;
 
     /**
-     * Contract check: a claiming scheme must block recovery, show no
-     * differential divergence, and keep its monitor obligations; the
-     * baseline must demonstrably leak.
+     * Contract check: a scheme claiming leak freedom must block
+     * recovery and show no differential divergence, plus keep
+     * whichever monitor obligations it additionally claims
+     * (transmitter/consume); a scheme claiming nothing (the unsafe
+     * baseline) must demonstrably leak.
      */
     bool pass() const;
 };

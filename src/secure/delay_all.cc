@@ -1,0 +1,16 @@
+#include "secure/delay_all.hh"
+
+namespace sb
+{
+
+bool
+DelayAllScheme::selectVeto(const DynInst &inst, bool /* addr_half */)
+{
+    // Only loads are delayed; store halves and every other op class
+    // issue normally (they are what resolves the shadows).
+    if (!inst.isLoad())
+        return false;
+    return coreRef->isSpeculative(inst.seq);
+}
+
+} // namespace sb

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * DelayAll: the eager delay-all-speculative-loads baseline.
+ *
+ * The conservative endpoint of the in-core design space (the
+ * behaviour hardware/software contract work such as ProSpeCT assumes
+ * of a maximally careful core): no load wins a select port while it
+ * is younger than an open C/D shadow. The veto sits in the ready
+ * logic (selectVeto), so a blocked load simply stays in the issue
+ * queue and re-arbitrates once the visibility point passes it —
+ * store address/data halves, branches, and ALU ops issue normally,
+ * which is what keeps the visibility point advancing (the oldest
+ * unresolved shadow never depends on a younger delayed load, so
+ * forward progress is inductive).
+ *
+ * Because a load only ever executes non-speculatively, its result is
+ * never speculative when broadcast: DelayAll satisfies the NDA
+ * obligation (claimsConsumeSafety, which implies the STT obligation)
+ * by construction, at the largest IPC cost in the roster. That makes
+ * it the anchor every selective scheme (STT, NDA, DoM) is measured
+ * against in the scheme_compare scenario.
+ */
+
+#ifndef SB_SECURE_DELAY_ALL_HH
+#define SB_SECURE_DELAY_ALL_HH
+
+#include "core/core.hh"
+#include "core/scheme_iface.hh"
+
+namespace sb
+{
+
+/** Delay every speculative load until the point of no speculation. */
+class DelayAllScheme : public SecureScheme
+{
+  public:
+    explicit DelayAllScheme(const SchemeConfig & /* config */) {}
+
+    const char *name() const override { return "DelayAll"; }
+    Scheme kind() const override { return Scheme::DelayAll; }
+    bool claimsTransmitterSafety() const override { return true; }
+    bool claimsConsumeSafety() const override { return true; }
+
+    bool selectVeto(const DynInst &inst, bool addr_half) override;
+};
+
+} // namespace sb
+
+#endif // SB_SECURE_DELAY_ALL_HH

@@ -1,0 +1,66 @@
+#include "secure/dom.hh"
+
+#include <algorithm>
+
+namespace sb
+{
+
+bool
+DomScheme::delayLoadMiss(const DynInstPtr &load)
+{
+    if (!coreRef->isSpeculative(load->seq))
+        return false;
+    if (coreRef->memorySystem().l1Contains(load->effAddr))
+        return false; // Speculative hits proceed (no fill, no trace).
+    parked.push_back(load);
+    return true;
+}
+
+void
+DomScheme::tick()
+{
+    if (parked.empty())
+        return;
+
+    // Release every parked load the visibility point has passed,
+    // oldest first (a re-injected load re-arbitrates for a memory
+    // port in this cycle's select phase, so order determines port
+    // priority). Squashed loads are dropped on the way: their miss
+    // never happened.
+    releaseScratch.clear();
+    auto keep = parked.begin();
+    for (auto it = parked.begin(); it != parked.end(); ++it) {
+        DynInstPtr &load = *it;
+        if (load->squashed)
+            continue;
+        if (!coreRef->isSpeculative(load->seq)) {
+            releaseScratch.push_back(std::move(load));
+            continue;
+        }
+        *keep++ = std::move(load);
+    }
+    parked.erase(keep, parked.end());
+
+    if (releaseScratch.empty())
+        return;
+    std::sort(releaseScratch.begin(), releaseScratch.end(),
+              [](const DynInstPtr &a, const DynInstPtr &b) {
+                  return a->seq < b->seq;
+              });
+    for (const DynInstPtr &load : releaseScratch)
+        coreRef->retryLoad(load);
+    releaseScratch.clear();
+}
+
+void
+DomScheme::onSquash(SeqNum youngest_surviving)
+{
+    parked.erase(std::remove_if(parked.begin(), parked.end(),
+                                [youngest_surviving](const DynInstPtr &l) {
+                                    return l->seq > youngest_surviving
+                                           || l->squashed;
+                                }),
+                 parked.end());
+}
+
+} // namespace sb

@@ -1,6 +1,8 @@
 #include "secure/factory.hh"
 
 #include "common/logging.hh"
+#include "secure/delay_all.hh"
+#include "secure/dom.hh"
 #include "secure/nda.hh"
 #include "secure/stt_issue.hh"
 #include "secure/stt_rename.hh"
@@ -22,6 +24,10 @@ makeScheme(const SchemeConfig &config)
         return std::make_unique<NdaScheme>(config);
       case Scheme::NdaStrict:
         return std::make_unique<NdaStrictScheme>(config);
+      case Scheme::DelayOnMiss:
+        return std::make_unique<DomScheme>(config);
+      case Scheme::DelayAll:
+        return std::make_unique<DelayAllScheme>(config);
     }
     sb_panic("unknown scheme in factory");
 }

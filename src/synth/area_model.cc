@@ -90,6 +90,24 @@ AreaModel::estimate(const CoreConfig &c, Scheme scheme)
         a.ffs += 16.0 * c.ldqEntries + 286.0;
         break;
       }
+
+      case Scheme::DelayOnMiss: {
+        // L1 residency probe port per memory port, plus park/release
+        // control per LQ entry.
+        a.luts += 60.0 * c.memPorts + 6.0 * c.ldqEntries;
+        // Parked bit + release bookkeeping per LQ entry.
+        a.ffs += 5.0 * c.ldqEntries;
+        break;
+      }
+
+      case Scheme::DelayAll: {
+        // Visibility-point comparator folded into the load ready
+        // logic: per IQ entry and per select port.
+        a.luts += 3.0 * c.iqEntries + 35.0 * w;
+        // Latched shadow/visibility state beside the select tree.
+        a.ffs += 10.0 * w + 48.0;
+        break;
+      }
     }
     return a;
 }

@@ -31,6 +31,10 @@ schemeActivity(Scheme scheme)
         return 0.87;  // No speculative wakeups, fewer broadcasts.
       case Scheme::NdaStrict:
         return 0.84;
+      case Scheme::DelayOnMiss:
+        return 0.965; // Squashed wrong-path misses never walk DRAM.
+      case Scheme::DelayAll:
+        return 0.80;  // Loads idle under every shadow: least toggling.
     }
     sb_panic("unknown scheme");
 }

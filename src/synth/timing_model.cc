@@ -65,6 +65,23 @@ sttIssueTax(double w, double phys_regs)
 /** NDA removes the speculative-wakeup logic from the issue path. */
 constexpr double ndaBypassBonus = 0.8;
 
+/**
+ * Delay-on-Miss: a residency probe against the already-read L1 tags
+ * plus per-LQ-entry park state, all off the select critical path —
+ * charged to the issue stage, where every preset has slack.
+ */
+constexpr double domIssueTax = 3.5;
+
+/**
+ * DelayAll: one seq-vs-visibility-point comparator per select port
+ * folded into the load ready logic.
+ */
+double
+delayAllTax(double w)
+{
+    return 2.0 + 0.6 * w;
+}
+
 } // anonymous namespace
 
 TimingBreakdown
@@ -91,6 +108,15 @@ TimingModel::analyze(const CoreConfig &config, Scheme scheme)
         // Dropping the L1-hit speculation logic slightly shortens
         // the wakeup path; the split write/broadcast mux is small.
         b.bypassNetwork -= ndaBypassBonus;
+        break;
+      case Scheme::DelayOnMiss:
+        // Neither the park decision nor the release check touches
+        // the bypass network: DoM rides the issue stage's slack and
+        // keeps baseline frequency (its cost is all IPC).
+        b.issueStage += domIssueTax;
+        break;
+      case Scheme::DelayAll:
+        b.issueStage += delayAllTax(w);
         break;
     }
 

@@ -233,7 +233,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllSchemes, CoreExecTest,
     ::testing::Values(sb::Scheme::Baseline, sb::Scheme::SttRename,
                       sb::Scheme::SttIssue, sb::Scheme::Nda,
-                      sb::Scheme::NdaStrict),
+                      sb::Scheme::NdaStrict, sb::Scheme::DelayOnMiss,
+                      sb::Scheme::DelayAll),
     [](const ::testing::TestParamInfo<sb::Scheme> &info) {
         std::string name = sb::schemeName(info.param);
         for (auto &c : name)

@@ -46,6 +46,15 @@ const Golden goldens[] = {
     {sb::Scheme::Nda, "505.mcf", 229176ull, 50002ull},
     {sb::Scheme::Nda, "541.leela", 55865ull, 50000ull},
     {sb::Scheme::Nda, "519.lbm", 33330ull, 50000ull},
+    // Captured at the introduction of the delay schemes (same window);
+    // 519.lbm matching the baseline exactly is the expected signature
+    // (a streaming kernel with no long shadows delays nothing).
+    {sb::Scheme::DelayOnMiss, "505.mcf", 224932ull, 50002ull},
+    {sb::Scheme::DelayOnMiss, "541.leela", 294305ull, 50000ull},
+    {sb::Scheme::DelayOnMiss, "519.lbm", 33330ull, 50000ull},
+    {sb::Scheme::DelayAll, "505.mcf", 230237ull, 50002ull},
+    {sb::Scheme::DelayAll, "541.leela", 299681ull, 50000ull},
+    {sb::Scheme::DelayAll, "519.lbm", 33330ull, 50000ull},
 };
 
 TEST(TimingParity, GoldenCycleAndInstructionCounts)

@@ -43,7 +43,8 @@ TEST_P(SpectreSchemeTest, SchemeBlocksTheLeak)
 INSTANTIATE_TEST_SUITE_P(
     AllSchemes, SpectreSchemeTest,
     ::testing::Values(sb::Scheme::SttRename, sb::Scheme::SttIssue,
-                      sb::Scheme::Nda, sb::Scheme::NdaStrict),
+                      sb::Scheme::Nda, sb::Scheme::NdaStrict,
+                      sb::Scheme::DelayAll),
     [](const ::testing::TestParamInfo<sb::Scheme> &info) {
         std::string name = sb::schemeName(info.param);
         for (auto &c : name)
@@ -51,6 +52,23 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return name;
     });
+
+TEST(SpectreV1, DelayOnMissBlocksTheChannelNotTheDataflow)
+{
+    // DoM parks the transient probe-array miss, so neither receiver
+    // recovers the secret — but tainted transmitters still execute
+    // when they *hit* in the L1, so the monitor legitimately records
+    // transmitter violations. That asymmetry is exactly the
+    // leak-freedom-only contract DoM claims (claimsLeakFreedom
+    // without claimsTransmitterSafety).
+    sb::SchemeConfig scfg;
+    scfg.scheme = sb::Scheme::DelayOnMiss;
+    const auto res = sb::runSpectreV1(sb::CoreConfig::mega(), scfg,
+                                      0xA7);
+    EXPECT_FALSE(res.leaked);
+    EXPECT_EQ(res.oracleByte, -1);
+    EXPECT_NE(res.timingByte, 0xA7);
+}
 
 struct SpectreByteTest : ::testing::TestWithParam<int>
 {

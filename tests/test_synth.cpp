@@ -82,10 +82,24 @@ TEST(Timing, NdaMatchesOrBeatsBaselineEverywhere)
     }
 }
 
+TEST(Timing, DelaySchemesKeepBaselineFrequency)
+{
+    // Neither the DoM park logic nor the DelayAll ready comparator
+    // touches the bypass network, so both ride the issue stage's
+    // slack: their cost is all IPC, none frequency.
+    for (const auto &cfg : CoreConfig::boomPresets()) {
+        for (Scheme s : {Scheme::DelayOnMiss, Scheme::DelayAll}) {
+            const double rel =
+                sb::TimingModel::relativeFrequency(cfg, s);
+            EXPECT_GE(rel, 0.999) << cfg.name;
+            EXPECT_LE(rel, 1.001) << cfg.name;
+        }
+    }
+}
+
 TEST(Timing, CriticalPathIsMaxOfStages)
 {
-    for (Scheme s : {Scheme::Baseline, Scheme::SttRename,
-                     Scheme::SttIssue, Scheme::Nda}) {
+    for (Scheme s : sb::allSchemes()) {
         const auto b =
             sb::TimingModel::analyze(CoreConfig::mega(), s);
         EXPECT_DOUBLE_EQ(b.criticalPath,
@@ -171,6 +185,39 @@ TEST(Power, MatchesPaperTable4AtMega)
                 1.026, 0.01);
     EXPECT_NEAR(sb::PowerModel::relative(mega, Scheme::Nda), 0.936,
                 0.01);
+}
+
+TEST(Area, DelaySchemesAddOnlyMarginalArea)
+{
+    // Both new schemes are control-only additions: within 2% of
+    // baseline LUTs/FFs, and cheaper than either STT variant.
+    const CoreConfig mega = CoreConfig::mega();
+    const auto stt = sb::AreaModel::relative(mega, Scheme::SttRename);
+    for (Scheme s : {Scheme::DelayOnMiss, Scheme::DelayAll}) {
+        const auto rel = sb::AreaModel::relative(mega, s);
+        EXPECT_GT(rel.luts, 1.0);
+        EXPECT_LT(rel.luts, 1.02);
+        EXPECT_GT(rel.ffs, 1.0);
+        EXPECT_LT(rel.ffs, 1.02);
+        EXPECT_LT(rel.luts, stt.luts);
+        EXPECT_LT(rel.ffs, stt.ffs);
+    }
+}
+
+TEST(Power, DelayAllIdlesTheMost)
+{
+    // Stalled loads toggle nothing: DelayAll's activity factor is
+    // the lowest in the roster, below even NDA-Strict, while DoM
+    // stays near baseline (only wrong-path misses are saved).
+    const CoreConfig mega = CoreConfig::mega();
+    const double delay_all =
+        sb::PowerModel::relative(mega, Scheme::DelayAll);
+    EXPECT_LT(delay_all, sb::PowerModel::relative(mega, Scheme::Nda));
+    EXPECT_LT(delay_all, 1.0);
+    const double dom =
+        sb::PowerModel::relative(mega, Scheme::DelayOnMiss);
+    EXPECT_LT(dom, 1.0);
+    EXPECT_GT(dom, delay_all);
 }
 
 TEST(Power, NdaIsTheSustainabilityWinner)

@@ -192,6 +192,7 @@ TEST(Differential, LeakyDummySchemeIsCaught)
     cell.scheme = sb::Scheme::Baseline;
     cell.claimsTransmitterSafety =
         LeakyDummyScheme().claimsTransmitterSafety();
+    cell.claimsLeakFreedom = LeakyDummyScheme().claimsLeakFreedom();
     cell.leaked = res_a.leaked || res_b.leaked;
     cell.armed = res_a.leaked && res_b.leaked;
     cell.diverged = res_a.traceHash != res_b.traceHash
@@ -201,6 +202,123 @@ TEST(Differential, LeakyDummySchemeIsCaught)
                                        res_b.transmitViolations);
     EXPECT_FALSE(cell.pass()) << "a leaky scheme claiming safety "
                                  "must fail verification";
+}
+
+TEST(GadgetCells, NewRosterSchemesBlockTheBattery)
+{
+    // DelayAll satisfies the full dataflow contract: no leak, no
+    // violations of either obligation.
+    const auto delay_all = sb::ExperimentRunner::runOne(gadgetSpec(
+        sb::GadgetKind::SpectreV1, sb::verifySecretA,
+        sb::Scheme::DelayAll));
+    EXPECT_EQ(delay_all.stat("gadget_leaked"), 0u);
+    EXPECT_EQ(delay_all.transmitViolations, 0u);
+    EXPECT_EQ(delay_all.consumeViolations, 0u);
+
+    // DoM blocks the channel without policing dataflow: no leak, yet
+    // tainted transmitters legitimately execute on L1 hits — the
+    // monitor's nonzero count is the signature of the
+    // leak-freedom-only contract.
+    const auto dom = sb::ExperimentRunner::runOne(gadgetSpec(
+        sb::GadgetKind::SpectreV1, sb::verifySecretA,
+        sb::Scheme::DelayOnMiss));
+    EXPECT_EQ(dom.stat("gadget_leaked"), 0u);
+    EXPECT_GT(dom.transmitViolations, 0u);
+}
+
+TEST(Differential, DomPairedTracesAreEquivalent)
+{
+    // The leak-freedom contract DoM claims is exactly this: paired
+    // secret-flipped runs must be observationally identical even
+    // though the monitor records transmitter violations.
+    sb::SchemeConfig scfg;
+    scfg.scheme = sb::Scheme::DelayOnMiss;
+    for (const auto kind : sb::allGadgets()) {
+        const auto res_a =
+            sb::runGadget(kind, sb::CoreConfig::mega(), scfg,
+                          sb::verifySecretA, sb::verifyGadgetSeed);
+        const auto res_b =
+            sb::runGadget(kind, sb::CoreConfig::mega(), scfg,
+                          sb::verifySecretB, sb::verifyGadgetSeed);
+        EXPECT_EQ(res_a.traceHash, res_b.traceHash)
+            << sb::gadgetName(kind);
+        EXPECT_EQ(res_a.cycles, res_b.cycles) << sb::gadgetName(kind);
+        EXPECT_FALSE(res_a.leaked) << sb::gadgetName(kind);
+        EXPECT_FALSE(res_b.leaked) << sb::gadgetName(kind);
+    }
+}
+
+/**
+ * A do-nothing scheme claiming only the observational contract: the
+ * new leak-freedom verdict path must catch it through the
+ * differential check alone (it has no monitor obligation to trip).
+ */
+class LeakyObservationalScheme : public sb::SecureScheme
+{
+  public:
+    const char *name() const override { return "LeakyObservational"; }
+    bool claimsLeakFreedom() const override { return true; }
+};
+
+TEST(Differential, LeakyLeakFreedomClaimantIsCaught)
+{
+    sb::SchemeConfig scfg;
+    const auto core_cfg = sb::CoreConfig::mega();
+
+    const auto gadget_a = sb::buildGadgetProgram(
+        sb::GadgetKind::SpectreV1, sb::verifySecretA,
+        sb::verifyGadgetSeed);
+    const auto gadget_b = sb::buildGadgetProgram(
+        sb::GadgetKind::SpectreV1, sb::verifySecretB,
+        sb::verifyGadgetSeed);
+
+    const auto res_a = sb::runGadgetAttack(
+        gadget_a, core_cfg, scfg,
+        std::make_unique<LeakyObservationalScheme>(),
+        sb::verifySecretA);
+    const auto res_b = sb::runGadgetAttack(
+        gadget_b, core_cfg, scfg,
+        std::make_unique<LeakyObservationalScheme>(),
+        sb::verifySecretB);
+
+    sb::VerifyCell cell;
+    cell.gadget = "spectre-v1";
+    cell.scheme = sb::Scheme::Baseline;
+    cell.claimsLeakFreedom = true; // Claims nothing stronger.
+    cell.leaked = res_a.leaked || res_b.leaked;
+    cell.armed = res_a.leaked && res_b.leaked;
+    cell.diverged = res_a.traceHash != res_b.traceHash
+                    || res_a.traceLength != res_b.traceLength
+                    || res_a.cycles != res_b.cycles;
+    EXPECT_TRUE(cell.leaked);
+    EXPECT_TRUE(cell.diverged);
+    EXPECT_FALSE(cell.pass()) << "a leaky scheme claiming only leak "
+                                 "freedom must fail verification";
+}
+
+TEST(Battery, FoldCarriesTheLeakFreedomClaim)
+{
+    std::vector<sb::RunSpec> specs;
+    for (std::uint8_t secret : {sb::verifySecretA, sb::verifySecretB}) {
+        specs.push_back(gadgetSpec(sb::GadgetKind::SpectreV1, secret,
+                                   sb::Scheme::DelayOnMiss));
+    }
+    sb::ExperimentEngine engine;
+    const auto matrix = sb::foldVerifyOutcomes(engine.run(specs));
+    ASSERT_EQ(matrix.cells.size(), 1u);
+    const auto &cell = matrix.cells[0];
+    EXPECT_TRUE(cell.claimsLeakFreedom);
+    EXPECT_FALSE(cell.claimsTransmitterSafety);
+    EXPECT_FALSE(cell.claimsConsumeSafety);
+    EXPECT_FALSE(cell.leaked);
+    EXPECT_FALSE(cell.diverged);
+    EXPECT_TRUE(cell.pass());
+
+    const sb::Json doc = sb::toJson(matrix);
+    EXPECT_TRUE(doc.at("cells")
+                    .items()[0]
+                    .at("claims_leak_freedom")
+                    .asBool());
 }
 
 TEST(Differential, SecureSchemeTracesAreEquivalent)
