@@ -3,9 +3,11 @@
 # tier-1 command), optionally under AddressSanitizer/UBSan.
 #
 #   scripts/check.sh           # Release build + full test suite
+#   scripts/check.sh --quick   # Fast-label tests only (inner loop)
 #   scripts/check.sh --asan    # Sanitizer build + full test suite
 #   scripts/check.sh --bench   # Also run sim-speed + the sbsim grid
 #   scripts/check.sh --verify  # Also run the Spectre gadget battery
+#   scripts/check.sh --fuzz    # Also run the conformance fuzz smoke
 #   scripts/check.sh --docs    # Also run the markdown docs link check
 #
 # SB_JOBS bounds simulation worker threads (tests and sbsim).
@@ -21,8 +23,10 @@ cd "$(dirname "$0")/.."
 
 build_dir=build
 cmake_flags=()
+ctest_flags=()
 run_bench=0
 run_verify=0
+run_fuzz=0
 run_docs=0
 for arg in "$@"; do
     case "$arg" in
@@ -30,17 +34,26 @@ for arg in "$@"; do
         build_dir=build-asan
         cmake_flags+=(-DSB_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug)
         ;;
+      --quick)
+        # Inner-loop slice: only tests labelled `fast` (see the label
+        # taxonomy in CMakeLists.txt). The full suite stays the gate.
+        ctest_flags+=(-L fast)
+        ;;
       --bench)
         run_bench=1
         ;;
       --verify)
         run_verify=1
         ;;
+      --fuzz)
+        run_fuzz=1
+        ;;
       --docs)
         run_docs=1
         ;;
       *)
-        echo "usage: $0 [--asan] [--bench] [--verify] [--docs]" >&2
+        echo "usage: $0 [--asan] [--quick] [--bench] [--verify]" \
+             "[--fuzz] [--docs]" >&2
         exit 2
         ;;
     esac
@@ -50,7 +63,8 @@ jobs=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "$build_dir" -S . "${cmake_flags[@]}"
 cmake --build "$build_dir" -j "$jobs"
-ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
+      "${ctest_flags[@]}"
 
 status=0
 
@@ -65,6 +79,20 @@ if [ "$run_verify" = 1 ]; then
         echo "leak matrix: $build_dir/SBSIM_verify.json"
     else
         echo "FAIL: security battery reported a leak / divergence" >&2
+        status=1
+    fi
+fi
+
+if [ "$run_fuzz" = 1 ]; then
+    # Differential conformance smoke: random programs under every
+    # scheme vs the Baseline's architectural results. Like the
+    # security battery, deliberately --no-cache: a cached conformance
+    # verdict must never green-light a scheme broken by the change
+    # under test.
+    if (cd "$build_dir" && ./sbsim fuzz --programs 50 --no-cache --json); then
+        echo "conformance report: $build_dir/SBSIM_fuzz.json"
+    else
+        echo "FAIL: conformance fuzz found a divergence/deadlock" >&2
         status=1
     fi
 fi

@@ -116,7 +116,8 @@ Core::run(std::uint64_t max_insts, std::uint64_t max_cycles)
 {
     const std::uint64_t target = committedCount + max_insts;
     const Cycle limit = cycle + max_cycles;
-    while (!haltedFlag && committedCount < target && cycle < limit)
+    while (!haltedFlag && !watchdogTrippedFlag && committedCount < target
+           && cycle < limit)
         tick();
     // After a halt, keep ticking until committed stores have drained
     // to memory, so the functional image reflects all committed work.
@@ -126,6 +127,7 @@ Core::run(std::uint64_t max_insts, std::uint64_t max_cycles)
     r.cycles = cycle;
     r.instructions = committedCount;
     r.halted = haltedFlag;
+    r.watchdogTripped = watchdogTrippedFlag;
     return r;
 }
 
@@ -151,9 +153,25 @@ Core::tick()
     std::swap(execNow, execNext);
     execNext.clear();
 
+    // Monotonicity of the *published* visibility point across ticks.
+    // The tracker's own update() hard-asserts the per-step invariant
+    // (and would abort before this observer sees it); this check
+    // covers what that assert cannot — a reset() slipped into a live
+    // run, or a future tracker rewrite publishing stale values.
+    if (inv.on())
+        inv.onVisibilityPoint(shadows.visibilityPoint());
+
     // Forward-progress watchdog: a stuck pipeline is a simulator bug.
+    // In soft mode (fuzz harness) the run ends with a liveness flag
+    // instead of aborting, so the failing seed can be reported.
+    const Cycle stall_limit =
+        softWatchdogCycles ? softWatchdogCycles : 100000;
     if (!haltedFlag && !rob.empty()
-        && cycle - lastCommitCycle > 100000) {
+        && cycle - lastCommitCycle > stall_limit) {
+        if (softWatchdogCycles) {
+            watchdogTrippedFlag = true;
+            return;
+        }
         const DynInstPtr &head = rob.front();
         sb_panic("no commit for 100000 cycles; head seq=", head->seq,
                  " pc=", head->pc, " op=", head->uop.disassemble(),
@@ -177,6 +195,8 @@ Core::commitPhase()
         DynInstPtr inst = rob.front();
         if (!inst->completed)
             break;
+        if (inv.on())
+            inv.onCommit(*inst);
 
         if (inst->isStore())
             lsu.markStoreCommitted(*inst);
@@ -411,6 +431,8 @@ void
 Core::finishLoad(const DynInstPtr &inst, Cycle complete_at, Word value,
                  SeqNum forward_source)
 {
+    if (inv.on())
+        inv.onForward(*inst, forward_source);
     inst->result = value;
     inst->completeAt = complete_at;
     lsu.loadDataReturned(*inst, forward_source);
@@ -526,6 +548,11 @@ Core::selectPhase()
                 continue;
 
             --slots;
+            if (inv.on()) {
+                inv.onIssue(*inst,
+                            !addr_ready || wakeupDone[inst->psrc1],
+                            !data_ready || wakeupDone[inst->psrc2]);
+            }
             bool killed = false;
             bool scheduled = false;
             if (addr_ready) {
@@ -580,6 +607,11 @@ Core::selectPhase()
             continue;
 
         --slots;
+        if (inv.on()) {
+            inv.onIssue(*inst,
+                        !inst->uop.hasSrc1() || wakeupDone[inst->psrc1],
+                        !inst->uop.hasSrc2() || wakeupDone[inst->psrc2]);
+        }
         if (is_fp)
             --fp_slots;
         if (cls == OpClass::MemRead)

@@ -35,6 +35,7 @@
 #include "common/stats.hh"
 #include "core/dyn_inst.hh"
 #include "core/dyn_inst_pool.hh"
+#include "core/invariants.hh"
 #include "core/issue_queue.hh"
 #include "core/timing_wheel.hh"
 #include "core/lsu.hh"
@@ -143,6 +144,9 @@ struct RunResult
     std::uint64_t cycles = 0;
     std::uint64_t instructions = 0;
     bool halted = false;
+    /** The soft watchdog detected a commit-less stall (liveness
+     *  failure) and ended the run; see Core::setSoftWatchdog. */
+    bool watchdogTripped = false;
 
     double
     ipc() const
@@ -248,6 +252,31 @@ class Core
 
     /** Read functional memory (committed state; for tests/examples). */
     Word readMemory(Addr addr) const { return workingMem.read(addr); }
+
+    /** The committed functional memory image (conformance oracle). */
+    const MemoryImage &memoryImage() const { return workingMem; }
+
+    /** In-core invariant checkers (pure observers; see invariants.hh). */
+    const InvariantChecker &invariants() const { return inv; }
+
+    /** Force the invariant checkers on/off, overriding the
+     *  build/environment default (the fuzz harness always enables). */
+    void setInvariantsEnabled(bool enable) { inv.setActive(enable); }
+
+    /**
+     * Replace the hard 100k-cycle commit-stall panic with a soft
+     * watchdog: after @p stall_cycles without a commit the run ends
+     * with RunResult::watchdogTripped set instead of aborting the
+     * process, so a fuzz harness can report the failing seed. 0
+     * restores the hard panic (the default).
+     */
+    void setSoftWatchdog(Cycle stall_cycles)
+    {
+        softWatchdogCycles = stall_cycles;
+    }
+
+    /** True once the soft watchdog ended the run. */
+    bool watchdogTripped() const { return watchdogTrippedFlag; }
 
   private:
     // --- Pipeline phases (called back-to-front from tick()) -----------
@@ -366,6 +395,9 @@ class Core
     bool haltedFlag = false;
     std::uint64_t committedCount = 0;
     Cycle lastCommitCycle = 0;
+    Cycle softWatchdogCycles = 0;   ///< 0 = hard panic on stall.
+    bool watchdogTrippedFlag = false;
+    InvariantChecker inv;
 
     /** Emit a trace event if a hook is attached. */
     void

@@ -1,0 +1,101 @@
+#include "core/invariants.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace sb
+{
+
+bool
+InvariantChecker::defaultActive()
+{
+    if (const char *env = std::getenv("SB_INVARIANTS")) {
+        if (std::strcmp(env, "0") == 0)
+            return false;
+        if (std::strcmp(env, "1") == 0)
+            return true;
+        sb_warn("ignoring SB_INVARIANTS='", env, "' (want 0 or 1)");
+    }
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+}
+
+void
+InvariantChecker::fail(std::string message)
+{
+    if (count == 0) {
+        first = std::move(message);
+        sb_warn("invariant violation: ", first);
+    }
+    ++count;
+}
+
+void
+InvariantChecker::onCommit(const DynInst &inst)
+{
+    if (inst.seq <= lastCommitSeq) {
+        fail(detail::concat("ROB commit order: seq ", inst.seq,
+                            " retiring after seq ", lastCommitSeq,
+                            " (pc=", inst.pc, ")"));
+    }
+    if (!inst.completed) {
+        fail(detail::concat("ROB commit: incomplete seq ", inst.seq,
+                            " retiring (pc=", inst.pc, ")"));
+    }
+    if (inst.squashed) {
+        fail(detail::concat("ROB commit: squashed seq ", inst.seq,
+                            " retiring (pc=", inst.pc, ")"));
+    }
+    lastCommitSeq = std::max(lastCommitSeq, inst.seq);
+}
+
+void
+InvariantChecker::onVisibilityPoint(SeqNum vp)
+{
+    if (vp < lastVp) {
+        fail(detail::concat("shadow tracker: visibility point moved "
+                            "backwards (",
+                            lastVp, " -> ", vp, ")"));
+    }
+    lastVp = std::max(lastVp, vp);
+}
+
+void
+InvariantChecker::onIssue(const DynInst &inst, bool src1_done,
+                          bool src2_done)
+{
+    if (!src1_done || !src2_done) {
+        fail(detail::concat(
+            "issue-queue wakeup: seq ", inst.seq, " (pc=", inst.pc,
+            ") selected with unbroadcast operand (src1=", src1_done,
+            " src2=", src2_done, ")"));
+    }
+    if (inst.squashed) {
+        fail(detail::concat("issue-queue: squashed seq ", inst.seq,
+                            " selected (pc=", inst.pc, ")"));
+    }
+}
+
+void
+InvariantChecker::onForward(const DynInst &load, SeqNum source)
+{
+    if (source == invalidSeqNum)
+        return;
+    if (source >= load.seq) {
+        fail(detail::concat("LSU forwarding: load seq ", load.seq,
+                            " forwarded from non-older store seq ",
+                            source));
+    }
+    if (!load.effAddrValid) {
+        fail(detail::concat("LSU forwarding: load seq ", load.seq,
+                            " forwarded without a resolved address"));
+    }
+}
+
+} // namespace sb

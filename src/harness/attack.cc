@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "core/core.hh"
 #include "secure/factory.hh"
@@ -17,12 +18,9 @@ namespace
 std::uint64_t
 hashObservations(const std::vector<LoadObservation> &trace)
 {
-    std::uint64_t hash = 0xcbf29ce484222325ull;
+    std::uint64_t hash = fnv1aBasis;
     auto mix = [&hash](std::uint64_t word) {
-        for (unsigned byte = 0; byte < 8; ++byte) {
-            hash ^= (word >> (8 * byte)) & 0xff;
-            hash *= 0x100000001b3ull;
-        }
+        hash = fnv1aWord(hash, word);
     };
     for (const LoadObservation &obs : trace) {
         mix(obs.pc);

@@ -1,0 +1,426 @@
+#include "harness/conformance.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "core/core.hh"
+#include "harness/engine.hh"
+#include "harness/scenario.hh"
+#include "secure/factory.hh"
+
+namespace sb
+{
+
+namespace
+{
+
+constexpr const char *fuzzPrefix = "fuzz:";
+
+/** The fixed campaign behind the "conformance" scenario. */
+FuzzParams
+scenarioParams()
+{
+    FuzzParams params;
+    params.baseSeed = 0xC0FFEE;
+    params.programs = 8;
+    return params;
+}
+
+} // anonymous namespace
+
+std::string
+fuzzWorkloadName(OpMixProfile profile, std::uint64_t seed,
+                 unsigned iterations)
+{
+    std::string name = fuzzPrefix;
+    name += opMixProfileName(profile);
+    name += ":seed=" + std::to_string(seed);
+    name += ":iters=" + std::to_string(iterations);
+    return name;
+}
+
+bool
+isFuzzWorkload(const std::string &workload)
+{
+    return workload.rfind(fuzzPrefix, 0) == 0;
+}
+
+bool
+parseFuzzWorkload(const std::string &workload, OpMixProfile &profile,
+                  std::uint64_t &seed, unsigned &iterations)
+{
+    if (!isFuzzWorkload(workload))
+        return false;
+    const std::size_t profile_begin = std::strlen(fuzzPrefix);
+    const std::size_t profile_end = workload.find(':', profile_begin);
+    if (profile_end == std::string::npos)
+        return false;
+    OpMixProfile parsed_profile;
+    if (!opMixProfileFromName(
+            workload.substr(profile_begin, profile_end - profile_begin),
+            parsed_profile))
+        return false;
+
+    std::uint64_t parsed_seed = 0;
+    unsigned parsed_iters = 0;
+    const std::string rest = workload.substr(profile_end);
+    if (std::sscanf(rest.c_str(), ":seed=%" SCNu64 ":iters=%u",
+                    &parsed_seed, &parsed_iters)
+            != 2
+        || parsed_iters == 0)
+        return false;
+
+    profile = parsed_profile;
+    seed = parsed_seed;
+    iterations = parsed_iters;
+    return true;
+}
+
+ConformanceCell
+runConformanceCell(const Program &program, const CoreConfig &core_cfg,
+                   const SchemeConfig &scheme_config,
+                   std::unique_ptr<SecureScheme> scheme,
+                   std::uint64_t max_cycles)
+{
+    Core core(core_cfg, scheme_config, std::move(scheme), program);
+    core.setInvariantsEnabled(true);
+    core.setSoftWatchdog(100000);
+
+    std::uint64_t commit_hash = fnv1aBasis;
+    core.setCommitHook([&commit_hash](const DynInst &inst, Cycle) {
+        commit_hash = fnv1aWord(commit_hash, inst.pc);
+    });
+
+    const RunResult r =
+        core.run(std::numeric_limits<std::uint64_t>::max() / 2,
+                 max_cycles);
+
+    ConformanceCell cell;
+    cell.instructions = r.instructions;
+    cell.cycles = r.cycles;
+    cell.halted = r.halted;
+    cell.watchdogTripped = r.watchdogTripped;
+    cell.commitHash = commit_hash;
+    std::uint64_t reg_hash = fnv1aBasis;
+    for (ArchReg reg = 0; reg < numArchRegs; ++reg)
+        reg_hash = fnv1aWord(reg_hash, core.readArchReg(reg));
+    cell.regHash = reg_hash;
+    cell.memHash = core.memoryImage().fingerprint();
+    cell.invariantViolations = core.invariants().violations();
+    cell.transmitViolations = core.monitor().transmitViolations();
+    cell.consumeViolations = core.monitor().consumeViolations();
+    return cell;
+}
+
+RunOutcome
+runFuzzCell(const RunSpec &spec)
+{
+    OpMixProfile profile;
+    std::uint64_t seed = 0;
+    unsigned iterations = 0;
+    if (!parseFuzzWorkload(spec.workload, profile, seed, iterations))
+        sb_fatal("malformed fuzz workload '", spec.workload, "'");
+
+    GeneratorParams gen;
+    gen.seed = seed;
+    gen.profile = profile;
+    gen.outerIterations = iterations;
+    const Program program = generateProgram(gen);
+
+    const ConformanceCell cell =
+        runConformanceCell(program, spec.core, spec.scheme,
+                           makeScheme(spec.scheme), spec.maxCycles);
+
+    RunOutcome out;
+    out.workload = spec.workload;
+    out.coreName = spec.core.name;
+    out.scheme = spec.scheme.scheme;
+    out.cycles = cell.cycles;
+    out.instructions = cell.instructions;
+    out.ipc = cell.cycles == 0
+                  ? 0.0
+                  : static_cast<double>(cell.instructions)
+                        / static_cast<double>(cell.cycles);
+    out.transmitViolations = cell.transmitViolations;
+    out.consumeViolations = cell.consumeViolations;
+    out.stats["fuzz_reg_hash"] = cell.regHash;
+    out.stats["fuzz_mem_hash"] = cell.memHash;
+    out.stats["fuzz_commit_hash"] = cell.commitHash;
+    out.stats["fuzz_halted"] = cell.halted ? 1 : 0;
+    out.stats["fuzz_watchdog"] = cell.watchdogTripped ? 1 : 0;
+    out.stats["fuzz_invariant_violations"] = cell.invariantViolations;
+    return out;
+}
+
+OpMixProfile
+FuzzParams::profileFor(unsigned index) const
+{
+    const std::vector<OpMixProfile> pool =
+        profiles.empty() ? allOpMixProfiles() : profiles;
+    return pool[index % pool.size()];
+}
+
+std::string
+FuzzFailure::repro(const std::string &core_name) const
+{
+    std::string cmd = "sbsim fuzz --programs 1 --seed "
+                      + std::to_string(seed) + " --profile "
+                      + opMixProfileName(profile);
+    if (!core_name.empty() && core_name != "mega")
+        cmd += " --core " + core_name;
+    return cmd;
+}
+
+std::vector<RunSpec>
+fuzzSpecs(const FuzzParams &params)
+{
+    std::vector<RunSpec> specs;
+    specs.reserve(params.programs * allSchemeConfigs().size());
+    for (unsigned p = 0; p < params.programs; ++p) {
+        for (const SchemeConfig &scheme : allSchemeConfigs()) {
+            RunSpec spec;
+            spec.core = params.core;
+            spec.scheme = scheme;
+            spec.workload =
+                fuzzWorkloadName(params.profileFor(p),
+                                 params.programSeed(p),
+                                 params.outerIterations);
+            spec.maxCycles = params.maxCycles;
+            specs.push_back(std::move(spec));
+        }
+    }
+    return specs;
+}
+
+namespace
+{
+
+ConformanceCell
+cellFromOutcome(const RunOutcome &outcome)
+{
+    ConformanceCell cell;
+    cell.regHash = outcome.stat("fuzz_reg_hash");
+    cell.memHash = outcome.stat("fuzz_mem_hash");
+    cell.commitHash = outcome.stat("fuzz_commit_hash");
+    cell.instructions = outcome.instructions;
+    cell.cycles = outcome.cycles;
+    cell.halted = outcome.stat("fuzz_halted") != 0;
+    cell.watchdogTripped = outcome.stat("fuzz_watchdog") != 0;
+    cell.invariantViolations = outcome.stat("fuzz_invariant_violations");
+    cell.transmitViolations = outcome.transmitViolations;
+    cell.consumeViolations = outcome.consumeViolations;
+    return cell;
+}
+
+std::string
+hex16(std::uint64_t value)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, value);
+    return buf;
+}
+
+} // anonymous namespace
+
+FuzzReport
+foldFuzzOutcomes(const FuzzParams &params,
+                 const std::vector<RunOutcome> &outcomes)
+{
+    const std::vector<SchemeConfig> schemes = allSchemeConfigs();
+    sb_assert(outcomes.size() == params.programs * schemes.size(),
+              "fuzz outcome count does not match the campaign");
+    sb_assert(!schemes.empty()
+                  && schemes.front().scheme == Scheme::Baseline,
+              "scheme roster must lead with Baseline");
+
+    FuzzReport report;
+    report.programs = params.programs;
+    report.cells = static_cast<unsigned>(outcomes.size());
+    report.coreName = params.core.name;
+
+    // The monitor obligations each scheme claims are constant per
+    // scheme: resolve them once, not per (program, scheme) cell.
+    struct Claims
+    {
+        bool transmitter;
+        bool consume;
+    };
+    std::vector<Claims> claims;
+    claims.reserve(schemes.size());
+    for (const SchemeConfig &scfg : schemes) {
+        const auto impl = makeScheme(scfg);
+        claims.push_back(
+            {impl->claimsTransmitterSafety(), impl->claimsConsumeSafety()});
+    }
+
+    for (unsigned p = 0; p < params.programs; ++p) {
+        const std::uint64_t seed = params.programSeed(p);
+        const OpMixProfile profile = params.profileFor(p);
+        const std::size_t base_idx = std::size_t(p) * schemes.size();
+        const ConformanceCell baseline =
+            cellFromOutcome(outcomes[base_idx]);
+
+        auto add = [&](Scheme scheme, const char *kind,
+                       std::string detail) {
+            FuzzFailure f;
+            f.seed = seed;
+            f.profile = profile;
+            f.scheme = scheme;
+            f.kind = kind;
+            f.detail = std::move(detail);
+            report.failures.push_back(std::move(f));
+        };
+
+        if (!baseline.halted || baseline.watchdogTripped) {
+            add(Scheme::Baseline, "deadlock",
+                baseline.watchdogTripped
+                    ? "baseline run tripped the watchdog"
+                    : "baseline run exhausted its cycle budget");
+            continue; // No trustworthy oracle for this program.
+        }
+        if (baseline.invariantViolations) {
+            add(Scheme::Baseline, "invariant",
+                std::to_string(baseline.invariantViolations)
+                    + " invariant violation(s) under Baseline");
+        }
+
+        for (std::size_t s = 1; s < schemes.size(); ++s) {
+            const Scheme scheme = schemes[s].scheme;
+            const ConformanceCell cell =
+                cellFromOutcome(outcomes[base_idx + s]);
+
+            if (!cell.halted || cell.watchdogTripped) {
+                add(scheme, "deadlock",
+                    cell.watchdogTripped
+                        ? "no commit within the watchdog window"
+                        : "cycle budget exhausted before halt");
+                continue;
+            }
+            if (!cell.architecturallyEqual(baseline)) {
+                std::string detail = "vs baseline:";
+                if (cell.regHash != baseline.regHash)
+                    detail += " regs " + hex16(cell.regHash) + "!="
+                              + hex16(baseline.regHash);
+                if (cell.memHash != baseline.memHash)
+                    detail += " mem " + hex16(cell.memHash) + "!="
+                              + hex16(baseline.memHash);
+                if (cell.commitHash != baseline.commitHash)
+                    detail += " commits " + hex16(cell.commitHash)
+                              + "!=" + hex16(baseline.commitHash);
+                if (cell.instructions != baseline.instructions)
+                    detail += " insts "
+                              + std::to_string(cell.instructions) + "!="
+                              + std::to_string(baseline.instructions);
+                add(scheme, "divergence", std::move(detail));
+            }
+            if (cell.invariantViolations) {
+                add(scheme, "invariant",
+                    std::to_string(cell.invariantViolations)
+                        + " invariant violation(s)");
+            }
+
+            // Monitor obligations: only the ones the scheme claims
+            // (DoM claims leak freedom alone, so tainted transmitters
+            // executing on L1 hits are by design).
+            if (claims[s].transmitter && cell.transmitViolations) {
+                add(scheme, "monitor",
+                    std::to_string(cell.transmitViolations)
+                        + " transmit violation(s) against a "
+                          "transmitter-safety claim");
+            }
+            if (claims[s].consume && cell.consumeViolations) {
+                add(scheme, "monitor",
+                    std::to_string(cell.consumeViolations)
+                        + " consume violation(s) against a "
+                          "consume-safety claim");
+            }
+        }
+    }
+    return report;
+}
+
+FuzzReport
+runFuzz(const FuzzParams &params)
+{
+    ExperimentEngine::Options options;
+    options.jobs = params.jobs;
+    options.cacheDir = params.cacheDir;
+    ExperimentEngine engine(options);
+    const std::vector<RunSpec> specs = fuzzSpecs(params);
+    return foldFuzzOutcomes(params, engine.run(specs));
+}
+
+Json
+toJson(const FuzzReport &report)
+{
+    Json doc = Json::object();
+    doc.set("programs", Json::num(std::uint64_t(report.programs)));
+    doc.set("cells", Json::num(std::uint64_t(report.cells)));
+    doc.set("core", Json::str(report.coreName));
+    doc.set("ok", Json::boolean(report.ok()));
+    Json failures = Json::array();
+    for (const FuzzFailure &f : report.failures) {
+        Json entry = Json::object();
+        entry.set("seed", Json::num(f.seed));
+        entry.set("profile", Json::str(opMixProfileName(f.profile)));
+        entry.set("scheme", Json::str(schemeName(f.scheme)));
+        entry.set("kind", Json::str(f.kind));
+        entry.set("detail", Json::str(f.detail));
+        entry.set("repro", Json::str(f.repro(report.coreName)));
+        failures.push(std::move(entry));
+    }
+    doc.set("failures", std::move(failures));
+    return doc;
+}
+
+void
+printFuzzReport(const FuzzReport &report, std::FILE *out)
+{
+    std::fprintf(out,
+                 "=== Differential conformance: %u program(s) x "
+                 "%zu scheme(s) on %s ===\n",
+                 report.programs, allSchemeConfigs().size(),
+                 report.coreName.c_str());
+    if (report.failures.empty()) {
+        std::fprintf(out,
+                     "all %u cells architecturally identical to "
+                     "Baseline; no deadlocks, no invariant "
+                     "violations\nverdict: PASS\n",
+                     report.cells);
+        return;
+    }
+    for (const FuzzFailure &f : report.failures) {
+        std::fprintf(out,
+                     "FAIL [%s] seed=%llu profile=%s scheme=%s: %s\n"
+                     "      repro: %s\n",
+                     f.kind.c_str(),
+                     static_cast<unsigned long long>(f.seed),
+                     opMixProfileName(f.profile), schemeName(f.scheme),
+                     f.detail.c_str(),
+                     f.repro(report.coreName).c_str());
+    }
+    std::fprintf(out, "verdict: FAIL (%zu failure(s))\n",
+                 report.failures.size());
+}
+
+void
+registerConformanceScenarios(ScenarioRegistry &registry)
+{
+    Scenario s;
+    s.name = "conformance";
+    s.title = "Differential conformance fuzz (8 seeds x full roster)";
+    s.specs = [] { return fuzzSpecs(scenarioParams()); };
+    s.report = [](const std::vector<RunOutcome> &outcomes,
+                  std::FILE *out) {
+        printFuzzReport(foldFuzzOutcomes(scenarioParams(), outcomes),
+                        out);
+    };
+    registry.add(std::move(s));
+}
+
+} // namespace sb

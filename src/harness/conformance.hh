@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Differential conformance harness.
+ *
+ * ShadowBinding's schemes change *when* loads execute, never *what*
+ * commits. This harness makes that claim testable at scale: seeded
+ * random programs (src/isa/generator.hh) run under every scheme in
+ * the roster, and an architectural-equivalence oracle demands, per
+ * program, bit-identical results against the Baseline:
+ *
+ *  - identical committed register file (all architectural registers),
+ *  - identical committed functional memory (MemoryImage fingerprint),
+ *  - identical committed-instruction stream (PC-sequence digest) and
+ *    committed-instruction count,
+ *  - liveness: the run halts — no deadlock, no watchdog trip,
+ *  - clean in-core invariant checkers (src/core/invariants.hh, force-
+ *    enabled for every fuzz cell) and the monitor obligations each
+ *    scheme claims.
+ *
+ * Each (program, scheme) cell is an ordinary RunSpec with a
+ * "fuzz:<profile>:seed=S:iters=N" workload, so fuzzing rides the
+ * ExperimentEngine's dedup, worker pool, and content-addressed result
+ * cache like every performance cell. Failures fold into a report
+ * whose entries carry a replayable repro (`sbsim fuzz --programs 1
+ * --seed S --profile P`).
+ */
+
+#ifndef SB_HARNESS_CONFORMANCE_HH
+#define SB_HARNESS_CONFORMANCE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "harness/experiment.hh"
+#include "isa/generator.hh"
+
+namespace sb
+{
+
+class ScenarioRegistry;
+class SecureScheme;
+
+/**
+ * Workload-name encoding of one fuzz cell, e.g.
+ * "fuzz:mixed:seed=12345:iters=32". The seed, profile, and dynamic
+ * length are part of the cell's cache address via specKey().
+ */
+std::string fuzzWorkloadName(OpMixProfile profile, std::uint64_t seed,
+                             unsigned iterations);
+
+/** Is @p workload a fuzz cell? */
+bool isFuzzWorkload(const std::string &workload);
+
+/**
+ * Decode a fuzzWorkloadName(). Returns false on anything malformed,
+ * leaving the outputs untouched.
+ */
+bool parseFuzzWorkload(const std::string &workload, OpMixProfile &profile,
+                       std::uint64_t &seed, unsigned &iterations);
+
+/**
+ * Architectural fingerprint plus health bits of one (program, scheme)
+ * run — everything the oracle compares.
+ */
+struct ConformanceCell
+{
+    std::uint64_t regHash = 0;    ///< All architectural registers.
+    std::uint64_t memHash = 0;    ///< Committed MemoryImage fingerprint.
+    std::uint64_t commitHash = 0; ///< Committed PC-stream digest.
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    bool halted = false;
+    bool watchdogTripped = false;
+    std::uint64_t invariantViolations = 0;
+    std::uint64_t transmitViolations = 0;
+    std::uint64_t consumeViolations = 0;
+
+    /** The oracle's equality: architectural state only (timing and
+     *  health bits are checked separately). */
+    bool
+    architecturallyEqual(const ConformanceCell &o) const
+    {
+        return regHash == o.regHash && memHash == o.memHash
+               && commitHash == o.commitHash
+               && instructions == o.instructions;
+    }
+};
+
+/**
+ * Run one program to completion under @p scheme with the invariant
+ * checkers force-enabled and a soft watchdog (a deadlock returns with
+ * watchdogTripped instead of aborting). The timing path is untouched:
+ * the harness observes, never perturbs.
+ */
+ConformanceCell runConformanceCell(const Program &program,
+                                   const CoreConfig &core,
+                                   const SchemeConfig &scheme_config,
+                                   std::unique_ptr<SecureScheme> scheme,
+                                   std::uint64_t max_cycles);
+
+/**
+ * Execute one fuzz cell (ExperimentRunner::runOne dispatches here for
+ * fuzz workloads). The fingerprint lands in RunOutcome::stats under
+ * "fuzz_*" keys; warmup/measure counts are ignored (a fuzz run is a
+ * complete program, not a windowed measurement).
+ */
+RunOutcome runFuzzCell(const RunSpec &spec);
+
+/** Parameters of one fuzz campaign. */
+struct FuzzParams
+{
+    std::uint64_t baseSeed = 0xC0FFEE;
+    unsigned programs = 50;
+    /** Profiles rotated across programs; empty = all profiles. */
+    std::vector<OpMixProfile> profiles;
+    CoreConfig core = CoreConfig::mega();
+    unsigned outerIterations = 32;
+    /** Per-cell cycle budget (soft watchdog trips well before). */
+    std::uint64_t maxCycles = 4'000'000;
+    /** Worker threads; 0 defers to SB_JOBS then hardware. */
+    unsigned jobs = 0;
+    /** Result-cache directory; empty disables the disk cache. */
+    std::string cacheDir;
+
+    /** Program seed of the @p index -th program in the campaign. */
+    std::uint64_t programSeed(unsigned index) const
+    {
+        return baseSeed + index;
+    }
+
+    /** Profile of the @p index -th program (rotating). */
+    OpMixProfile profileFor(unsigned index) const;
+};
+
+/** One oracle failure, with everything a repro needs. */
+struct FuzzFailure
+{
+    std::uint64_t seed = 0;
+    OpMixProfile profile = OpMixProfile::Mixed;
+    Scheme scheme = Scheme::Baseline;
+    /** "divergence" | "deadlock" | "invariant" | "monitor". */
+    std::string kind;
+    std::string detail;
+
+    /** Minimized replay command for this failure. */
+    std::string repro(const std::string &core_name) const;
+};
+
+/** The folded campaign verdict. */
+struct FuzzReport
+{
+    unsigned programs = 0;
+    unsigned cells = 0;
+    std::string coreName;
+    std::vector<FuzzFailure> failures;
+
+    bool ok() const { return cells > 0 && failures.empty(); }
+};
+
+/** The campaign's RunSpecs: for each program, every scheme in roster
+ *  order with Baseline first (foldFuzzOutcomes relies on the order). */
+std::vector<RunSpec> fuzzSpecs(const FuzzParams &params);
+
+/** Fold engine outcomes (in fuzzSpecs() order) into the verdict. */
+FuzzReport foldFuzzOutcomes(const FuzzParams &params,
+                            const std::vector<RunOutcome> &outcomes);
+
+/** Run the whole campaign through an ExperimentEngine. */
+FuzzReport runFuzz(const FuzzParams &params);
+
+/** Machine-readable report (the SBSIM_fuzz.json document). */
+Json toJson(const FuzzReport &report);
+
+/** Human-readable report, with repro lines for every failure. */
+void printFuzzReport(const FuzzReport &report, std::FILE *out);
+
+/** Register the "conformance" scenario (a fixed small campaign). */
+void registerConformanceScenarios(ScenarioRegistry &registry);
+
+} // namespace sb
+
+#endif // SB_HARNESS_CONFORMANCE_HH

@@ -7,8 +7,10 @@
 #include <sstream>
 #include <thread>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "core/core.hh"
+#include "harness/conformance.hh"
 #include "harness/verify.hh"
 #include "secure/factory.hh"
 #include "trace/spec_suite.hh"
@@ -38,12 +40,7 @@ std::string
 RunSpec::specKey() const
 {
     // FNV-1a 64-bit over the canonical serialization.
-    const std::string text = canonical();
-    std::uint64_t hash = 0xcbf29ce484222325ull;
-    for (const char c : text) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 0x100000001b3ull;
-    }
+    const std::uint64_t hash = fnv1aString(fnv1aBasis, canonical());
     char buf[17];
     std::snprintf(buf, sizeof(buf), "%016llx",
                   static_cast<unsigned long long>(hash));
@@ -82,6 +79,8 @@ ExperimentRunner::runOne(const RunSpec &spec)
     // specKey().
     if (isGadgetWorkload(spec.workload))
         return runGadgetCell(spec);
+    if (isFuzzWorkload(spec.workload))
+        return runFuzzCell(spec);
 
     const Workload workload = SpecSuite::make(spec.workload);
     Core core(spec.core, spec.scheme, makeScheme(spec.scheme),

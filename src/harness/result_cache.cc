@@ -45,9 +45,39 @@ ResultCache::ResultCache(const std::string &dir)
         entries[entry.at("key").asString()] = std::move(outcome);
     }
     in.close();
-    if (bad)
+    if (bad) {
         sb_warn("result cache ", filePath, ": skipped ", bad,
-                " unreadable line(s)");
+                " unreadable line(s), compacting");
+        // Rewrite the file from the entries that parsed, so damage
+        // (a truncated trailing line from a killed writer, editor
+        // garbage) is shed once instead of being re-skipped — and
+        // re-warned about — on every load. Write-then-rename keeps
+        // the file whole if we die mid-compaction; a concurrent
+        // writer appending between the snapshot and the rename can
+        // lose its line, which costs one re-simulation, never a
+        // wrong result.
+        const std::string tmp = filePath + ".compact";
+        std::ofstream out(tmp, std::ios::trunc);
+        for (const auto &kv : entries) {
+            Json line = Json::object();
+            line.set("key", Json::str(kv.first));
+            line.set("outcome", toJson(kv.second));
+            out << line.dump() << '\n';
+        }
+        out.close();
+        std::error_code rename_ec;
+        if (!out) {
+            sb_warn("result cache ", filePath,
+                    ": compaction write failed; keeping damaged file");
+            std::filesystem::remove(tmp, rename_ec);
+        } else {
+            std::filesystem::rename(tmp, filePath, rename_ec);
+            if (rename_ec)
+                sb_warn("result cache ", filePath,
+                        ": compaction rename failed: ",
+                        rename_ec.message());
+        }
+    }
 
     appendFd = ::open(filePath.c_str(), O_WRONLY | O_APPEND | O_CREAT,
                       0644);

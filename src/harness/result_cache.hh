@@ -10,9 +10,11 @@
  * later line for the same key wins on load (last-writer-wins). Each
  * line is appended with a single O_APPEND write so concurrent
  * processes sharing a cache directory cannot interleave partial
- * lines. Malformed or unrecognizable lines are skipped with a
- * warning — a stale cache can only cause extra simulation, never
- * wrong results.
+ * lines. Malformed or unrecognizable lines (a truncated tail from a
+ * killed writer, editor garbage) are skipped with a warning and the
+ * file is compacted — rewritten from the entries that parsed — so
+ * damage is shed once instead of resurfacing on every load. A stale
+ * cache can only cause extra simulation, never wrong results.
  */
 
 #ifndef SB_HARNESS_RESULT_CACHE_HH

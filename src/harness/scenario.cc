@@ -1,6 +1,7 @@
 #include "harness/scenario.hh"
 
 #include "common/logging.hh"
+#include "harness/conformance.hh"
 #include "harness/engine.hh"
 #include "harness/verify.hh"
 
@@ -14,6 +15,7 @@ ScenarioRegistry::instance()
         ScenarioRegistry r;
         registerPaperScenarios(r);
         registerSecurityScenarios(r);
+        registerConformanceScenarios(r);
         return r;
     }();
     return registry;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace sb
@@ -26,6 +27,24 @@ bool
 MemoryImage::contains(Addr addr) const
 {
     return words.count(align(addr)) != 0;
+}
+
+Word
+MemoryImage::fingerprint() const
+{
+    // Hash each (addr, value) pair independently and combine with a
+    // commutative fold, so the unordered_map's iteration order (which
+    // differs across libraries and insertion histories) cannot leak
+    // into the digest.
+    Word sum = 0x9ae16a3b2f90404fULL;
+    Word mix = 0;
+    for (const auto &kv : words) {
+        const Word h =
+            fnv1aWord(fnv1aWord(fnv1aBasis, kv.first), kv.second);
+        sum += h;
+        mix ^= h;
+    }
+    return (sum ^ (mix * 0xff51afd7ed558ccdULL)) + words.size();
 }
 
 Word

@@ -40,6 +40,15 @@ class MemoryImage
 
     std::size_t size() const { return words.size(); }
 
+    /**
+     * Order-independent content hash over every explicitly written
+     * (address, word) pair. Two images with the same committed writes
+     * fingerprint identically whatever order the writes landed in —
+     * the architectural-memory half of the conformance oracle
+     * (src/harness/conformance.hh).
+     */
+    Word fingerprint() const;
+
     /** Deterministic background value for untouched memory. */
     static Word backgroundValue(Addr addr);
 

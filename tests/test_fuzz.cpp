@@ -10,6 +10,8 @@
 
 #include "common/config.hh"
 #include "core/core.hh"
+#include "harness/conformance.hh"
+#include "isa/generator.hh"
 #include "secure/factory.hh"
 #include "trace/random_program.hh"
 
@@ -190,6 +192,94 @@ TEST(FuzzGenerator, StoreHeavyProgramsTerminate)
                                    sb::CoreConfig::mega(), nullptr,
                                    nullptr);
     EXPECT_TRUE(s.halted);
+}
+
+// ---------------------------------------------------------------------
+// The structured generator (src/isa/generator.hh) through the full
+// conformance oracle: every profile, several seeds, every scheme.
+// ---------------------------------------------------------------------
+
+struct StructuredSweep : ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StructuredSweep, EverySchemeMatchesBaseline)
+{
+    const auto profiles = sb::allOpMixProfiles();
+    sb::FuzzParams params;
+    params.baseSeed = 5000 + GetParam();
+    params.programs = 1;
+    params.profiles = {profiles[GetParam() % profiles.size()]};
+    const auto specs = sb::fuzzSpecs(params);
+    std::vector<sb::RunOutcome> outcomes;
+    for (const sb::RunSpec &spec : specs)
+        outcomes.push_back(sb::ExperimentRunner::runOne(spec));
+    const sb::FuzzReport report = sb::foldFuzzOutcomes(params, outcomes);
+    EXPECT_TRUE(report.ok())
+        << (report.failures.empty()
+                ? "no cells"
+                : report.failures[0].kind + ": "
+                      + report.failures[0].detail);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructuredSweep,
+                         ::testing::Range(0, 8));
+
+TEST(StructuredGenerator, DeterministicForSeedAndProfile)
+{
+    sb::GeneratorParams params;
+    params.seed = 424;
+    params.profile = sb::OpMixProfile::BranchHeavy;
+    const auto a = sb::generateProgram(params);
+    const auto b = sb::generateProgram(params);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a.code[i].disassemble(), b.code[i].disassemble());
+    EXPECT_EQ(a.memory.fingerprint(), b.memory.fingerprint());
+}
+
+TEST(StructuredGenerator, ProfilesShapeTheOpMix)
+{
+    auto density = [](sb::OpMixProfile profile, auto pred) {
+        sb::GeneratorParams params;
+        params.seed = 9;
+        params.profile = profile;
+        const auto program = sb::generateProgram(params);
+        std::size_t hits = 0;
+        for (const auto &uop : program.code)
+            hits += pred(uop) ? 1 : 0;
+        return static_cast<double>(hits)
+               / static_cast<double>(program.size());
+    };
+    auto is_mem = [](const sb::MicroOp &u) {
+        return u.isLoad() || u.isStore();
+    };
+    auto is_branch = [](const sb::MicroOp &u) { return u.isBranch(); };
+    EXPECT_GT(density(sb::OpMixProfile::MemHeavy, is_mem),
+              density(sb::OpMixProfile::AluHeavy, is_mem));
+    EXPECT_GT(density(sb::OpMixProfile::BranchHeavy, is_branch),
+              density(sb::OpMixProfile::MemHeavy, is_branch));
+}
+
+TEST(StructuredGenerator, EveryProfileTerminatesOnEveryPreset)
+{
+    for (sb::OpMixProfile profile : sb::allOpMixProfiles()) {
+        sb::GeneratorParams gen;
+        gen.seed = 77;
+        gen.profile = profile;
+        const sb::Program program = sb::generateProgram(gen);
+        for (const auto &core_cfg :
+             {sb::CoreConfig::small(), sb::CoreConfig::mega()}) {
+            sb::SchemeConfig scfg;
+            scfg.scheme = sb::Scheme::NdaStrict;
+            sb::Core core(core_cfg, scfg, sb::makeScheme(scfg),
+                          program);
+            const auto r = core.run(10'000'000, 10'000'000);
+            EXPECT_TRUE(r.halted)
+                << sb::opMixProfileName(profile) << " on "
+                << core_cfg.name;
+        }
+    }
 }
 
 } // anonymous namespace

@@ -6,12 +6,19 @@
  *   sbsim run <scenario...> [opts]   # any slice of the grid
  *   sbsim all [opts]                 # the whole reproduction
  *   sbsim verify [opts]              # security battery -> leak matrix
+ *   sbsim fuzz [opts]                # differential conformance fuzz
  *
  * Options:
  *   --jobs N        worker threads (default: SB_JOBS, else hardware)
  *   --cache-dir D   result-cache directory (default: .sbsim-cache)
  *   --no-cache      disable the on-disk result cache
  *   --json          also write SBSIM_<scenario>.json outcome dumps
+ *
+ * Fuzz options (sbsim fuzz only):
+ *   --programs N    random programs per campaign (default 50)
+ *   --seed S        base seed; program i uses seed S+i (default 0xC0FFEE)
+ *   --profile P     op-mix profile (mixed|alu|mem|branch|all; default all)
+ *   --core C        core preset (small|medium|large|mega; default mega)
  *
  * All requested scenarios are collected into one ExperimentEngine
  * batch, so overlapping grid cells are simulated once (in-batch
@@ -27,6 +34,15 @@
  * security contract (a claiming scheme leaks or shows differential
  * timing divergence, or the unsafe baseline fails to leak). With
  * --json the matrix is written to SBSIM_verify.json.
+ *
+ * `sbsim fuzz` runs the differential conformance campaign: seeded
+ * random programs under every scheme, checked against the Baseline's
+ * architectural results (src/harness/conformance.hh). Failures print
+ * a minimized, replayable repro (seed + profile + scheme) and the
+ * process exits nonzero. With --json the report is written to
+ * SBSIM_fuzz.json. Fuzz cells ride the same engine, so --jobs,
+ * --cache-dir, and --no-cache apply (authoritative CI smoke runs
+ * --no-cache, like the security battery).
  */
 
 #include <cerrno>
@@ -36,6 +52,7 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "harness/conformance.hh"
 #include "harness/engine.hh"
 #include "harness/result_cache.hh"
 #include "harness/reporting.hh"
@@ -55,8 +72,12 @@ usage(const char *argv0)
                  "       %s all [--jobs N] [--cache-dir D] [--no-cache]"
                  " [--json]\n"
                  "       %s verify [--jobs N] [--cache-dir D]"
-                 " [--no-cache] [--json]\n",
-                 argv0, argv0, argv0, argv0);
+                 " [--no-cache] [--json]\n"
+                 "       %s fuzz [--programs N] [--seed S]"
+                 " [--profile P] [--core C]\n"
+                 "             [--jobs N] [--cache-dir D] [--no-cache]"
+                 " [--json]\n",
+                 argv0, argv0, argv0, argv0, argv0);
     return 2;
 }
 
@@ -136,6 +157,127 @@ writeGridspeedJson(const std::vector<std::string> &scenarios,
     std::printf("wrote BENCH_gridspeed.json\n");
 }
 
+void
+writeFuzzJson(const sb::FuzzReport &report)
+{
+    std::FILE *f = std::fopen("SBSIM_fuzz.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open SBSIM_fuzz.json\n");
+        return;
+    }
+    std::fprintf(f, "%s\n", sb::toJson(report).dump().c_str());
+    std::fclose(f);
+    std::printf("wrote SBSIM_fuzz.json\n");
+}
+
+int
+fuzzMain(int argc, char **argv)
+{
+    sb::FuzzParams params;
+    std::string cache_dir = ".sbsim-cache";
+    bool use_cache = true;
+    bool emit_json = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        char *end = nullptr;
+        errno = 0;
+        if (arg == "--programs" || arg == "--seed"
+            || arg == "--profile" || arg == "--core" || arg == "--jobs"
+            || arg == "--cache-dir") {
+            if (++i >= argc)
+                return usage(argv[0]);
+        }
+        if (arg == "--programs") {
+            const unsigned long v = std::strtoul(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0' || errno != 0 || v == 0
+                || v > 1000000) {
+                std::fprintf(stderr,
+                             "--programs wants an integer in "
+                             "[1, 1000000]\n");
+                return 2;
+            }
+            params.programs = static_cast<unsigned>(v);
+        } else if (arg == "--seed") {
+            const unsigned long long v =
+                std::strtoull(argv[i], &end, 0);
+            if (end == argv[i] || *end != '\0' || errno != 0) {
+                std::fprintf(stderr, "--seed wants a 64-bit integer\n");
+                return 2;
+            }
+            params.baseSeed = v;
+        } else if (arg == "--profile") {
+            sb::OpMixProfile profile;
+            if (std::string(argv[i]) == "all") {
+                params.profiles.clear();
+            } else if (sb::opMixProfileFromName(argv[i], profile)) {
+                params.profiles = {profile};
+            } else {
+                std::fprintf(stderr,
+                             "unknown profile '%s' (want mixed|alu|"
+                             "mem|branch|all)\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (arg == "--core") {
+            bool found = false;
+            for (const sb::CoreConfig &preset :
+                 sb::CoreConfig::boomPresets()) {
+                if (preset.name == argv[i]) {
+                    params.core = preset;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                std::fprintf(stderr,
+                             "unknown core '%s' (want small|medium|"
+                             "large|mega)\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (arg == "--jobs") {
+            const long v = std::strtol(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0' || errno != 0 || v <= 0
+                || v > static_cast<long>(sb::maxJobs)) {
+                std::fprintf(stderr,
+                             "--jobs wants an integer in [1, %u]\n",
+                             sb::maxJobs);
+                return 2;
+            }
+            params.jobs = static_cast<unsigned>(v);
+        } else if (arg == "--cache-dir") {
+            cache_dir = argv[i];
+        } else if (arg == "--no-cache") {
+            use_cache = false;
+        } else if (arg == "--json") {
+            emit_json = true;
+        } else {
+            std::fprintf(stderr, "unknown fuzz option '%s'\n",
+                         arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    params.cacheDir = use_cache ? cache_dir : std::string();
+
+    std::printf("sbsim fuzz: %u program(s), %zu cells, base seed %llu, "
+                "cache %s\n",
+                params.programs,
+                params.programs * sb::allSchemeConfigs().size(),
+                static_cast<unsigned long long>(params.baseSeed),
+                use_cache ? cache_dir.c_str() : "off");
+    const sb::FuzzReport report = sb::runFuzz(params);
+    printFuzzReport(report, stdout);
+    if (emit_json)
+        writeFuzzJson(report);
+    if (!report.ok()) {
+        std::fprintf(stderr,
+                     "sbsim fuzz: conformance oracle failed\n");
+        return 1;
+    }
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -146,6 +288,8 @@ main(int argc, char **argv)
     const std::string command = argv[1];
     if (command == "list")
         return listScenarios();
+    if (command == "fuzz")
+        return fuzzMain(argc, argv);
     if (command != "run" && command != "all" && command != "verify")
         return usage(argv[0]);
 
