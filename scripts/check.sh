@@ -9,6 +9,8 @@
 #   scripts/check.sh --verify  # Also run the Spectre gadget battery
 #   scripts/check.sh --fuzz    # Also run the conformance fuzz smoke
 #   scripts/check.sh --docs    # Also run the markdown docs link check
+#   scripts/check.sh --shards  # Also run the shard-tier smoke
+#                              # (cold sharded run == in-process run)
 #
 # SB_JOBS bounds simulation worker threads (tests and sbsim).
 # Flags compose: e.g. `check.sh --asan --verify`.
@@ -28,6 +30,7 @@ run_bench=0
 run_verify=0
 run_fuzz=0
 run_docs=0
+run_shards=0
 for arg in "$@"; do
     case "$arg" in
       --asan)
@@ -51,9 +54,12 @@ for arg in "$@"; do
       --docs)
         run_docs=1
         ;;
+      --shards)
+        run_shards=1
+        ;;
       *)
         echo "usage: $0 [--asan] [--quick] [--bench] [--verify]" \
-             "[--fuzz] [--docs]" >&2
+             "[--fuzz] [--docs] [--shards]" >&2
         exit 2
         ;;
     esac
@@ -114,6 +120,28 @@ if [ "$run_bench" = 1 ]; then
         echo "FAIL: sbsim all (log: $build_dir/sbsim_all.log)" >&2
         status=1
     fi
+fi
+
+if [ "$run_shards" = 1 ]; then
+    # Shard-tier smoke: a COLD sharded run (fresh cache, real
+    # `sbsim serve` workers) must produce byte-identical outcome
+    # dumps to an in-process run of the same scenario. This is the
+    # end-to-end distributed-correctness gate; the fault-injection
+    # paths are covered by tests/test_shard.cpp in the suite above.
+    shard_tmp=$(mktemp -d)
+    if (cd "$build_dir" \
+        && ./sbsim run table1 --shards 2 \
+             --cache-dir "$shard_tmp/cache" --json > /dev/null \
+        && mv SBSIM_table1.json "$shard_tmp/sharded.json" \
+        && ./sbsim run table1 --no-cache --json > /dev/null \
+        && mv SBSIM_table1.json "$shard_tmp/inproc.json" \
+        && diff "$shard_tmp/sharded.json" "$shard_tmp/inproc.json"); then
+        echo "shard smoke: sharded == in-process (byte-identical)"
+    else
+        echo "FAIL: sharded run diverged from in-process run" >&2
+        status=1
+    fi
+    rm -rf "$shard_tmp"
 fi
 
 if [ "$run_docs" = 1 ]; then

@@ -1,0 +1,70 @@
+#include "common/signals.hh"
+
+#include <csignal>
+#include <unistd.h>
+
+namespace sb
+{
+
+namespace
+{
+
+volatile std::sig_atomic_t g_interrupted = 0;
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void
+onInterrupt(int sig)
+{
+    if (g_interrupted) {
+        // Second request: the drain itself is stuck; bail out now.
+        // 128+sig matches the shell convention for signal deaths.
+        _exit(128 + sig);
+    }
+    g_interrupted = 1;
+    g_signal = sig;
+    // Async-signal-safe progress note (write(2) is on the safe list).
+    static const char msg[] =
+        "\nsbsim: interrupt received, finishing in-flight work "
+        "(repeat to abort)\n";
+    const ssize_t ignored = ::write(2, msg, sizeof(msg) - 1);
+    (void)ignored;
+}
+
+} // anonymous namespace
+
+void
+installSignalHandlers()
+{
+    struct sigaction sa;
+    sa.sa_handler = onInterrupt;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESTART: blocking poll()/read() in the dispatcher must
+    // return EINTR so the loop notices the flag promptly.
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    // A worker that died mid-frame must surface as EPIPE on write,
+    // not kill the dispatcher.
+    std::signal(SIGPIPE, SIG_IGN);
+}
+
+bool
+interruptRequested()
+{
+    return g_interrupted != 0;
+}
+
+int
+interruptSignal()
+{
+    return static_cast<int>(g_signal);
+}
+
+void
+clearInterruptForTesting()
+{
+    g_interrupted = 0;
+    g_signal = 0;
+}
+
+} // namespace sb

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Cooperative interrupt handling for long grid runs.
+ *
+ * installSignalHandlers() arms SIGINT/SIGTERM to set a process-wide
+ * flag (and ignores SIGPIPE, so a dispatcher writing to a dead worker
+ * gets EPIPE instead of dying). Long-running loops — the engine's
+ * batch loop, the shard dispatcher's poll loop, and the core's run
+ * loop — poll interruptRequested() and wind down instead of dropping
+ * completed work on the floor: the result cache keeps everything
+ * already flushed, workers are terminated and reaped, and the driver
+ * prints partial stats before exiting nonzero.
+ *
+ * A second SIGINT while the first is still winding down exits
+ * immediately (the escape hatch when a drain itself wedges).
+ */
+
+#ifndef SB_COMMON_SIGNALS_HH
+#define SB_COMMON_SIGNALS_HH
+
+namespace sb
+{
+
+/** Arm SIGINT/SIGTERM to request a cooperative stop; idempotent. */
+void installSignalHandlers();
+
+/** True once SIGINT or SIGTERM was received. */
+bool interruptRequested();
+
+/** The signal that requested the stop (0 when none), for exit codes. */
+int interruptSignal();
+
+/** Clear the flag (tests only). */
+void clearInterruptForTesting();
+
+} // namespace sb
+
+#endif // SB_COMMON_SIGNALS_HH

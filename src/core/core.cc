@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/signals.hh"
 
 namespace sb
 {
@@ -116,9 +117,20 @@ Core::run(std::uint64_t max_insts, std::uint64_t max_cycles)
 {
     const std::uint64_t target = committedCount + max_insts;
     const Cycle limit = cycle + max_cycles;
+    // Wall-clock supervision is sampled every 4096 cycles: cheap
+    // enough to vanish in the run loop, frequent enough that a wedged
+    // or interrupted cell ends within milliseconds of its deadline.
+    const bool supervised = wallDeadlineArmed || interruptibleFlag;
+    unsigned untilCheck = 4096;
     while (!haltedFlag && !watchdogTrippedFlag && committedCount < target
-           && cycle < limit)
+           && cycle < limit) {
         tick();
+        if (supervised && --untilCheck == 0) {
+            untilCheck = 4096;
+            if (wallStopRequested())
+                watchdogTrippedFlag = true;
+        }
+    }
     // After a halt, keep ticking until committed stores have drained
     // to memory, so the functional image reflects all committed work.
     while (haltedFlag && lsu.sqSize() > 0 && cycle < limit)
@@ -129,6 +141,33 @@ Core::run(std::uint64_t max_insts, std::uint64_t max_cycles)
     r.halted = haltedFlag;
     r.watchdogTripped = watchdogTrippedFlag;
     return r;
+}
+
+void
+Core::setWallDeadline(double seconds)
+{
+    if (seconds <= 0) {
+        wallDeadlineArmed = false;
+        return;
+    }
+    wallDeadline = std::chrono::steady_clock::now()
+                   + std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(seconds));
+    wallDeadlineArmed = true;
+}
+
+bool
+Core::wallStopRequested()
+{
+    if (interruptibleFlag && interruptRequested())
+        return true;
+    if (wallDeadlineArmed
+        && std::chrono::steady_clock::now() >= wallDeadline) {
+        wallDeadlineHitFlag = true;
+        return true;
+    }
+    return false;
 }
 
 void

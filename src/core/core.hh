@@ -23,6 +23,7 @@
 #ifndef SB_CORE_CORE_HH
 #define SB_CORE_CORE_HH
 
+#include <chrono>
 #include <deque>
 #include <map>
 #include <functional>
@@ -278,6 +279,23 @@ class Core
     /** True once the soft watchdog ended the run. */
     bool watchdogTripped() const { return watchdogTrippedFlag; }
 
+    /**
+     * Arm a wall-clock deadline for run(): once @p seconds of real
+     * time elapse the run ends with RunResult::watchdogTripped set
+     * (and wallDeadlineHit() true, so callers can tell a timed-out
+     * cell from a commit-stall). Checked every few thousand cycles —
+     * the steady-state loop stays branch-cheap and timing-identical.
+     * 0 disarms.
+     */
+    void setWallDeadline(double seconds);
+
+    /** Also end run() early (as a watchdog trip) once an interrupt
+     *  was requested (common/signals.hh). Off by default. */
+    void setInterruptible(bool enable) { interruptibleFlag = enable; }
+
+    /** True once the wall-clock deadline ended the run. */
+    bool wallDeadlineHit() const { return wallDeadlineHitFlag; }
+
   private:
     // --- Pipeline phases (called back-to-front from tick()) -----------
     void commitPhase();
@@ -397,6 +415,15 @@ class Core
     Cycle lastCommitCycle = 0;
     Cycle softWatchdogCycles = 0;   ///< 0 = hard panic on stall.
     bool watchdogTrippedFlag = false;
+    /** Wall-clock supervision (setWallDeadline / setInterruptible);
+     *  polled from run(), never from tick(), so the pipeline loop is
+     *  untouched. */
+    std::chrono::steady_clock::time_point wallDeadline{};
+    bool wallDeadlineArmed = false;
+    bool wallDeadlineHitFlag = false;
+    bool interruptibleFlag = false;
+    /** Poll the wall-clock supervision; true ends the run. */
+    bool wallStopRequested();
     InvariantChecker inv;
 
     /** Emit a trace event if a hook is attached. */

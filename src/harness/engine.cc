@@ -4,15 +4,33 @@
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "common/signals.hh"
 #include "harness/result_cache.hh"
+#include "harness/shard.hh"
 
 namespace sb
 {
 
+namespace
+{
+
+RunOutcome
+interruptedStub(const RunSpec &spec)
+{
+    RunOutcome out;
+    out.workload = spec.workload;
+    out.coreName = spec.core.name;
+    out.scheme = spec.scheme.scheme;
+    out.stats["interrupted"] = 1;
+    return out;
+}
+
+} // anonymous namespace
+
 ExperimentEngine::ExperimentEngine() : ExperimentEngine(Options{}) {}
 
 ExperimentEngine::ExperimentEngine(Options options)
-    : numJobs(resolveJobs(options.jobs))
+    : numJobs(resolveJobs(options.jobs)), opt(options)
 {
     if (!options.cacheDir.empty()) {
         diskCache = std::make_unique<ResultCache>(options.cacheDir);
@@ -53,11 +71,23 @@ ExperimentEngine::workerLoop()
             const std::string &key = (*batchKeys)[idx];
             std::vector<RunOutcome> *results = batchResults;
             lock.unlock();
-            RunOutcome out = ExperimentRunner::runOne(spec);
+            RunOutcome out;
+            if (interruptRequested()) {
+                // Drain the batch with stubs instead of simulating:
+                // run() still sees every cell complete, the caller
+                // gets partial results and a nonzero exit.
+                out = interruptedStub(spec);
+            } else {
+                RunHooks hooks;
+                hooks.wallDeadlineSec = opt.cellTimeoutSec;
+                hooks.interruptible = true;
+                out = ExperimentRunner::runOne(spec, hooks);
+            }
             // Flush to disk as cells complete so an interrupted grid
             // run keeps its progress (empty key: cell is banned from
-            // the cache after a collision).
-            if (diskCache && !key.empty())
+            // the cache after a collision; timed-out / interrupted
+            // stubs are supervision artifacts, not results).
+            if (diskCache && !key.empty() && outcomeIsCacheable(out))
                 diskCache->store(key, out);
             lock.lock();
             (*results)[idx] = std::move(out);
@@ -144,9 +174,44 @@ ExperimentEngine::run(const std::vector<RunSpec> &specs)
         toRunCell.push_back(c);
     }
 
-    // Simulate the remainder on the persistent pool.
+    // Simulate the remainder: sharded worker processes when
+    // requested, the persistent in-process pool otherwise.
     std::vector<RunOutcome> ran(toRun.size());
-    if (!toRun.empty()) {
+    const bool useShards = opt.shards > 0 && !opt.sbsimPath.empty();
+    if (opt.shards > 0 && opt.sbsimPath.empty())
+        sb_warn("engine: shards requested but no worker binary "
+                "configured; running in-process");
+    if (!toRun.empty() && useShards) {
+        ShardOptions shardOpt;
+        shardOpt.shards = opt.shards;
+        shardOpt.cacheDir = diskCache ? opt.cacheDir : std::string();
+        shardOpt.workerPath = opt.sbsimPath;
+        shardOpt.cellTimeoutSec = opt.cellTimeoutSec;
+        ShardDispatcher dispatcher(std::move(shardOpt));
+        ran = dispatcher.run(toRun, toRunKeys);
+        // Workers persist their results before replying; store only
+        // what nobody persisted (the degraded / uncached-worker
+        // paths), and never supervision stubs.
+        const std::vector<bool> &persisted =
+            dispatcher.persistedByWorker();
+        for (std::size_t j = 0; j < ran.size(); ++j)
+            if (diskCache && !toRunKeys[j].empty() && !persisted[j]
+                && outcomeIsCacheable(ran[j]))
+                diskCache->store(toRunKeys[j], ran[j]);
+        const ShardReport &report = dispatcher.report();
+        accounting.workersSpawned += report.workersSpawned;
+        accounting.shardCrashes += report.crashes;
+        accounting.shardHangs += report.hangs;
+        accounting.shardRetries += report.retries;
+        accounting.shardStolen += report.stolen;
+        accounting.shardDegraded |= report.degraded;
+        accounting.interrupted |= report.interrupted;
+        accounting.quarantinedKeys.insert(
+            accounting.quarantinedKeys.end(),
+            report.quarantinedKeys.begin(),
+            report.quarantinedKeys.end());
+        accounting.simulated += toRun.size();
+    } else if (!toRun.empty()) {
         if (pool.empty()) {
             pool.reserve(numJobs);
             for (unsigned i = 0; i < numJobs; ++i)
@@ -171,6 +236,7 @@ ExperimentEngine::run(const std::vector<RunSpec> &specs)
             batchResults = nullptr;
         }
         accounting.simulated += toRun.size();
+        accounting.interrupted |= interruptRequested();
     }
     for (std::size_t j = 0; j < toRunCell.size(); ++j) {
         cells[toRunCell[j]].outcome = std::move(ran[j]);
@@ -181,6 +247,8 @@ ExperimentEngine::run(const std::vector<RunSpec> &specs)
     std::vector<RunOutcome> results(specs.size());
     for (const Cell &cell : cells) {
         sb_assert(cell.resolved, "engine: unresolved cell");
+        if (cell.outcome.stat("interrupted") != 0)
+            ++accounting.interruptedCells;
         for (const std::size_t user : cell.users)
             results[user] = cell.outcome;
     }

@@ -45,6 +45,19 @@ struct EngineStats
     std::uint64_t dedupHits = 0;  ///< Duplicates of an in-batch cell.
     std::uint64_t cacheHits = 0;  ///< Unique cells served from disk.
     double wallSeconds = 0.0;     ///< Wall-clock spent inside run().
+
+    // Shard-tier accounting (all zero / false for in-process runs).
+    std::uint64_t workersSpawned = 0; ///< Worker processes started.
+    std::uint64_t shardCrashes = 0;   ///< Worker exits / broken streams.
+    std::uint64_t shardHangs = 0;     ///< Kill-deadline SIGKILLs.
+    std::uint64_t shardRetries = 0;   ///< Cells re-dispatched.
+    std::uint64_t shardStolen = 0;    ///< Cells run off their home shard.
+    std::uint64_t interruptedCells = 0; ///< Cells stubbed by SIGINT/TERM.
+    bool shardDegraded = false; ///< Batch fell back to in-process.
+    bool interrupted = false;   ///< A batch was cut short by a signal.
+    /** Poisoned-cell list: specKeys quarantined after repeated
+     *  worker-killing failures. */
+    std::vector<std::string> quarantinedKeys;
 };
 
 class ExperimentEngine
@@ -56,6 +69,16 @@ class ExperimentEngine
         unsigned jobs = 0;
         /** Result-cache directory; empty disables the disk cache. */
         std::string cacheDir;
+        /** Worker processes for the sharded tier; 0 = in-process
+         *  threads only (the default). */
+        unsigned shards = 0;
+        /** Per-cell wall-clock budget in seconds; 0 = unlimited.
+         *  Overruns come back marked stats["watchdog_tripped"] and
+         *  are not cached. */
+        double cellTimeoutSec = 0;
+        /** The sbsim binary to exec as `sbsim serve` workers;
+         *  required when shards > 0. */
+        std::string sbsimPath;
     };
 
     ExperimentEngine();
@@ -80,6 +103,7 @@ class ExperimentEngine
     void workerLoop();
 
     unsigned numJobs;
+    Options opt;
     std::unique_ptr<ResultCache> diskCache;
     EngineStats accounting;
 

@@ -9,6 +9,7 @@
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "common/signals.hh"
 #include "core/core.hh"
 #include "harness/conformance.hh"
 #include "harness/verify.hh"
@@ -73,10 +74,18 @@ ExperimentRunner::ExperimentRunner(unsigned threads)
 RunOutcome
 ExperimentRunner::runOne(const RunSpec &spec)
 {
+    return runOne(spec, RunHooks{});
+}
+
+RunOutcome
+ExperimentRunner::runOne(const RunSpec &spec, const RunHooks &hooks)
+{
     // Security-battery cells run the attack harness instead of a
     // windowed measurement; they share dedup/cache with everything
     // else because the dispatch key (the workload string) is part of
-    // specKey().
+    // specKey(). They build their own cores, so the per-cell wall
+    // deadline covers only windowed measurement cells — gadget and
+    // fuzz cells are short and carry their own cycle watchdogs.
     if (isGadgetWorkload(spec.workload))
         return runGadgetCell(spec);
     if (isFuzzWorkload(spec.workload))
@@ -85,6 +94,15 @@ ExperimentRunner::runOne(const RunSpec &spec)
     const Workload workload = SpecSuite::make(spec.workload);
     Core core(spec.core, spec.scheme, makeScheme(spec.scheme),
               workload.program);
+
+    if (hooks.wallDeadlineSec > 0) {
+        core.setWallDeadline(hooks.wallDeadlineSec);
+        // The deadline must end the run, not escalate the stall
+        // panic: a slow-but-healthy cell is a timeout, not a bug.
+        core.setSoftWatchdog(100000);
+    }
+    if (hooks.interruptible)
+        core.setInterruptible(true);
 
     // Warmup: fill caches, train the predictor, reach steady state.
     core.run(spec.warmupInsts, spec.maxCycles);
@@ -108,7 +126,25 @@ ExperimentRunner::runOne(const RunSpec &spec)
     out.consumeViolations = core.monitor().consumeViolations();
     for (const auto &kv : core.stats().counters())
         out.stats[kv.first] = kv.second.value();
+    if (core.watchdogTripped()) {
+        // Supervision artifact, not a measurement: the cell ran out
+        // of wall clock (or was interrupted, or genuinely stalled).
+        // Marked so aggregation and the cache can tell it apart.
+        if (hooks.interruptible && interruptRequested()
+            && !core.wallDeadlineHit())
+            out.stats["interrupted"] = 1;
+        else
+            out.stats["watchdog_tripped"] = 1;
+    }
     return out;
+}
+
+bool
+outcomeIsCacheable(const RunOutcome &outcome)
+{
+    return outcome.stat("watchdog_tripped") == 0
+           && outcome.stat("interrupted") == 0
+           && outcome.stat("quarantined") == 0;
 }
 
 std::vector<RunOutcome>

@@ -87,6 +87,27 @@ struct RunOutcome
     std::uint64_t stat(const std::string &name) const;
 };
 
+/**
+ * Supervision knobs for one cell execution. Deliberately NOT part of
+ * RunSpec: none of these change the simulated outcome of a healthy
+ * cell, so they must not perturb specKey() / the result cache.
+ */
+struct RunHooks
+{
+    /**
+     * Wall-clock budget in seconds for the whole cell (warmup +
+     * measurement); 0 = unlimited. A cell that exceeds it returns a
+     * watchdog-tripped outcome (stats["watchdog_tripped"] = 1)
+     * instead of wedging its worker slot; such outcomes are never
+     * cached (a timeout depends on host speed, not cell content).
+     */
+    double wallDeadlineSec = 0;
+
+    /** End the cell early when SIGINT/SIGTERM was requested
+     *  (stats["interrupted"] = 1; never cached). */
+    bool interruptible = false;
+};
+
 /** Thread-pooled runner. */
 class ExperimentRunner
 {
@@ -100,9 +121,20 @@ class ExperimentRunner
     /** Execute one spec synchronously. */
     static RunOutcome runOne(const RunSpec &spec);
 
+    /** Execute one spec under supervision (per-cell deadline /
+     *  interrupt awareness); see RunHooks. */
+    static RunOutcome runOne(const RunSpec &spec, const RunHooks &hooks);
+
   private:
     unsigned numThreads;
 };
+
+/**
+ * True when @p outcome represents the cell's real simulated result
+ * (as opposed to a supervision artifact — timed out, interrupted, or
+ * quarantined) and may therefore be persisted in the result cache.
+ */
+bool outcomeIsCacheable(const RunOutcome &outcome);
 
 /** Convenience: specs for (configs x schemes x whole suite). */
 std::vector<RunSpec> suiteSpecs(const std::vector<CoreConfig> &configs,

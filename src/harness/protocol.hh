@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Wire protocol of the sharded experiment tier.
+ *
+ * A dispatcher (`sbsim run --shards N`) and a worker (`sbsim serve`)
+ * exchange length-prefixed JSON frames over a pipe or socketpair:
+ * each frame is a 4-byte little-endian payload length followed by
+ * exactly that many bytes of JSON text. Framing is independent of
+ * JSON so a reader never has to scan for message boundaries, a
+ * half-written frame from a crashed peer is detected by length (not
+ * by parse luck), and the unparsed tail survives in the reader for
+ * the next read.
+ *
+ * Messages (the `cmd` field discriminates):
+ *   worker -> dispatcher  {"cmd":"hello","pid":P,"proto":V}
+ *   dispatcher -> worker  {"cmd":"run","id":I,"key":K,
+ *                          "timeout_ms":T,"spec":{...}}
+ *   worker -> dispatcher  {"cmd":"done","id":I,"cached":B,
+ *                          "outcome":{...}}
+ *   dispatcher -> worker  {"cmd":"shutdown"}
+ *
+ * The spec travels as a full field-by-field serialization of
+ * RunSpec (core geometry, scheme knobs, workload, windows), so a
+ * worker reconstructs exactly the cell the dispatcher addressed —
+ * round-trip fidelity is pinned by tests against
+ * RunSpec::canonical(), which by contract covers every field.
+ */
+
+#ifndef SB_HARNESS_PROTOCOL_HH
+#define SB_HARNESS_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hh"
+#include "harness/experiment.hh"
+
+namespace sb
+{
+
+/** Protocol version, carried in the hello message. A dispatcher
+ *  refuses a worker answering with a different version. */
+constexpr unsigned shardProtocolVersion = 1;
+
+/** Upper bound on one frame; larger lengths mean a corrupt stream. */
+constexpr std::uint32_t maxFrameBytes = 64u << 20;
+
+/**
+ * Write one frame (length prefix + @p payload) to @p fd, retrying
+ * EINTR and partial writes. Returns false on error (EPIPE from a
+ * dead peer included; install SIGPIPE ignore first).
+ */
+bool writeFrame(int fd, const std::string &payload);
+
+enum class RecvStatus
+{
+    Ok,      ///< A complete frame was received.
+    Closed,  ///< Peer closed the stream (EOF) at a frame boundary
+             ///< or mid-frame (a crashed peer looks the same).
+    Timeout, ///< No complete frame within the deadline.
+    Error,   ///< read()/poll() error, or an oversized frame length.
+};
+
+/**
+ * Blocking single-frame read with a poll()-based timeout.
+ * @p timeoutMs < 0 waits forever. Used by the worker (one request at
+ * a time); the dispatcher multiplexes many workers with FrameReader.
+ */
+RecvStatus readFrame(int fd, std::string &payload, int timeoutMs);
+
+/**
+ * Incremental frame decoder for a nonblocking stream: feed() raw
+ * bytes as they arrive, next() extracts complete frames in order.
+ */
+class FrameReader
+{
+  public:
+    void feed(const char *data, std::size_t n) { buf.append(data, n); }
+
+    /** Extract the next complete frame into @p payload. */
+    bool next(std::string &payload);
+
+    /** A frame length exceeded maxFrameBytes: the stream is garbage
+     *  and the peer should be treated as crashed. */
+    bool corrupt() const { return corruptFlag; }
+
+    /** Bytes of an incomplete trailing frame (diagnostics). */
+    std::size_t pendingBytes() const { return buf.size(); }
+
+  private:
+    std::string buf;
+    bool corruptFlag = false;
+};
+
+// --- Spec / outcome serialization --------------------------------------
+
+Json toJson(const CacheConfig &config);
+Json toJson(const CoreConfig &config);
+Json toJson(const SchemeConfig &config);
+Json toJson(const RunSpec &spec);
+
+bool cacheConfigFromJson(const Json &json, CacheConfig &out);
+bool coreConfigFromJson(const Json &json, CoreConfig &out);
+bool schemeConfigFromJson(const Json &json, SchemeConfig &out);
+bool runSpecFromJson(const Json &json, RunSpec &out);
+
+// --- Message builders ---------------------------------------------------
+
+Json makeHelloMsg();
+Json makeRunCmd(std::uint64_t id, const std::string &key,
+                const RunSpec &spec, std::uint64_t timeoutMs);
+Json makeDoneMsg(std::uint64_t id, const RunOutcome &outcome,
+                 bool cached);
+Json makeShutdownCmd();
+
+/** The `cmd` field of a parsed message ("" when absent/malformed). */
+std::string messageCmd(const Json &msg);
+
+} // namespace sb
+
+#endif // SB_HARNESS_PROTOCOL_HH

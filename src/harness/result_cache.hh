@@ -1,20 +1,37 @@
 /**
  * @file
- * Content-addressed on-disk result cache.
+ * Content-addressed on-disk result cache, safe for concurrent
+ * multi-process use (shard workers, parallel CI jobs).
  *
  * One JSONL file (`<dir>/results.jsonl`) holds one line per simulated
- * cell: `{"key": "<RunSpec::specKey()>", "outcome": {...}}` with the
- * outcome in toJson(RunOutcome) form. The file is append-only: new
- * results are flushed line-by-line as they complete, so an
- * interrupted grid run keeps everything it already simulated, and a
- * later line for the same key wins on load (last-writer-wins). Each
- * line is appended with a single O_APPEND write so concurrent
- * processes sharing a cache directory cannot interleave partial
- * lines. Malformed or unrecognizable lines (a truncated tail from a
- * killed writer, editor garbage) are skipped with a warning and the
- * file is compacted — rewritten from the entries that parsed — so
- * damage is shed once instead of resurfacing on every load. A stale
- * cache can only cause extra simulation, never wrong results.
+ * cell. Each line is a length+checksum-framed record:
+ *
+ *   {"len":N,"sum":"<16-hex fnv1a64>","rec":{"key":K,"outcome":O}}
+ *
+ * where N is the byte length of the serialized `rec` object exactly
+ * as written and the checksum covers those same bytes. On load a
+ * record is accepted only when the length matches and the payload
+ * bytes hash to the checksum, so a torn tail (killed writer), a
+ * spliced line, or bit rot degrades to a skipped record — never a
+ * wrong result. Legacy frameless lines ({"key":...,"outcome":...})
+ * are still readable and are rewritten in framed form by the next
+ * compaction.
+ *
+ * Concurrency protocol (N processes sharing one cache directory):
+ *  - every append opens the data file fresh (O_APPEND) and writes the
+ *    whole line with a single write() under a shared flock on a
+ *    side lock file (`results.lock`);
+ *  - compaction (shedding damaged or superseded lines) takes the lock
+ *    exclusively around snapshot + write-temp + rename, so no append
+ *    can slip between the snapshot and the rename and be lost with
+ *    the old inode.
+ * The lock file is never renamed, so its inode — and therefore the
+ * flock — is stable; re-opening the data file per append means a
+ * writer can never append to a stale pre-compaction inode. The file
+ * is append-only between compactions and a later line for the same
+ * key wins on load (last-writer-wins), so double stores of identical
+ * content are harmless. A stale or damaged cache can only cause
+ * extra simulation, never wrong results.
  */
 
 #ifndef SB_HARNESS_RESULT_CACHE_HH
@@ -29,19 +46,32 @@
 namespace sb
 {
 
+/** Serialize one framed cache record (exposed for tests). */
+std::string frameCacheRecord(const std::string &key,
+                             const RunOutcome &outcome);
+
+/**
+ * Parse one cache line into (@p key, @p out). Accepts framed records
+ * whose length and checksum verify, plus legacy frameless lines
+ * (@p legacy is set so callers can trigger a migrating compaction).
+ * Returns false on damage of any kind.
+ */
+bool parseCacheLine(const std::string &line, std::string &key,
+                    RunOutcome &out, bool &legacy);
+
 class ResultCache
 {
   public:
     /**
      * Create @p dir if needed and load any existing results.jsonl.
-     * An unusable directory or file leaves the cache disabled (see
-     * ok()) with a warning rather than aborting.
+     * An unusable directory leaves the cache disabled (see ok())
+     * with a warning rather than aborting.
      */
     explicit ResultCache(const std::string &dir);
     ~ResultCache();
 
-    /** False when the backing file could not be opened for append. */
-    bool ok() const { return appendFd >= 0; }
+    /** False when the cache directory / lock file is unusable. */
+    bool ok() const { return lockFd >= 0; }
 
     ResultCache(const ResultCache &) = delete;
     ResultCache &operator=(const ResultCache &) = delete;
@@ -50,22 +80,30 @@ class ResultCache
     bool lookup(const std::string &key, RunOutcome &out) const;
 
     /**
-     * Persist @p out under @p key (thread-safe, flushed per line).
-     * A no-op beyond the in-memory map when !ok().
+     * Persist @p out under @p key (thread-safe; one flock-guarded
+     * write() per record, durable as soon as store returns). A no-op
+     * beyond the in-memory map when !ok().
      */
     void store(const std::string &key, const RunOutcome &out);
 
     /** Number of distinct keys currently cached. */
     std::size_t size() const;
 
+    /** Records skipped as damaged during load (telemetry/tests). */
+    std::size_t damagedOnLoad() const { return damaged; }
+
     /** Path of the backing JSONL file. */
     const std::string &path() const { return filePath; }
 
   private:
+    void loadAndRepair();
+
     std::string filePath;
-    int appendFd = -1;
+    std::string lockPath;
+    int lockFd = -1;
     mutable std::mutex mutex;
     std::map<std::string, RunOutcome> entries;
+    std::size_t damaged = 0;
 };
 
 } // namespace sb

@@ -1,0 +1,128 @@
+#include "harness/serve.hh"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/fault.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "harness/protocol.hh"
+#include "harness/reporting.hh"
+#include "harness/result_cache.hh"
+
+namespace sb
+{
+
+namespace
+{
+
+/** Exit code for a protocol/stream failure (vs 0 for clean shutdown). */
+constexpr int serveStreamError = 3;
+
+/** SB_FAULT=crash exit code; distinctive in waitpid status. */
+constexpr int serveFaultExit = 70;
+
+} // anonymous namespace
+
+int
+serveMain(const ServeOptions &options)
+{
+    std::unique_ptr<ResultCache> cache;
+    if (!options.cacheDir.empty()) {
+        cache = std::make_unique<ResultCache>(options.cacheDir);
+        if (!cache->ok())
+            cache.reset(); // Already warned; run uncached.
+    }
+
+    if (!writeFrame(options.outFd, makeHelloMsg().dump()))
+        return serveStreamError;
+
+    std::string payload;
+    while (true) {
+        // Block indefinitely: an idle worker costs nothing, and a
+        // dying dispatcher delivers EOF which ends the loop.
+        const RecvStatus status = readFrame(options.inFd, payload, -1);
+        if (status == RecvStatus::Closed)
+            return 0; // Dispatcher went away; nothing left to serve.
+        if (status != RecvStatus::Ok)
+            return serveStreamError;
+
+        Json msg;
+        if (!Json::parse(payload, msg)) {
+            sb_warn("serve: unparseable frame (", payload.size(),
+                    " bytes); exiting");
+            return serveStreamError;
+        }
+        const std::string cmd = messageCmd(msg);
+        if (cmd == "shutdown")
+            return 0;
+        if (cmd != "run") {
+            sb_warn("serve: unknown command '", cmd, "'; exiting");
+            return serveStreamError;
+        }
+        if (!msg.has("id") || msg.at("id").kind() != Json::Kind::Uint
+            || !msg.has("key")
+            || msg.at("key").kind() != Json::Kind::String
+            || !msg.has("timeout_ms")
+            || msg.at("timeout_ms").kind() != Json::Kind::Uint
+            || !msg.has("spec")) {
+            sb_warn("serve: malformed run command; exiting");
+            return serveStreamError;
+        }
+        RunSpec spec;
+        if (!runSpecFromJson(msg.at("spec"), spec)) {
+            sb_warn("serve: undecodable spec; exiting");
+            return serveStreamError;
+        }
+        const std::uint64_t id = msg.at("id").asUint();
+        const std::string &key = msg.at("key").asString();
+        const std::uint64_t timeoutMs = msg.at("timeout_ms").asUint();
+
+        // Injected fault: a poisoned cell crashes every worker that
+        // touches it, on every attempt — the quarantine trigger.
+        if (faultPoisoned(spec.workload))
+            _exit(serveFaultExit);
+
+        RunOutcome outcome;
+        bool cached = false;
+        if (cache && !key.empty() && cache->lookup(key, outcome)
+            && outcome.workload == spec.workload
+            && outcome.coreName == spec.core.name
+            && outcome.scheme == spec.scheme.scheme) {
+            cached = true;
+        } else {
+            RunHooks hooks;
+            // The dispatcher's kill deadline backs this up; the
+            // worker-side deadline lets a slow cell end cleanly with
+            // a watchdog outcome instead of a SIGKILL.
+            hooks.wallDeadlineSec =
+                timeoutMs ? static_cast<double>(timeoutMs) / 1000.0 : 0;
+            outcome = ExperimentRunner::runOne(spec, hooks);
+            if (cache && !key.empty() && outcomeIsCacheable(outcome)) {
+                // Persist before replying: a crash in the gap costs
+                // nothing (the retry is served from the cache), while
+                // the reverse order could lose a computed cell.
+                cache->store(key, outcome);
+                cached = true;
+            }
+        }
+
+        // Injected faults at the reply boundary: the work (and any
+        // cache store) is done, the dispatcher never hears about it.
+        if (faultPoint("crash"))
+            _exit(serveFaultExit);
+        if (faultPoint("hang")) {
+            sb_warn("SB_FAULT hang: serve worker wedging");
+            while (true)
+                ::pause();
+        }
+
+        if (!writeFrame(options.outFd,
+                        makeDoneMsg(id, outcome, cached).dump()))
+            return serveStreamError;
+    }
+}
+
+} // namespace sb

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * `sbsim serve`: the shard worker daemon.
+ *
+ * A worker speaks the shard protocol (harness/protocol.hh) over a
+ * pipe pair or a single bidirectional socket: it announces itself
+ * with a hello frame, then executes run commands one at a time and
+ * answers each with a done frame. With a cache directory configured
+ * it pools results through the crash-safe shared ResultCache — a
+ * cell already cached is answered without simulation, and fresh
+ * results are persisted before the reply, so a worker killed between
+ * store and reply loses no work (the retry is served from the
+ * cache).
+ *
+ * Failure semantics: EOF or a corrupt stream means the dispatcher is
+ * gone and the worker exits; a shutdown command exits cleanly. The
+ * worker honors SB_FAULT (common/fault.hh) so supervision paths can
+ * be exercised deterministically: poison:<substr> crashes it on
+ * matching cells, crash:<n> kills it right before the n-th reply,
+ * hang:<n> wedges it instead of the n-th reply, and torn-write:<n>
+ * tears a cache append.
+ */
+
+#ifndef SB_HARNESS_SERVE_HH
+#define SB_HARNESS_SERVE_HH
+
+#include <string>
+
+namespace sb
+{
+
+struct ServeOptions
+{
+    int inFd = 0;   ///< Requests arrive here (stdin by default).
+    int outFd = 1;  ///< Replies leave here (stdout by default).
+    /** Shared result-cache directory; empty = uncached worker. */
+    std::string cacheDir;
+};
+
+/** Run the worker loop until EOF/shutdown; returns the exit code. */
+int serveMain(const ServeOptions &options);
+
+} // namespace sb
+
+#endif // SB_HARNESS_SERVE_HH

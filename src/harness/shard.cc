@@ -1,0 +1,599 @@
+#include "harness/shard.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+
+#include "common/hash.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/signals.hh"
+#include "harness/protocol.hh"
+#include "harness/reporting.hh"
+
+namespace sb
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+/** Grace for a fresh worker to say hello (covers exec + cache load). */
+constexpr int helloTimeoutMs = 20000;
+
+/** Kill deadline when no cell timeout is configured: generous enough
+ *  for any legitimate cell, finite so a wedged worker cannot hold a
+ *  slot forever. */
+constexpr double defaultKillDeadlineSec = 300.0;
+
+int
+toMsClamped(TimePoint deadline, TimePoint now)
+{
+    if (deadline <= now)
+        return 0;
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - now)
+                        .count();
+    return static_cast<int>(std::min<long long>(ms, 500));
+}
+
+RunOutcome
+stubOutcome(const RunSpec &spec, const char *marker)
+{
+    RunOutcome out;
+    out.workload = spec.workload;
+    out.coreName = spec.core.name;
+    out.scheme = spec.scheme.scheme;
+    out.stats[marker] = 1;
+    return out;
+}
+
+} // anonymous namespace
+
+unsigned
+backoffDelayMs(unsigned attempt, unsigned baseMs, unsigned capMs)
+{
+    if (attempt == 0 || baseMs == 0)
+        return 0;
+    std::uint64_t delay = baseMs;
+    for (unsigned i = 1; i < attempt && delay < capMs; ++i)
+        delay *= 2;
+    return static_cast<unsigned>(
+        std::min<std::uint64_t>(delay, capMs));
+}
+
+std::vector<unsigned>
+partitionByKey(const std::vector<std::string> &keys, unsigned shards)
+{
+    sb_assert(shards > 0, "partitionByKey: zero shards");
+    std::vector<unsigned> home(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        home[i] = static_cast<unsigned>(
+            fnv1aString(fnv1aBasis, keys[i]) % shards);
+    return home;
+}
+
+// --- Dispatcher internals ----------------------------------------------
+
+struct ShardDispatcher::Worker
+{
+    enum class State
+    {
+        Dead,     ///< Slot abandoned (or never started).
+        Spawning, ///< Waiting for hello.
+        Idle,     ///< Ready for a cell.
+        Busy,     ///< A cell is in flight.
+    };
+
+    pid_t pid = -1;
+    int fd = -1;
+    FrameReader reader;
+    State state = State::Dead;
+    TimePoint deadline{};        ///< Hello or kill deadline.
+    std::size_t cell = npos;     ///< In-flight cell (Busy).
+    unsigned shard = 0;          ///< Home shard (= slot index).
+    unsigned cellsSinceSpawn = 0;
+    unsigned barrenSpawns = 0;   ///< Consecutive spawns with no work done.
+};
+
+struct ShardDispatcher::Batch
+{
+    enum class CellState
+    {
+        Pending, ///< Queued on a shard.
+        Delayed, ///< Failed; waiting out its backoff.
+        Running, ///< In flight on a worker.
+        Done,    ///< Resolved (result, quarantine stub, or interrupt).
+    };
+
+    const std::vector<RunSpec> *specs = nullptr;
+    const std::vector<std::string> *keys = nullptr;
+    std::vector<RunOutcome> results;
+    std::vector<CellState> state;
+    std::vector<unsigned> attempts;
+    std::vector<TimePoint> notBefore;
+    std::vector<std::deque<std::size_t>> queues; ///< Per-shard FIFO.
+    std::size_t remaining = 0;
+};
+
+ShardDispatcher::ShardDispatcher(ShardOptions options)
+    : opt(std::move(options))
+{
+    if (opt.shards == 0)
+        opt.shards = 1;
+    // A worker that died mid-frame must surface as EPIPE, not kill
+    // the dispatcher (installSignalHandlers also arranges this, but
+    // the dispatcher must be safe standalone, e.g. under a test
+    // harness that did not install handlers).
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+ShardDispatcher::~ShardDispatcher()
+{
+    shutdownWorkers();
+}
+
+void
+ShardDispatcher::spawnWorker(Worker &worker)
+{
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        sb_warn("shard: socketpair failed (", std::strerror(errno),
+                "); abandoning slot ", worker.shard);
+        worker.state = Worker::State::Dead;
+        return;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        sb_warn("shard: fork failed (", std::strerror(errno),
+                "); abandoning slot ", worker.shard);
+        ::close(sv[0]);
+        ::close(sv[1]);
+        worker.state = Worker::State::Dead;
+        return;
+    }
+    if (pid == 0) {
+        // Child. Drop every parent-side descriptor we inherited so a
+        // sibling's EOF detection is not defeated by our copy of its
+        // stream, then exec the worker with its end of the pair.
+        ::close(sv[0]);
+        for (const Worker &other : workers)
+            if (other.fd >= 0)
+                ::close(other.fd);
+        std::vector<std::string> args = opt.workerArgv;
+        if (args.empty()) {
+            args = {opt.workerPath, "serve", "--fd",
+                    std::to_string(sv[1])};
+            if (!opt.cacheDir.empty()) {
+                args.push_back("--cache-dir");
+                args.push_back(opt.cacheDir);
+            }
+        }
+        std::vector<char *> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string &arg : args)
+            argv.push_back(arg.data());
+        argv.push_back(nullptr);
+        ::execv(argv[0], argv.data());
+        _exit(127);
+    }
+    ::close(sv[1]);
+    ::fcntl(sv[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
+    worker.pid = pid;
+    worker.fd = sv[0];
+    worker.reader = FrameReader{};
+    worker.state = Worker::State::Spawning;
+    worker.deadline =
+        Clock::now() + std::chrono::milliseconds(helloTimeoutMs);
+    worker.cell = npos;
+    worker.cellsSinceSpawn = 0;
+    ++rep.workersSpawned;
+}
+
+void
+ShardDispatcher::killWorker(Worker &worker)
+{
+    if (worker.pid > 0)
+        ::kill(worker.pid, SIGKILL);
+}
+
+void
+ShardDispatcher::reapWorker(Worker &worker)
+{
+    if (worker.fd >= 0) {
+        ::close(worker.fd);
+        worker.fd = -1;
+    }
+    if (worker.pid > 0) {
+        int status = 0;
+        while (::waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        worker.pid = -1;
+    }
+}
+
+void
+ShardDispatcher::shutdownWorkers()
+{
+    // Best effort: ask politely, give the cohort a moment, then kill.
+    bool anyAlive = false;
+    const std::string bye = makeShutdownCmd().dump();
+    for (Worker &worker : workers) {
+        if (worker.pid <= 0)
+            continue;
+        anyAlive = true;
+        if (worker.fd >= 0)
+            writeFrame(worker.fd, bye);
+    }
+    if (!anyAlive)
+        return;
+    const TimePoint patience =
+        Clock::now() + std::chrono::milliseconds(500);
+    for (Worker &worker : workers) {
+        if (worker.pid <= 0)
+            continue;
+        int status = 0;
+        while (true) {
+            const pid_t got = ::waitpid(worker.pid, &status, WNOHANG);
+            if (got == worker.pid || (got < 0 && errno != EINTR))
+                break;
+            if (Clock::now() >= patience) {
+                ::kill(worker.pid, SIGKILL);
+                while (::waitpid(worker.pid, &status, 0) < 0
+                       && errno == EINTR) {
+                }
+                break;
+            }
+            ::usleep(10000);
+        }
+        worker.pid = -1;
+        if (worker.fd >= 0) {
+            ::close(worker.fd);
+            worker.fd = -1;
+        }
+        worker.state = Worker::State::Dead;
+    }
+}
+
+void
+ShardDispatcher::onWorkerDeath(Worker &worker, Batch &batch, bool hang)
+{
+    reapWorker(worker);
+    if (hang)
+        ++rep.hangs;
+    else
+        ++rep.crashes;
+
+    const std::size_t cell = worker.cell;
+    worker.cell = npos;
+    if (cell != npos) {
+        Batch::CellState &st = batch.state[cell];
+        unsigned &attempts = batch.attempts[cell];
+        ++attempts;
+        if (attempts >= opt.maxAttemptsPerCell) {
+            // Poisoned cell: it keeps taking workers down with it.
+            // Stub it out and report it instead of aborting the batch
+            // (or retrying forever).
+            const std::string &key = (*batch.keys)[cell];
+            sb_warn("shard: quarantining cell ",
+                    (*batch.specs)[cell].workload, " (key ",
+                    key.empty() ? "<uncacheable>" : key, ") after ",
+                    attempts, " failed attempt(s)");
+            rep.quarantinedKeys.push_back(
+                key.empty() ? (*batch.specs)[cell].specKey() : key);
+            batch.results[cell] =
+                stubOutcome((*batch.specs)[cell], "quarantined");
+            st = Batch::CellState::Done;
+            --batch.remaining;
+        } else {
+            ++rep.retries;
+            st = Batch::CellState::Delayed;
+            batch.notBefore[cell] =
+                Clock::now()
+                + std::chrono::milliseconds(backoffDelayMs(
+                    attempts, opt.backoffBaseMs, opt.backoffCapMs));
+        }
+    }
+
+    worker.barrenSpawns =
+        worker.cellsSinceSpawn == 0 ? worker.barrenSpawns + 1 : 0;
+    if (worker.barrenSpawns >= opt.maxBarrenSpawns) {
+        sb_warn("shard: slot ", worker.shard, " abandoned after ",
+                worker.barrenSpawns,
+                " consecutive spawns with no completed cell");
+        worker.state = Worker::State::Dead;
+        return;
+    }
+    spawnWorker(worker);
+}
+
+void
+ShardDispatcher::assignWork(Worker &worker, Batch &batch)
+{
+    // Home shard first; steal from the tail of the longest queue when
+    // it runs dry, so one shard of slow cells cannot strand the rest.
+    std::deque<std::size_t> *queue = &batch.queues[worker.shard];
+    bool steal = false;
+    if (queue->empty()) {
+        std::size_t best = 0;
+        for (std::size_t q = 1; q < batch.queues.size(); ++q)
+            if (batch.queues[q].size() > batch.queues[best].size())
+                best = q;
+        if (batch.queues[best].empty())
+            return; // Nothing runnable anywhere right now.
+        queue = &batch.queues[best];
+        steal = best != worker.shard;
+    }
+
+    const std::size_t cell = steal ? queue->back() : queue->front();
+    if (steal) {
+        queue->pop_back();
+        ++rep.stolen;
+    } else {
+        queue->pop_front();
+    }
+
+    const std::uint64_t timeoutMs =
+        opt.cellTimeoutSec > 0
+            ? static_cast<std::uint64_t>(opt.cellTimeoutSec * 1000.0)
+            : 0;
+    const Json cmd = makeRunCmd(cell, (*batch.keys)[cell],
+                                (*batch.specs)[cell], timeoutMs);
+    if (!writeFrame(worker.fd, cmd.dump())) {
+        // The worker died between frames; requeue the cell untouched
+        // (this is a worker failure, not a cell failure) and handle
+        // the death.
+        queue->push_front(cell);
+        onWorkerDeath(worker, batch, false);
+        return;
+    }
+    batch.state[cell] = Batch::CellState::Running;
+    worker.cell = cell;
+    worker.state = Worker::State::Busy;
+    const double killSec = opt.cellTimeoutSec > 0
+                               ? opt.cellTimeoutSec + 2.0
+                               : defaultKillDeadlineSec;
+    worker.deadline =
+        Clock::now()
+        + std::chrono::milliseconds(
+            static_cast<long long>(killSec * 1000.0));
+}
+
+bool
+ShardDispatcher::handleFrames(Worker &worker, Batch &batch)
+{
+    char chunk[16384];
+    while (true) {
+        const ssize_t n = ::read(worker.fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            return false;
+        }
+        if (n == 0)
+            return false; // EOF: the worker is gone.
+        worker.reader.feed(chunk, static_cast<std::size_t>(n));
+        if (static_cast<std::size_t>(n) < sizeof(chunk))
+            break;
+    }
+
+    std::string payload;
+    while (worker.reader.next(payload)) {
+        Json msg;
+        if (!Json::parse(payload, msg))
+            return false;
+        const std::string cmd = messageCmd(msg);
+        if (cmd == "hello") {
+            if (worker.state != Worker::State::Spawning
+                || !msg.has("proto")
+                || msg.at("proto").kind() != Json::Kind::Uint
+                || msg.at("proto").asUint() != shardProtocolVersion) {
+                sb_warn("shard: bad hello from slot ", worker.shard);
+                return false;
+            }
+            worker.state = Worker::State::Idle;
+            continue;
+        }
+        if (cmd == "done") {
+            if (worker.state != Worker::State::Busy || !msg.has("id")
+                || msg.at("id").kind() != Json::Kind::Uint
+                || msg.at("id").asUint() != worker.cell
+                || !msg.has("cached")
+                || msg.at("cached").kind() != Json::Kind::Bool
+                || !msg.has("outcome"))
+                return false;
+            RunOutcome outcome;
+            if (!outcomeFromJson(msg.at("outcome"), outcome))
+                return false;
+            const std::size_t cell = worker.cell;
+            batch.results[cell] = std::move(outcome);
+            batch.state[cell] = Batch::CellState::Done;
+            persisted[cell] = msg.at("cached").asBool();
+            --batch.remaining;
+            worker.cell = npos;
+            worker.state = Worker::State::Idle;
+            ++worker.cellsSinceSpawn;
+            worker.barrenSpawns = 0;
+            continue;
+        }
+        sb_warn("shard: unexpected '", cmd, "' from slot ",
+                worker.shard);
+        return false;
+    }
+    return !worker.reader.corrupt();
+}
+
+void
+ShardDispatcher::runRemainingInProcess(Batch &batch)
+{
+    RunHooks hooks;
+    hooks.wallDeadlineSec = opt.cellTimeoutSec;
+    hooks.interruptible = true;
+    for (std::size_t cell = 0; cell < batch.results.size(); ++cell) {
+        if (batch.state[cell] == Batch::CellState::Done)
+            continue;
+        if (interruptRequested()) {
+            rep.interrupted = true;
+            batch.results[cell] =
+                stubOutcome((*batch.specs)[cell], "interrupted");
+        } else {
+            batch.results[cell] =
+                ExperimentRunner::runOne((*batch.specs)[cell], hooks);
+            ++rep.inProcess;
+        }
+        batch.state[cell] = Batch::CellState::Done;
+        --batch.remaining;
+    }
+}
+
+std::vector<RunOutcome>
+ShardDispatcher::run(const std::vector<RunSpec> &specs,
+                     const std::vector<std::string> &keys)
+{
+    sb_assert(specs.size() == keys.size(), "shard: specs/keys skew");
+
+    Batch batch;
+    batch.specs = &specs;
+    batch.keys = &keys;
+    batch.results.resize(specs.size());
+    batch.state.assign(specs.size(), Batch::CellState::Pending);
+    batch.attempts.assign(specs.size(), 0);
+    batch.notBefore.assign(specs.size(), TimePoint{});
+    batch.remaining = specs.size();
+    persisted.assign(specs.size(), false);
+    if (specs.empty())
+        return {};
+
+    const unsigned shards = static_cast<unsigned>(std::min<std::size_t>(
+        std::max(1u, opt.shards), specs.size()));
+    batch.queues.resize(shards);
+    const std::vector<unsigned> home = partitionByKey(keys, shards);
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        batch.queues[home[i]].push_back(i);
+
+    workers.clear();
+    workers.resize(shards);
+    for (unsigned s = 0; s < shards; ++s) {
+        workers[s].shard = s;
+        spawnWorker(workers[s]);
+    }
+
+    std::vector<pollfd> pfds;
+    std::vector<std::size_t> pfdWorker;
+    while (batch.remaining > 0) {
+        if (interruptRequested()) {
+            rep.interrupted = true;
+            break;
+        }
+
+        // Promote delayed cells whose backoff has elapsed.
+        const TimePoint now = Clock::now();
+        TimePoint nextEvent = now + std::chrono::milliseconds(500);
+        for (std::size_t cell = 0; cell < batch.state.size(); ++cell) {
+            if (batch.state[cell] != Batch::CellState::Delayed)
+                continue;
+            if (batch.notBefore[cell] <= now) {
+                batch.state[cell] = Batch::CellState::Pending;
+                batch.queues[home[cell] % shards].push_back(cell);
+            } else {
+                nextEvent = std::min(nextEvent, batch.notBefore[cell]);
+            }
+        }
+
+        for (Worker &worker : workers)
+            if (worker.state == Worker::State::Idle)
+                assignWork(worker, batch);
+
+        bool anyLive = false;
+        pfds.clear();
+        pfdWorker.clear();
+        for (std::size_t w = 0; w < workers.size(); ++w) {
+            Worker &worker = workers[w];
+            if (worker.state == Worker::State::Dead)
+                continue;
+            anyLive = true;
+            if (worker.state != Worker::State::Idle)
+                nextEvent = std::min(nextEvent, worker.deadline);
+            pollfd pfd;
+            pfd.fd = worker.fd;
+            pfd.events = POLLIN;
+            pfd.revents = 0;
+            pfds.push_back(pfd);
+            pfdWorker.push_back(w);
+        }
+        if (!anyLive) {
+            // No worker can be kept alive: the architecture degrades,
+            // the batch does not fail.
+            sb_warn("shard: no live workers; degrading to in-process "
+                    "execution of ", batch.remaining, " cell(s)");
+            rep.degraded = true;
+            runRemainingInProcess(batch);
+            break;
+        }
+
+        const int ready =
+            ::poll(pfds.data(), pfds.size(), toMsClamped(nextEvent, now));
+        if (ready < 0 && errno != EINTR)
+            sb_panic("shard: poll failed: ", std::strerror(errno));
+
+        for (std::size_t p = 0; p < pfds.size(); ++p) {
+            if (!(pfds[p].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            Worker &worker = workers[pfdWorker[p]];
+            if (worker.state == Worker::State::Dead)
+                continue;
+            if (!handleFrames(worker, batch))
+                onWorkerDeath(worker, batch, false);
+        }
+
+        // Kill-deadline sweep: a worker that blew its hello or cell
+        // deadline is wedged; SIGKILL it and retry the cell elsewhere.
+        const TimePoint after = Clock::now();
+        for (Worker &worker : workers) {
+            if (worker.state == Worker::State::Dead
+                || worker.state == Worker::State::Idle
+                || worker.deadline > after)
+                continue;
+            sb_warn("shard: slot ", worker.shard,
+                    worker.state == Worker::State::Spawning
+                        ? " never said hello"
+                        : " missed its cell deadline",
+                    "; killing pid ", worker.pid);
+            killWorker(worker);
+            onWorkerDeath(worker, batch,
+                          worker.state != Worker::State::Spawning);
+        }
+    }
+
+    if (rep.interrupted) {
+        for (std::size_t cell = 0; cell < batch.results.size(); ++cell) {
+            if (batch.state[cell] == Batch::CellState::Done)
+                continue;
+            batch.results[cell] =
+                stubOutcome((*batch.specs)[cell], "interrupted");
+            batch.state[cell] = Batch::CellState::Done;
+            --batch.remaining;
+        }
+    }
+
+    shutdownWorkers();
+    return std::move(batch.results);
+}
+
+} // namespace sb

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Shard dispatcher: fault-tolerant multi-process execution of a cell
+ * batch across supervised `sbsim serve` workers.
+ *
+ * The dispatcher partitions cells across N shards by specKey (stable
+ * content addressing, so the same cell always homes to the same
+ * shard and its worker's warm cache), spawns one worker process per
+ * shard over a socketpair, and multiplexes all of them from a single
+ * poll() loop. Scheduling is work-stealing: an idle worker drains
+ * its home shard first, then steals from the tail of the longest
+ * remaining queue, so a shard of slow cells cannot strand the rest
+ * of the machine.
+ *
+ * Supervision and failure semantics:
+ *  - a worker that exits, breaks its stream, or never says hello is
+ *    a CRASH; one that misses its per-cell kill deadline is a HANG
+ *    and is SIGKILLed. Either way the in-flight cell is retried with
+ *    capped exponential backoff (backoffDelayMs) and the slot is
+ *    respawned;
+ *  - a cell whose attempts exceed the cap is QUARANTINED: it gets a
+ *    stub outcome (stats["quarantined"] = 1) and lands on the
+ *    report's poisoned-cell list instead of aborting the batch;
+ *  - a slot whose respawns keep dying without completing a single
+ *    cell is abandoned; when every slot is abandoned the dispatcher
+ *    DEGRADES to in-process execution of the remaining cells, so a
+ *    broken worker binary can slow a batch down but never fail it;
+ *  - SIGINT/SIGTERM (common/signals.hh) stops dispatch, terminates
+ *    and reaps workers, and returns partial results with the
+ *    unfinished cells marked stats["interrupted"] = 1.
+ *
+ * Workers persist their results through the shared crash-safe
+ * ResultCache before replying, so a worker killed between store and
+ * reply loses nothing: the retry is served from the cache, and
+ * aggregates stay bit-identical to an in-process run.
+ */
+
+#ifndef SB_HARNESS_SHARD_HH
+#define SB_HARNESS_SHARD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace sb
+{
+
+/**
+ * Retry delay before attempt @p attempt (1-based: the delay after
+ * the first failure is attempt 1): base * 2^(attempt-1), capped.
+ */
+unsigned backoffDelayMs(unsigned attempt, unsigned baseMs,
+                        unsigned capMs);
+
+/**
+ * Home shard of each cell: FNV-1a of its key, modulo @p shards.
+ * Deterministic across processes and runs.
+ */
+std::vector<unsigned> partitionByKey(const std::vector<std::string> &keys,
+                                     unsigned shards);
+
+struct ShardOptions
+{
+    /** Worker processes (= shards). */
+    unsigned shards = 2;
+    /** Shared result-cache directory passed to workers; empty runs
+     *  the workers uncached. */
+    std::string cacheDir;
+    /** Worker binary (the sbsim executable). */
+    std::string workerPath;
+    /**
+     * Full worker argv override for tests (e.g. a fake worker that
+     * always dies). Empty = `<workerPath> serve --fd <n>
+     * [--cache-dir <dir>]`.
+     */
+    std::vector<std::string> workerArgv;
+    /** Per-cell wall-clock budget in seconds; 0 = a generous default.
+     *  Workers get it as their deadline; the dispatcher kills at a
+     *  slightly larger deadline (the backstop for wedged workers). */
+    double cellTimeoutSec = 0;
+    /** Attempts per cell before quarantine. */
+    unsigned maxAttemptsPerCell = 3;
+    /** Consecutive respawns of one slot without a completed cell
+     *  before the slot is abandoned. */
+    unsigned maxBarrenSpawns = 3;
+    /** Backoff schedule (see backoffDelayMs). */
+    unsigned backoffBaseMs = 25;
+    unsigned backoffCapMs = 2000;
+};
+
+/** What happened while executing one batch (folded into EngineStats
+ *  and the operator-facing grid summary). */
+struct ShardReport
+{
+    unsigned workersSpawned = 0;
+    std::uint64_t crashes = 0;   ///< Worker exits / broken streams.
+    std::uint64_t hangs = 0;     ///< Kill-deadline SIGKILLs.
+    std::uint64_t retries = 0;   ///< Cells re-dispatched after failure.
+    std::uint64_t stolen = 0;    ///< Cells run off their home shard.
+    std::uint64_t inProcess = 0; ///< Cells run by the dispatcher itself.
+    bool degraded = false;       ///< Every slot abandoned; ran in-process.
+    bool interrupted = false;    ///< Stopped by SIGINT/SIGTERM.
+    /** specKeys of quarantined cells (poisoned-cell list). */
+    std::vector<std::string> quarantinedKeys;
+};
+
+class ShardDispatcher
+{
+  public:
+    explicit ShardDispatcher(ShardOptions options);
+    ~ShardDispatcher();
+
+    ShardDispatcher(const ShardDispatcher &) = delete;
+    ShardDispatcher &operator=(const ShardDispatcher &) = delete;
+
+    /**
+     * Execute every cell; results match the input order. @p keys
+     * parallels @p specs (a cell's cache address, or "" for
+     * uncacheable cells). Quarantined / interrupted cells come back
+     * as stub outcomes with the corresponding marker stat.
+     */
+    std::vector<RunOutcome> run(const std::vector<RunSpec> &specs,
+                                const std::vector<std::string> &keys);
+
+    /** Per-cell: true when a worker already persisted the result to
+     *  the shared cache (the caller need not store it again). */
+    const std::vector<bool> &persistedByWorker() const
+    {
+        return persisted;
+    }
+
+    const ShardReport &report() const { return rep; }
+
+  private:
+    struct Worker;
+    struct Batch;
+
+    void spawnWorker(Worker &worker);
+    void killWorker(Worker &worker);
+    void reapWorker(Worker &worker);
+    void shutdownWorkers();
+    void onWorkerDeath(Worker &worker, Batch &batch, bool hang);
+    void assignWork(Worker &worker, Batch &batch);
+    bool handleFrames(Worker &worker, Batch &batch);
+    void runRemainingInProcess(Batch &batch);
+
+    ShardOptions opt;
+    ShardReport rep;
+    std::vector<Worker> workers;
+    std::vector<bool> persisted;
+};
+
+} // namespace sb
+
+#endif // SB_HARNESS_SHARD_HH

@@ -167,12 +167,21 @@ TEST(ResolveJobs, ExplicitThenEnvThenHardware)
     EXPECT_GE(sb::resolveJobs(0), 1u);
 }
 
+sb::ExperimentEngine::Options
+engineOpts(unsigned jobs, std::string cacheDir = "")
+{
+    sb::ExperimentEngine::Options options;
+    options.jobs = jobs;
+    options.cacheDir = std::move(cacheDir);
+    return options;
+}
+
 TEST(Engine, MatchesRunnerBitExact)
 {
     const auto spec = quickSpec("557.xz", sb::Scheme::SttIssue);
     const auto direct = sb::ExperimentRunner::runOne(spec);
 
-    sb::ExperimentEngine engine({2, ""});
+    sb::ExperimentEngine engine(engineOpts(2));
     const auto got = engine.run({spec});
     ASSERT_EQ(got.size(), 1u);
     expectSameOutcome(got[0], direct);
@@ -183,7 +192,7 @@ TEST(Engine, DedupsIdenticalSpecsInBatch)
     const auto a = quickSpec("557.xz", sb::Scheme::Baseline);
     const auto b = quickSpec("541.leela", sb::Scheme::Baseline);
 
-    sb::ExperimentEngine engine({2, ""});
+    sb::ExperimentEngine engine(engineOpts(2));
     const auto got = engine.run({a, b, a, a});
     ASSERT_EQ(got.size(), 4u);
     EXPECT_EQ(engine.stats().requested, 4u);
@@ -201,8 +210,8 @@ TEST(Engine, ThreadCountIndependent)
     for (const char *b : {"557.xz", "541.leela", "503.bwaves"})
         specs.push_back(quickSpec(b, sb::Scheme::Nda));
 
-    sb::ExperimentEngine serial({1, ""});
-    sb::ExperimentEngine parallel({4, ""});
+    sb::ExperimentEngine serial(engineOpts(1));
+    sb::ExperimentEngine parallel(engineOpts(4));
     const auto rs = serial.run(specs);
     const auto rp = parallel.run(specs);
     ASSERT_EQ(rs.size(), rp.size());
@@ -225,7 +234,7 @@ TEST(Engine, CacheRoundTripIsBitExact)
 
     std::vector<sb::RunOutcome> cold;
     {
-        sb::ExperimentEngine engine({2, dir});
+        sb::ExperimentEngine engine(engineOpts(2, dir));
         cold = engine.run(specs);
         EXPECT_EQ(engine.stats().simulated, 2u);
         EXPECT_EQ(engine.stats().cacheHits, 0u);
@@ -235,7 +244,7 @@ TEST(Engine, CacheRoundTripIsBitExact)
 
     // A fresh engine over the same directory must serve everything
     // from disk, bit-identically — including every counter.
-    sb::ExperimentEngine warm({2, dir});
+    sb::ExperimentEngine warm(engineOpts(2, dir));
     const auto cached = warm.run(specs);
     EXPECT_EQ(warm.stats().simulated, 0u);
     EXPECT_EQ(warm.stats().cacheHits, 2u);
@@ -269,7 +278,7 @@ TEST(Engine, MismatchedCacheEntryIsReSimulated)
 
     std::vector<sb::RunOutcome> fresh;
     {
-        sb::ExperimentEngine engine({2, dir});
+        sb::ExperimentEngine engine(engineOpts(2, dir));
         fresh = engine.run({spec});
         ASSERT_EQ(fresh.size(), 1u);
         EXPECT_EQ(engine.stats().cacheHits, 0u);
@@ -280,7 +289,7 @@ TEST(Engine, MismatchedCacheEntryIsReSimulated)
 
     // The fresh result overwrote the poisoned entry (last line wins),
     // so the bad entry self-heals instead of re-simulating forever.
-    sb::ExperimentEngine healed({2, dir});
+    sb::ExperimentEngine healed(engineOpts(2, dir));
     const auto again = healed.run({spec});
     EXPECT_EQ(healed.stats().cacheHits, 1u);
     EXPECT_EQ(healed.stats().simulated, 0u);
@@ -300,7 +309,7 @@ TEST(Engine, UnusableCacheDirDegradesToUncached)
         std::ofstream f(blocker);
         f << "not a directory\n";
     }
-    sb::ExperimentEngine engine({2, blocker + "/sub"});
+    sb::ExperimentEngine engine(engineOpts(2, blocker + "/sub"));
     EXPECT_EQ(engine.cache(), nullptr);
     const auto got =
         engine.run({quickSpec("503.bwaves", sb::Scheme::Baseline)});
@@ -312,7 +321,7 @@ TEST(Engine, UnusableCacheDirDegradesToUncached)
 TEST(Engine, RepeatedRunIsDeterministic)
 {
     const auto spec = quickSpec("520.omnetpp", sb::Scheme::SttRename);
-    sb::ExperimentEngine engine({2, ""});
+    sb::ExperimentEngine engine(engineOpts(2));
     const auto first = engine.run({spec});
     const auto second = engine.run({spec});
     ASSERT_EQ(first.size(), 1u);

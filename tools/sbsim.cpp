@@ -7,12 +7,26 @@
  *   sbsim all [opts]                 # the whole reproduction
  *   sbsim verify [opts]              # security battery -> leak matrix
  *   sbsim fuzz [opts]                # differential conformance fuzz
+ *   sbsim serve [--fd N]             # shard worker daemon (internal)
  *
  * Options:
  *   --jobs N        worker threads (default: SB_JOBS, else hardware)
  *   --cache-dir D   result-cache directory (default: .sbsim-cache)
  *   --no-cache      disable the on-disk result cache
  *   --json          also write SBSIM_<scenario>.json outcome dumps
+ *   --shards N      run cells on N supervised worker processes
+ *                   (`sbsim serve` children; crashes and hangs are
+ *                   retried with backoff, poisoned cells quarantined,
+ *                   and the tier degrades to in-process execution if
+ *                   no worker survives)
+ *   --cell-timeout S  per-cell wall-clock budget in seconds; overruns
+ *                   come back as stats["watchdog_tripped"] outcomes
+ *
+ * SIGINT/SIGTERM stop dispatch gracefully: in-flight work is cut
+ * short, finished cells stay in the cache, the partial grid summary
+ * still prints, and the process exits 128+signal. `sbsim serve` is
+ * the worker end of the shard protocol (harness/protocol.hh); it is
+ * spawned by the dispatcher and is not meant for interactive use.
  *
  * Fuzz options (sbsim fuzz only):
  *   --programs N    random programs per campaign (default 50)
@@ -45,6 +59,9 @@
  * --no-cache, like the security battery).
  */
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -52,11 +69,13 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "common/signals.hh"
 #include "harness/conformance.hh"
 #include "harness/engine.hh"
 #include "harness/result_cache.hh"
 #include "harness/reporting.hh"
 #include "harness/scenario.hh"
+#include "harness/serve.hh"
 #include "harness/verify.hh"
 
 namespace
@@ -69,16 +88,70 @@ usage(const char *argv0)
                  "usage: %s list\n"
                  "       %s run <scenario...> [--jobs N] [--cache-dir D]"
                  " [--no-cache] [--json]\n"
+                 "             [--shards N] [--cell-timeout S]\n"
                  "       %s all [--jobs N] [--cache-dir D] [--no-cache]"
                  " [--json]\n"
+                 "             [--shards N] [--cell-timeout S]\n"
                  "       %s verify [--jobs N] [--cache-dir D]"
                  " [--no-cache] [--json]\n"
                  "       %s fuzz [--programs N] [--seed S]"
                  " [--profile P] [--core C]\n"
                  "             [--jobs N] [--cache-dir D] [--no-cache]"
-                 " [--json]\n",
-                 argv0, argv0, argv0, argv0, argv0);
+                 " [--json]\n"
+                 "       %s serve [--fd N] [--cache-dir D]\n",
+                 argv0, argv0, argv0, argv0, argv0, argv0);
     return 2;
+}
+
+/** The path the dispatcher should exec as workers: this very binary. */
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+int
+serveCommand(int argc, char **argv)
+{
+    sb::ServeOptions options;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--fd" || arg == "--cache-dir") {
+            if (++i >= argc)
+                return usage(argv[0]);
+        }
+        if (arg == "--fd") {
+            char *end = nullptr;
+            errno = 0;
+            const long v = std::strtol(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0' || errno != 0 || v < 0) {
+                std::fprintf(stderr,
+                             "--fd wants a nonnegative descriptor\n");
+                return 2;
+            }
+            // One bidirectional descriptor (the dispatcher's
+            // socketpair end) carries both directions.
+            options.inFd = static_cast<int>(v);
+            options.outFd = static_cast<int>(v);
+        } else if (arg == "--cache-dir") {
+            options.cacheDir = argv[i];
+        } else {
+            std::fprintf(stderr, "unknown serve option '%s'\n",
+                         arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    // A dispatcher that dies mid-reply must surface as EPIPE, not
+    // SIGPIPE-kill the worker while it holds the cache lock.
+    ::signal(SIGPIPE, SIG_IGN);
+    return sb::serveMain(options);
 }
 
 int
@@ -146,6 +219,11 @@ writeGridspeedJson(const std::vector<std::string> &scenarios,
     doc.set("cells_from_dedup", sb::Json::num(st.dedupHits));
     doc.set("cells_from_cache", sb::Json::num(st.cacheHits));
     doc.set("wall_seconds", sb::Json::num(st.wallSeconds));
+    doc.set("workers_spawned", sb::Json::num(st.workersSpawned));
+    doc.set("worker_crashes", sb::Json::num(st.shardCrashes));
+    doc.set("worker_hangs", sb::Json::num(st.shardHangs));
+    doc.set("cell_retries", sb::Json::num(st.shardRetries));
+    doc.set("cells_stolen", sb::Json::num(st.shardStolen));
 
     std::FILE *f = std::fopen("BENCH_gridspeed.json", "w");
     if (!f) {
@@ -288,6 +366,13 @@ main(int argc, char **argv)
     const std::string command = argv[1];
     if (command == "list")
         return listScenarios();
+    if (command == "serve")
+        return serveCommand(argc, argv);
+    // Graceful interrupt for every simulating verb: finish nothing
+    // new, keep what is done, print the partial summary, exit
+    // 128+signal. Workers (`serve`) keep default dispositions so the
+    // dispatcher's supervision semantics stay observable.
+    sb::installSignalHandlers();
     if (command == "fuzz")
         return fuzzMain(argc, argv);
     if (command != "run" && command != "all" && command != "verify")
@@ -295,13 +380,41 @@ main(int argc, char **argv)
 
     std::vector<std::string> names;
     unsigned jobs = 0;
+    unsigned shards = 0;
+    double cell_timeout = 0;
     std::string cache_dir = ".sbsim-cache";
     bool use_cache = true;
     bool emit_json = false;
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--jobs") {
+        if (arg == "--shards") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            char *end = nullptr;
+            errno = 0;
+            const long v = std::strtol(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0' || errno != 0 || v < 0
+                || v > 256) {
+                std::fprintf(stderr,
+                             "--shards wants an integer in [0, 256]\n");
+                return 2;
+            }
+            shards = static_cast<unsigned>(v);
+        } else if (arg == "--cell-timeout") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            char *end = nullptr;
+            errno = 0;
+            const double v = std::strtod(argv[i], &end);
+            if (end == argv[i] || *end != '\0' || errno != 0 || v < 0) {
+                std::fprintf(stderr,
+                             "--cell-timeout wants a nonnegative "
+                             "number of seconds\n");
+                return 2;
+            }
+            cell_timeout = v;
+        } else if (arg == "--jobs") {
             if (++i >= argc)
                 return usage(argv[0]);
             char *end = nullptr;
@@ -372,11 +485,18 @@ main(int argc, char **argv)
     // directory as a side effect.
     options.cacheDir =
         use_cache && !specs.empty() ? cache_dir : std::string();
+    options.shards = shards;
+    options.cellTimeoutSec = cell_timeout;
+    if (shards > 0)
+        options.sbsimPath = selfExePath(argv[0]);
     sb::ExperimentEngine engine(options);
 
-    std::printf("sbsim: %zu scenario(s), %zu cells, %u jobs, cache %s\n",
+    std::printf("sbsim: %zu scenario(s), %zu cells, %u jobs, cache %s",
                 scenarios.size(), specs.size(), engine.jobs(),
                 use_cache ? cache_dir.c_str() : "off");
+    if (shards > 0)
+        std::printf(", %u shard worker(s)", shards);
+    std::printf("\n");
     const auto results = engine.run(specs);
 
     bool verify_ok = true;
@@ -425,12 +545,42 @@ main(int argc, char **argv)
         std::printf("cache file:        %s (%zu entries)\n",
                     engine.cache()->path().c_str(),
                     engine.cache()->size());
+    if (shards > 0) {
+        std::printf("shard workers:     %llu spawned (crashes %llu, "
+                    "hangs %llu, retries %llu, stolen %llu)\n",
+                    static_cast<unsigned long long>(st.workersSpawned),
+                    static_cast<unsigned long long>(st.shardCrashes),
+                    static_cast<unsigned long long>(st.shardHangs),
+                    static_cast<unsigned long long>(st.shardRetries),
+                    static_cast<unsigned long long>(st.shardStolen));
+        if (st.shardDegraded)
+            std::printf("shard tier:        degraded; remainder ran "
+                        "in-process\n");
+    }
+    for (const std::string &key : st.quarantinedKeys)
+        std::printf("quarantined cell:  %s\n", key.c_str());
 
     if (command == "all")
         writeGridspeedJson(names, engine);
+    if (st.interrupted) {
+        std::fprintf(stderr,
+                     "sbsim: interrupted; partial results "
+                     "(%llu cell(s) unfinished)\n",
+                     static_cast<unsigned long long>(
+                         st.interruptedCells));
+        const int sig = sb::interruptSignal();
+        return sig > 0 ? 128 + sig : 130;
+    }
     if (!verify_ok) {
         std::fprintf(stderr,
                      "sbsim verify: security contract violated\n");
+        return 1;
+    }
+    if (!st.quarantinedKeys.empty()) {
+        std::fprintf(stderr,
+                     "sbsim: %zu cell(s) quarantined; results "
+                     "incomplete\n",
+                     st.quarantinedKeys.size());
         return 1;
     }
     return 0;
