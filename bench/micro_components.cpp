@@ -13,6 +13,7 @@
 #include "common/config.hh"
 #include "common/rng.hh"
 #include "core/core.hh"
+#include "core/inst_slab.hh"
 #include "core/issue_queue.hh"
 #include "core/rename_map.hh"
 #include "memory/memory_system.hh"
@@ -89,19 +90,21 @@ BENCHMARK(BM_RenameAllocate);
 void
 BM_IssueQueueWakeup(benchmark::State &state)
 {
+    sb::InstSlab slab(64);
     sb::IssueQueue iq(40);
-    std::vector<sb::DynInstPtr> insts;
+    iq.attachSlab(&slab);
     for (unsigned i = 0; i < 40; ++i) {
-        auto inst = std::make_shared<sb::DynInst>();
-        inst->seq = i + 1;
-        inst->uop.op = sb::Op::Add;
-        inst->uop.dst = 1;
-        inst->uop.src1 = 2;
-        inst->uop.src2 = 3;
-        inst->psrc1 = i % 64;
-        inst->psrc2 = (i * 7) % 64;
-        iq.insert(inst, false, false);
-        insts.push_back(inst);
+        const sb::InstHandle h = slab.alloc();
+        sb::DynInst &inst = slab.get(h);
+        inst = sb::DynInst{};
+        inst.seq = i + 1;
+        inst.uop.op = sb::Op::Add;
+        inst.uop.dst = 1;
+        inst.uop.src1 = 2;
+        inst.uop.src2 = 3;
+        inst.psrc1 = i % 64;
+        inst.psrc2 = (i * 7) % 64;
+        iq.insert(h, inst, false, false);
     }
     sb::Rng rng(7);
     for (auto _ : state) {

@@ -5,6 +5,7 @@ against the committed baselines.
     scripts/bench_regression.py [--build-dir build]
                                 [--baseline-dir bench/baselines]
                                 [--tolerance 0.20] [--update]
+                                [--min-speedup X] [--floor-only]
 
 Compares BENCH_simspeed.json (per-scheme simulated MIPS) against the
 committed baseline and exits nonzero when any scheme regressed by more
@@ -14,6 +15,17 @@ diffed informationally: its cell accounting (requested / simulated /
 dedup / cache) is deterministic and drift there means the scenario
 grid itself changed, but its wall-clock depends on cache warmth so it
 never gates.
+
+--min-speedup X adds a *floor* gate: every scheme must reach at least
+X times its committed baseline MIPS. Unlike the tolerance gate (meant
+for the reference machine, so it is tight), the floor is meant to be
+loose enough to hold on any hardware — CI runners are slower than the
+reference machine, but a catastrophic engine regression (an order of
+magnitude, a pathological O(n) loop) still trips it.
+
+--floor-only applies just the floor gate and skips both the tolerance
+gate and the gridspeed diff; together with `bench_simspeed --quick`
+this is the CI smoke configuration, which has no gridspeed artifact.
 
 --update refreshes the committed baselines from the current build
 directory (run on the reference machine after an intentional
@@ -42,12 +54,20 @@ def load(path):
         sys.exit(f"bench_regression: malformed {path}: {err}")
 
 
-def diff_simspeed(baseline, current, tolerance):
+def diff_simspeed(baseline, current, tolerance, min_speedup=None,
+                  floor_only=False):
     base_schemes = {s["name"]: s for s in baseline.get("schemes", [])}
     cur_schemes = {s["name"]: s for s in current.get("schemes", [])}
     failures = []
 
-    print(f"--- {SIMSPEED} (gate: MIPS within -{tolerance:.0%}) ---")
+    if floor_only:
+        gate = f"gate: MIPS >= {min_speedup:.2f}x baseline"
+    elif min_speedup is not None:
+        gate = (f"gate: MIPS within -{tolerance:.0%}, "
+                f"floor {min_speedup:.2f}x")
+    else:
+        gate = f"gate: MIPS within -{tolerance:.0%}"
+    print(f"--- {SIMSPEED} ({gate}) ---")
     print(f"{'scheme':<12} {'base MIPS':>10} {'now MIPS':>10} {'delta':>8}")
     for name, base in base_schemes.items():
         cur = cur_schemes.get(name)
@@ -58,12 +78,21 @@ def diff_simspeed(baseline, current, tolerance):
         cur_mips = float(cur["mips"])
         delta = (cur_mips - base_mips) / base_mips if base_mips else 0.0
         marker = ""
-        if base_mips and cur_mips < base_mips * (1.0 - tolerance):
+        if (not floor_only and base_mips
+                and cur_mips < base_mips * (1.0 - tolerance)):
             failures.append(
                 f"{name}: {cur_mips:.3f} MIPS vs baseline "
                 f"{base_mips:.3f} ({delta:+.1%})"
             )
             marker = "  <-- REGRESSION"
+        if (min_speedup is not None and base_mips
+                and cur_mips < base_mips * min_speedup):
+            failures.append(
+                f"{name}: {cur_mips:.3f} MIPS below the floor of "
+                f"{min_speedup:.2f}x baseline "
+                f"({base_mips * min_speedup:.3f})"
+            )
+            marker = "  <-- BELOW FLOOR"
         print(f"{name:<12} {base_mips:>10.3f} {cur_mips:>10.3f} "
               f"{delta:>+7.1%}{marker}")
     for name in cur_schemes.keys() - base_schemes.keys():
@@ -104,7 +133,23 @@ def main():
     )
     parser.add_argument("--update", action="store_true",
                         help="refresh the committed baselines")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="floor gate: each scheme must reach X times its baseline "
+             "MIPS (machine-tolerant catastrophic-regression check)",
+    )
+    parser.add_argument(
+        "--floor-only",
+        action="store_true",
+        help="apply only the --min-speedup floor; skip the tolerance "
+             "gate and the gridspeed diff (CI smoke mode)",
+    )
     args = parser.parse_args()
+    if args.floor_only and args.min_speedup is None:
+        parser.error("--floor-only requires --min-speedup")
 
     if args.update:
         os.makedirs(args.baseline_dir, exist_ok=True)
@@ -120,14 +165,17 @@ def main():
         load(os.path.join(args.baseline_dir, SIMSPEED)),
         load(os.path.join(args.build_dir, SIMSPEED)),
         args.tolerance,
+        min_speedup=args.min_speedup,
+        floor_only=args.floor_only,
     )
-    diff_gridspeed(
-        load(os.path.join(args.baseline_dir, GRIDSPEED)),
-        load(os.path.join(args.build_dir, GRIDSPEED)),
-    )
+    if not args.floor_only:
+        diff_gridspeed(
+            load(os.path.join(args.baseline_dir, GRIDSPEED)),
+            load(os.path.join(args.build_dir, GRIDSPEED)),
+        )
 
     if failures:
-        print("\nFAIL: MIPS regression beyond tolerance:")
+        print("\nFAIL: simulator throughput gate:")
         for failure in failures:
             print(f"  - {failure}")
         sys.exit(1)

@@ -89,6 +89,10 @@ CoreConfig::canonical() const
         << "};mem=" << memLatency
         << ";specsched=" << (speculativeScheduling ? 1 : 0)
         << ";festages=" << frontendStages;
+    // Appended only when set so every pre-existing spec key (and the
+    // result-cache cells addressed by it) stays byte-identical.
+    if (warmupInsts != 0)
+        oss << ";ffwd=" << warmupInsts;
     return oss.str();
 }
 

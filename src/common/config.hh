@@ -12,6 +12,7 @@
 #ifndef SB_COMMON_CONFIG_HH
 #define SB_COMMON_CONFIG_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -122,6 +123,14 @@ struct CoreConfig
 
     /** Pipeline depth from fetch to execute, for squash penalties. */
     unsigned frontendStages = 7;
+
+    /**
+     * Fast-forward: functionally execute this many instructions
+     * before detailed simulation begins (architectural state, caches,
+     * and predictors are warmed; no cycles are modelled). 0 = off.
+     * Run from Core::run() exactly once, on a fresh core.
+     */
+    std::uint64_t warmupInsts = 0;
 
     /** Named presets (Table 1). */
     static CoreConfig small();

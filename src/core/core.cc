@@ -20,8 +20,15 @@ Core::Core(const CoreConfig &config, const SchemeConfig &scheme_config,
       renameMap(numArchRegs, config.numPhysRegs),
       secMonitor(config.numPhysRegs),
       workingMem(prog.memory),
+      // Exact by construction: a live record is in the fetch queue,
+      // the decode queue, or the ROB (dispatch-queue entries are also
+      // ROB entries), whose capacities bound it; the slack covers the
+      // decode queue (capped at 4*coreWidth) plus same-cycle handoffs.
+      slab(config.fetchBufferEntries + 4 * config.coreWidth
+           + config.robEntries + 8),
       regVal(config.numPhysRegs, 0),
       wakeupDone(config.numPhysRegs, 1),
+      pregEpoch(config.numPhysRegs, 0),
       iq(config.iqEntries),
       lsu(config.ldqEntries, config.stqEntries),
       completions(eventHorizon()),
@@ -35,6 +42,9 @@ Core::Core(const CoreConfig &config, const SchemeConfig &scheme_config,
               "core widths must be positive");
     frontendExtraDelay =
         cfg.frontendStages > 5 ? cfg.frontendStages - 5 : 0;
+    iq.attachSlab(&slab);
+    shadows.attachSlab(&slab);
+    dcache.attach(prog);
     schemePtr->attach(*this);
 }
 
@@ -94,27 +104,35 @@ Core::readArchReg(ArchReg reg) const
 }
 
 void
-Core::scheduleWakeup(PhysReg preg, Cycle at, const DynInstPtr &producer)
+Core::scheduleWakeup(PhysReg preg, Cycle at)
 {
-    applyWakeup(preg, at, producer);
+    applyWakeup(preg, at);
 }
 
 void
-Core::applyWakeup(PhysReg preg, Cycle at, const DynInstPtr &producer)
+Core::applyWakeup(PhysReg preg, Cycle at)
 {
     if (at <= cycle) {
-        if (!producer || !producer->squashed) {
-            wakeupDone[preg] = 1;
-            iq.wakeup(preg);
-        }
+        // Immediate broadcasts come straight from a live producer
+        // (completion drain or schedule time), so no staleness check
+        // is needed.
+        wakeupDone[preg] = 1;
+        iq.wakeup(preg);
         return;
     }
-    wakeups.push(at, cycle, WakeupEvent{preg, producer});
+    // A queued broadcast can outlive its producer (squash). It is
+    // valid exactly while the register has not been re-allocated: the
+    // epoch captured here is compared at drain time.
+    wakeups.push(at, cycle, WakeupEvent{preg, pregEpoch[preg]});
 }
 
 RunResult
 Core::run(std::uint64_t max_insts, std::uint64_t max_cycles)
 {
+    if (cfg.warmupInsts != 0 && !ffwdDone) {
+        ffwdDone = true;
+        fastForward(cfg.warmupInsts);
+    }
     const std::uint64_t target = committedCount + max_insts;
     const Cycle limit = cycle + max_cycles;
     // Wall-clock supervision is sampled every 4096 cycles: cheap
@@ -135,12 +153,35 @@ Core::run(std::uint64_t max_insts, std::uint64_t max_cycles)
     // to memory, so the functional image reflects all committed work.
     while (haltedFlag && lsu.sqSize() > 0 && cycle < limit)
         tick();
+    syncEngineStats();
     RunResult r;
     r.cycles = cycle;
     r.instructions = committedCount;
     r.halted = haltedFlag;
     r.watchdogTripped = watchdogTrippedFlag;
     return r;
+}
+
+void
+Core::syncEngineStats()
+{
+    // The decode cache and the slab own their counters; publish them
+    // into the core's StatGroup as deltas since the last publication,
+    // so a harness that resets the group between a warmup and a
+    // measurement run() gets window-local values like for every other
+    // core counter.
+    const std::uint64_t dh = dcache.hits();
+    const std::uint64_t dm = dcache.misses();
+    const std::uint64_t rc = slab.recycled();
+    st.decodeCacheHits += dh - lastPubDcacheHits;
+    st.decodeCacheMisses += dm - lastPubDcacheMisses;
+    st.handlesRecycled += rc - lastPubRecycled;
+    lastPubDcacheHits = dh;
+    lastPubDcacheMisses = dm;
+    lastPubRecycled = rc;
+    // High water is a level, not a flow: always the absolute value.
+    st.slabHighWater.reset();
+    st.slabHighWater += slab.highWater();
 }
 
 void
@@ -168,6 +209,88 @@ Core::wallStopRequested()
         return true;
     }
     return false;
+}
+
+// ---------------------------------------------------------------------
+// Fast-forward (functional warmup)
+// ---------------------------------------------------------------------
+
+void
+Core::fastForward(std::uint64_t max_insts)
+{
+    sb_assert(cycle == 0 && committedCount == 0 && nextSeq == 1,
+              "fast-forward requires a fresh core");
+    // With no instructions in flight the RAT is the architectural
+    // map, so architectural state lives directly in regVal through
+    // renameMap.lookup — exactly what readArchReg() reads and what
+    // the first detailed rename will look up.
+    std::uint64_t n = 0;
+    while (n < max_insts && pc < program->code.size()) {
+        const MicroOp &uop = program->code[pc];
+        if (uop.isHalt()) {
+            // Leave pc on the halt so the detailed window commits it
+            // and ends the run normally.
+            break;
+        }
+        if (uop.op == Op::JmpReg) {
+            const std::uint32_t target = static_cast<std::uint32_t>(
+                regVal[renameMap.lookup(uop.src1)]);
+            // Train the BTB exactly like commit does.
+            btb[pc] = target;
+            pc = target;
+            ++n;
+            continue;
+        }
+        if (uop.op == Op::Jmp) {
+            pc = uop.target;
+            ++n;
+            continue;
+        }
+        if (uop.isBranch()) {
+            const Word s1 =
+                uop.hasSrc1() ? regVal[renameMap.lookup(uop.src1)] : 0;
+            const Word s2 =
+                uop.hasSrc2() ? regVal[renameMap.lookup(uop.src2)] : 0;
+            const bool taken = evalBranch(uop, s1, s2);
+            // Same training as commit: update against the history the
+            // predictor would have seen, then shift the outcome in.
+            predictor.update(pc, ghist, taken);
+            ghist = (ghist << 1) | (taken ? 1u : 0u);
+            pc = taken ? uop.target : pc + 1;
+            ++n;
+            continue;
+        }
+        const OpClass cls = uop.opClass();
+        if (cls == OpClass::MemRead) {
+            const Addr addr = regVal[renameMap.lookup(uop.src1)]
+                              + static_cast<Word>(uop.imm);
+            regVal[renameMap.lookup(uop.dst)] = workingMem.read(addr);
+            mem.warmAccess(addr, pc, 0);
+            ++pc;
+            ++n;
+            continue;
+        }
+        if (cls == OpClass::MemWrite) {
+            const Addr addr = regVal[renameMap.lookup(uop.src1)]
+                              + static_cast<Word>(uop.imm);
+            workingMem.write(addr,
+                             regVal[renameMap.lookup(uop.src2)]);
+            mem.warmAccess(addr, pc, 0);
+            ++pc;
+            ++n;
+            continue;
+        }
+        // Nop and the integer/FP ALU classes.
+        const Word s1 =
+            uop.hasSrc1() ? regVal[renameMap.lookup(uop.src1)] : 0;
+        const Word s2 =
+            uop.hasSrc2() ? regVal[renameMap.lookup(uop.src2)] : 0;
+        if (uop.hasDst())
+            regVal[renameMap.lookup(uop.dst)] = evalAlu(uop, s1, s2);
+        ++pc;
+        ++n;
+    }
+    ffwdCount = n;
 }
 
 void
@@ -211,11 +334,11 @@ Core::tick()
             watchdogTrippedFlag = true;
             return;
         }
-        const DynInstPtr &head = rob.front();
-        sb_panic("no commit for 100000 cycles; head seq=", head->seq,
-                 " pc=", head->pc, " op=", head->uop.disassemble(),
-                 " completed=", head->completed,
-                 " inIq=", head->inIq, " vp=",
+        const DynInst &head = slab.get(rob.front());
+        sb_panic("no commit for 100000 cycles; head seq=", head.seq,
+                 " pc=", head.pc, " op=", head.uop.disassemble(),
+                 " completed=", head.completed,
+                 " inIq=", head.inIq, " vp=",
                  shadows.visibilityPoint());
     }
 }
@@ -231,49 +354,55 @@ Core::commitPhase()
 
     unsigned n = 0;
     while (n < cfg.coreWidth && !rob.empty()) {
-        DynInstPtr inst = rob.front();
-        if (!inst->completed)
+        const InstHandle h = rob.front();
+        DynInst &inst = slab.get(h);
+        if (!inst.completed)
             break;
         if (inv.on())
-            inv.onCommit(*inst);
+            inv.onCommit(inst);
 
-        if (inst->isStore())
-            lsu.markStoreCommitted(*inst);
-        if (inst->isLoad()) {
-            lsu.releaseLoad(*inst);
+        if (inst.isStore())
+            lsu.markStoreCommitted(inst);
+        if (inst.isLoad()) {
+            lsu.releaseLoad(inst);
             ++st.committedLoads;
             if (observing) {
                 observations.push_back(LoadObservation{
-                    inst->pc, cycle, inst->completeAt, inst->l1Hit});
+                    inst.pc, cycle, inst.completeAt, inst.l1Hit});
             }
         }
-        if (inst->isBranch()) {
+        if (inst.isBranch()) {
             sb_assert(branchesInFlight > 0, "branch count underflow");
             --branchesInFlight;
-            if (inst->uop.op == Op::JmpReg) {
-                btb[inst->pc] = inst->actualTarget;
-            } else if (inst->uop.op != Op::Jmp) {
-                predictor.update(inst->pc, inst->histSnapshot,
-                                 inst->actualTaken);
+            if (inst.uop.op == Op::JmpReg) {
+                btb[inst.pc] = inst.actualTarget;
+            } else if (inst.uop.op != Op::Jmp) {
+                predictor.update(inst.pc, inst.histSnapshot,
+                                 inst.actualTaken);
             }
             ++st.committedBranches;
         }
-        if (inst->isStore())
+        if (inst.isStore())
             ++st.committedStores;
-        if (inst->stalePdst != invalidPhysReg)
-            renameMap.release(inst->stalePdst);
+        if (inst.stalePdst != invalidPhysReg)
+            renameMap.release(inst.stalePdst);
 
-        inst->committed = true;
+        inst.committed = true;
         ++committedCount;
         ++st.committedInsts;
         lastCommitCycle = cycle;
         if (commitHook)
-            commitHook(*inst, cycle);
+            commitHook(inst, cycle);
 
         rob.pop_front();
         ++n;
 
-        if (inst->uop.isHalt()) {
+        // The record dies with its ROB entry; the store drain below
+        // commit works entirely from the SQ entry's cached fields.
+        const bool is_halt = inst.uop.isHalt();
+        slab.free(h);
+
+        if (is_halt) {
             haltedFlag = true;
             break;
         }
@@ -287,12 +416,11 @@ Core::drainStores()
         SqEntry *entry = lsu.drainableStore();
         if (!entry)
             break;
-        const DynInstPtr &store = entry->inst;
         MemAccessResult res =
-            mem.access(store->effAddr, store->pc, cycle, true);
+            mem.access(entry->addr, entry->pc, cycle, true);
         if (!res.accepted)
             break;
-        workingMem.write(store->effAddr, entry->data);
+        workingMem.write(entry->addr, entry->data);
         lsu.popDrainedStore();
         ++memPortsUsed;
         ++st.storeDrains;
@@ -307,16 +435,18 @@ void
 Core::writebackPhase()
 {
     wakeups.drainDue(cycle, [this](WakeupEvent &ev) {
-        if (ev.producer && ev.producer->squashed)
+        // Stale epoch: the register was re-allocated, so the producer
+        // that scheduled this broadcast was squashed.
+        if (pregEpoch[ev.preg] != ev.epoch)
             return;
         wakeupDone[ev.preg] = 1;
         iq.wakeup(ev.preg);
     });
 
     completions.drainDue(cycle, [this](CompletionEvent &ev) {
-        const DynInstPtr &inst = ev.inst;
-        if (inst->squashed)
-            return;
+        DynInst *inst = slab.tryGet(ev.inst);
+        if (!inst)
+            return; // Squashed (record freed) before completion.
         inst->completed = true;
         trace("complete", *inst);
         if (inst->isLoad()) {
@@ -326,8 +456,8 @@ Core::writebackPhase()
             regVal[inst->pdst] = inst->result;
             const Cycle ready =
                 speculativeSchedulingEnabled() ? cycle : cycle + 1;
-            if (!schemePtr->deferBroadcast(inst, ready)) {
-                applyWakeup(inst->pdst, ready, inst);
+            if (!schemePtr->deferBroadcast(ev.inst, *inst, ready)) {
+                applyWakeup(inst->pdst, ready);
             } else {
                 ++st.deferredBroadcasts;
             }
@@ -343,180 +473,187 @@ void
 Core::executePhase()
 {
     // Oldest first so an older mispredict squashes younger work
-    // before it takes effect.
+    // before it takes effect. Every handle is live at this point
+    // (commit only frees completed instructions, and squashes happen
+    // inside this phase, below), so the comparator can use get();
+    // the loop revalidates per element because an older branch may
+    // squash the rest of the list.
     std::sort(execNow.begin(), execNow.end(),
-              [](const DynInstPtr &a, const DynInstPtr &b) {
-                  return a->seq < b->seq;
+              [this](InstHandle a, InstHandle b) {
+                  return slab.get(a).seq < slab.get(b).seq;
               });
-    for (const DynInstPtr &inst : execNow) {
-        if (inst->squashed)
-            continue;
-        trace("execute", *inst);
-        if (inst->isBranch()) {
+    for (InstHandle h : execNow) {
+        DynInst *instp = slab.tryGet(h);
+        if (!instp)
+            continue; // Squashed by an older branch this phase.
+        DynInst &inst = *instp;
+        trace("execute", inst);
+        if (inst.isBranch()) {
             executeBranch(inst);
-        } else if (inst->isLoad()) {
-            executeLoadAddr(inst);
-        } else if (inst->isStore()) {
+        } else if (inst.isLoad()) {
+            executeLoadAddr(h, inst);
+        } else if (inst.isStore()) {
             // A store may have both halves scheduled this cycle.
-            if (inst->addrIssued && !inst->effAddrValid)
+            if (inst.addrIssued && !inst.effAddrValid)
                 executeStoreAddr(inst);
-            if (inst->dataIssued && !inst->storeDataDone)
+            if (inst.dataIssued && !inst.storeDataDone)
                 executeStoreData(inst);
         } else {
             sb_panic("unexpected op in execute: ",
-                     inst->uop.disassemble());
+                     inst.uop.disassemble());
         }
     }
 }
 
 void
-Core::executeBranch(const DynInstPtr &inst)
+Core::executeBranch(DynInst &inst)
 {
-    const Word s1 =
-        inst->uop.hasSrc1() ? regVal[inst->psrc1] : 0;
-    const Word s2 =
-        inst->uop.hasSrc2() ? regVal[inst->psrc2] : 0;
-    inst->src1Val = s1;
-    inst->src2Val = s2;
-    secMonitor.onConsume(*inst, shadows.visibilityPoint(), true, true,
+    const Word s1 = inst.uop.hasSrc1() ? regVal[inst.psrc1] : 0;
+    const Word s2 = inst.uop.hasSrc2() ? regVal[inst.psrc2] : 0;
+    inst.src1Val = s1;
+    inst.src2Val = s2;
+    secMonitor.onConsume(inst, shadows.visibilityPoint(), true, true,
                          true);
 
-    inst->actualTaken = evalBranch(inst->uop, s1, s2);
-    inst->resolved = true;
-    inst->completed = true;
+    inst.actualTaken = evalBranch(inst.uop, s1, s2);
+    inst.resolved = true;
+    inst.completed = true;
 
     // An indirect jump's destination is its operand value; direct
     // branches take the static target or fall through.
     const std::uint32_t correct_next =
-        inst->uop.op == Op::JmpReg
+        inst.uop.op == Op::JmpReg
             ? static_cast<std::uint32_t>(s1)
-            : (inst->actualTaken ? inst->uop.target : inst->pc + 1);
+            : (inst.actualTaken ? inst.uop.target : inst.pc + 1);
     const std::uint32_t predicted_next =
-        inst->uop.op == Op::JmpReg
-            ? inst->predTarget
-            : (inst->predTaken ? inst->uop.target : inst->pc + 1);
-    inst->actualTarget = correct_next;
+        inst.uop.op == Op::JmpReg
+            ? inst.predTarget
+            : (inst.predTaken ? inst.uop.target : inst.pc + 1);
+    inst.actualTarget = correct_next;
     if (correct_next != predicted_next) {
-        inst->mispredicted = true;
+        inst.mispredicted = true;
         ++st.branchMispredicts;
-        trace("mispredict", *inst);
-        squash(inst->seq, correct_next);
-        if (inst->uop.op != Op::Jmp && inst->uop.op != Op::JmpReg) {
-            ghist = (inst->histSnapshot << 1)
-                    | (inst->actualTaken ? 1u : 0u);
+        trace("mispredict", inst);
+        squash(inst.seq, correct_next);
+        if (inst.uop.op != Op::Jmp && inst.uop.op != Op::JmpReg) {
+            ghist = (inst.histSnapshot << 1)
+                    | (inst.actualTaken ? 1u : 0u);
         }
     }
 }
 
 void
-Core::executeLoadAddr(const DynInstPtr &inst)
+Core::executeLoadAddr(InstHandle h, DynInst &inst)
 {
-    inst->src1Val = regVal[inst->psrc1];
-    inst->effAddr =
-        inst->src1Val + static_cast<Word>(inst->uop.imm);
-    inst->effAddrValid = true;
-    secMonitor.onConsume(*inst, shadows.visibilityPoint(), true, false,
+    inst.src1Val = regVal[inst.psrc1];
+    inst.effAddr = inst.src1Val + static_cast<Word>(inst.uop.imm);
+    inst.effAddrValid = true;
+    secMonitor.onConsume(inst, shadows.visibilityPoint(), true, false,
                          true);
-    loadMemoryStage(inst);
+    loadMemoryStage(h, inst);
 }
 
 void
-Core::loadMemoryStage(const DynInstPtr &inst)
+Core::loadMemoryStage(InstHandle h, DynInst &inst)
 {
-    const ForwardOutcome fwd = lsu.checkForwarding(*inst);
+    const ForwardOutcome fwd = lsu.checkForwarding(inst);
     if (fwd.kind == ForwardOutcome::Kind::StallData) {
-        // Sleep until the matching store's data half executes.
+        // Sleep until the matching store's data half executes (the
+        // waiter list lives on that store's SQ entry).
         ++st.forwardStalls;
-        forwardWaiters[fwd.source].push_back(inst);
+        lsu.addForwardWaiter(fwd.source, h);
         return;
     }
     if (fwd.bypassedUnknown) {
-        inst->bypassedUnknownStore = true;
+        inst.bypassedUnknownStore = true;
         ++st.disambiguationBypasses;
     }
     if (fwd.kind == ForwardOutcome::Kind::Forward) {
-        inst->forwarded = true;
-        inst->l1Hit = true;
+        inst.forwarded = true;
+        inst.l1Hit = true;
         ++st.loadForwards;
-        finishLoad(inst, cycle + cfg.l1d.latency, fwd.data, fwd.source);
+        finishLoad(h, inst, cycle + cfg.l1d.latency, fwd.data,
+                   fwd.source);
         return;
     }
     // Delay-on-Miss interposition: the scheme may park the demand
     // access instead of launching it (it probes L1 residency itself;
     // store forwarding above is in-core and never delayed). The
     // memory port charged at select is wasted, like an issue kill.
-    if (schemePtr->delayLoadMiss(inst)) {
+    if (schemePtr->delayLoadMiss(h, inst)) {
         ++st.schemeMissDelays;
-        trace("delay-miss", *inst);
+        trace("delay-miss", inst);
         return;
     }
-    MemAccessResult res = mem.access(inst->effAddr, inst->pc, cycle,
+    MemAccessResult res = mem.access(inst.effAddr, inst.pc, cycle,
                                      false);
     if (!res.accepted) {
         ++st.mshrRetries;
-        retryLoads.push_back(inst);
+        retryLoads.push_back(h);
         return;
     }
-    inst->l1Hit = res.l1Hit;
+    inst.l1Hit = res.l1Hit;
     if (!res.l1Hit)
         ++st.loadL1Misses;
     Word value;
-    if (!lsu.functionalBypass(*inst, value))
-        value = workingMem.read(inst->effAddr);
-    finishLoad(inst, res.completeAt, value, invalidSeqNum);
+    if (!lsu.functionalBypass(inst, value))
+        value = workingMem.read(inst.effAddr);
+    finishLoad(h, inst, res.completeAt, value, invalidSeqNum);
 }
 
 void
-Core::finishLoad(const DynInstPtr &inst, Cycle complete_at, Word value,
-                 SeqNum forward_source)
+Core::finishLoad(InstHandle h, DynInst &inst, Cycle complete_at,
+                 Word value, SeqNum forward_source)
 {
     if (inv.on())
-        inv.onForward(*inst, forward_source);
-    inst->result = value;
-    inst->completeAt = complete_at;
-    lsu.loadDataReturned(*inst, forward_source);
-    completions.push(complete_at, cycle, CompletionEvent{inst});
+        inv.onForward(inst, forward_source);
+    inst.result = value;
+    inst.completeAt = complete_at;
+    lsu.loadDataReturned(inst, forward_source);
+    completions.push(complete_at, cycle, CompletionEvent{h});
 }
 
 void
-Core::executeStoreAddr(const DynInstPtr &inst)
+Core::executeStoreAddr(DynInst &inst)
 {
-    inst->src1Val = regVal[inst->psrc1];
-    inst->effAddr =
-        inst->src1Val + static_cast<Word>(inst->uop.imm);
-    inst->effAddrValid = true;
-    secMonitor.onConsume(*inst, shadows.visibilityPoint(), true, false,
+    inst.src1Val = regVal[inst.psrc1];
+    inst.effAddr = inst.src1Val + static_cast<Word>(inst.uop.imm);
+    inst.effAddrValid = true;
+    // Publish the address to the SQ entry before anything can scan it.
+    lsu.storeAddrReady(inst);
+    secMonitor.onConsume(inst, shadows.visibilityPoint(), true, false,
                          true);
 
-    if (DynInstPtr victim = lsu.checkViolation(*inst)) {
+    if (const LqEntry *victim = lsu.checkViolation(inst)) {
         // Memory-order violation (store-to-load forwarding error,
-        // paper Sec. 9.2): flush from the load and refetch it.
+        // paper Sec. 9.2): flush from the load and refetch it. The
+        // squash frees the victim's record and pops its LQ entry, so
+        // everything needed afterwards is copied out first.
+        const SeqNum victim_seq = victim->seq;
+        const std::uint32_t victim_pc = victim->pc;
         ++st.memOrderViolations;
-        trace("violation", *victim);
-        squash(victim->seq - 1, victim->pc);
+        trace("violation", slab.get(victim->handle));
+        squash(victim_seq - 1, victim_pc);
     }
-    if (inst->storeDataDone)
-        inst->completed = true;
+    if (inst.storeDataDone)
+        inst.completed = true;
 }
 
 void
-Core::executeStoreData(const DynInstPtr &inst)
+Core::executeStoreData(DynInst &inst)
 {
-    inst->src2Val = regVal[inst->psrc2];
-    inst->storeDataDone = true;
-    secMonitor.onConsume(*inst, shadows.visibilityPoint(), false, true,
+    inst.src2Val = regVal[inst.psrc2];
+    inst.storeDataDone = true;
+    secMonitor.onConsume(inst, shadows.visibilityPoint(), false, true,
                          false);
-    lsu.storeDataReady(*inst, inst->src2Val);
-    if (inst->effAddrValid)
-        inst->completed = true;
+    wokenScratch.clear();
+    lsu.storeDataReady(inst, inst.src2Val, wokenScratch);
+    if (inst.effAddrValid)
+        inst.completed = true;
     // Wake loads that stalled on this store's data.
-    auto waiters = forwardWaiters.find(inst->seq);
-    if (waiters != forwardWaiters.end()) {
-        for (auto &load : waiters->second) {
-            if (!load->squashed)
-                retryLoads.push_back(load);
-        }
-        forwardWaiters.erase(waiters);
+    for (InstHandle waiter : wokenScratch) {
+        if (slab.alive(waiter))
+            retryLoads.push_back(waiter);
     }
 }
 
@@ -546,40 +683,47 @@ Core::selectPhase()
     std::size_t retries = retryLoads.size();
     while (retries-- > 0 && !retryLoads.empty()
            && memPortsUsed < cfg.memPorts) {
-        DynInstPtr load = retryLoads.front();
+        const InstHandle h = retryLoads.front();
         retryLoads.pop_front();
-        if (load->squashed)
-            continue;
+        DynInst *load = slab.tryGet(h);
+        if (!load)
+            continue; // Squashed while parked.
         ++memPortsUsed;
-        loadMemoryStage(load);
+        loadMemoryStage(h, *load);
     }
 
     unsigned slots = cfg.issueWidth;
     unsigned fp_slots = cfg.fpPorts;
-    std::vector<DynInstPtr> &fully_issued = issuedScratch;
+    std::vector<InstHandle> &fully_issued = issuedScratch;
     fully_issued.clear();
 
-    for (IqEntry *entry : iq.inOrder()) {
+    // Every IQ entry references a live record: squashes sweep the
+    // queue synchronously. The scan walks the queue's candidate list
+    // (entries with a ready, unissued half) in age order instead of
+    // the whole queue — entries it no longer visits are exactly the
+    // ones the full scan skipped without side effects. Issued entries
+    // are batched in fully_issued and removed after the scan, and no
+    // same-cycle wakeup fires from inside it (every execution latency
+    // is at least one cycle), so the links cannot move underneath it.
+    for (std::int32_t idx = iq.firstReady(); idx >= 0;
+         idx = iq.nextReady(idx)) {
+        IqEntry *entry = &iq.entryAt(idx);
         if (slots == 0)
             break;
-        DynInstPtr inst = entry->inst;
-        if (inst->squashed) {
-            fully_issued.push_back(inst);
-            continue;
-        }
 
-        if (inst->isStore()) {
-            bool addr_ready = entry->src1Ready && !inst->addrIssued;
-            bool data_ready = entry->src2Ready && !inst->dataIssued;
-            if (addr_ready && schemePtr->selectVeto(*inst, true)) {
+        if (entry->isStore) {
+            DynInst &inst = slab.get(entry->handle);
+            bool addr_ready = entry->src1Ready && !inst.addrIssued;
+            bool data_ready = entry->src2Ready && !inst.dataIssued;
+            if (addr_ready && schemePtr->selectVeto(inst, true)) {
                 addr_ready = false;
                 ++st.schemeSelectBlocks;
-                trace("block-addr", *inst);
+                trace("block-addr", inst);
             }
-            if (data_ready && schemePtr->selectVeto(*inst, false)) {
+            if (data_ready && schemePtr->selectVeto(inst, false)) {
                 data_ready = false;
                 ++st.schemeSelectBlocks;
-                trace("block-data", *inst);
+                trace("block-data", inst);
             }
             if (addr_ready && memPortsUsed >= cfg.memPorts)
                 addr_ready = false;
@@ -588,20 +732,20 @@ Core::selectPhase()
 
             --slots;
             if (inv.on()) {
-                inv.onIssue(*inst,
-                            !addr_ready || wakeupDone[inst->psrc1],
-                            !data_ready || wakeupDone[inst->psrc2]);
+                inv.onIssue(inst,
+                            !addr_ready || wakeupDone[inst.psrc1],
+                            !data_ready || wakeupDone[inst.psrc2]);
             }
             bool killed = false;
             bool scheduled = false;
             if (addr_ready) {
                 ++memPortsUsed;
-                if (schemePtr->onSelect(*inst, true)) {
-                    inst->addrIssued = true;
+                if (schemePtr->onSelect(inst, true)) {
+                    inst.addrIssued = true;
                     scheduled = true;
-                    trace("issue-addr", *inst);
+                    trace("issue-addr", inst);
                 } else {
-                    trace("kill", *inst);
+                    trace("kill", inst);
                     // Taint unit killed the issue: the slot and the
                     // memory port are wasted this cycle (Fig. 4).
                     killed = true;
@@ -609,29 +753,30 @@ Core::selectPhase()
                 }
             }
             if (data_ready && !killed) {
-                if (schemePtr->onSelect(*inst, false)) {
-                    inst->dataIssued = true;
+                if (schemePtr->onSelect(inst, false)) {
+                    inst.dataIssued = true;
                     scheduled = true;
-                    trace("issue-data", *inst);
+                    trace("issue-data", inst);
                 } else {
-                    trace("kill", *inst);
+                    trace("kill", inst);
                     ++st.schemeIssueKills;
                 }
             }
             if (scheduled)
-                execNext.push_back(inst);
-            if (inst->addrIssued && inst->dataIssued)
-                fully_issued.push_back(inst);
+                execNext.push_back(entry->handle);
+            if (inst.addrIssued && inst.dataIssued)
+                fully_issued.push_back(entry->handle);
             continue;
         }
 
         // Non-store instructions.
-        if (!entry->src1Ready || !entry->src2Ready)
+        if (!entry->ready())
             continue;
-        const OpClass cls = inst->uop.opClass();
-        if (schemePtr->selectVeto(*inst, inst->isLoad())) {
+        DynInst &inst = slab.get(entry->handle);
+        const OpClass cls = inst.uop.opClass();
+        if (schemePtr->selectVeto(inst, inst.isLoad())) {
             ++st.schemeSelectBlocks;
-            trace("block", *inst);
+            trace("block", inst);
             continue;
         }
         if (cls == OpClass::MemRead && memPortsUsed >= cfg.memPorts)
@@ -647,59 +792,57 @@ Core::selectPhase()
 
         --slots;
         if (inv.on()) {
-            inv.onIssue(*inst,
-                        !inst->uop.hasSrc1() || wakeupDone[inst->psrc1],
-                        !inst->uop.hasSrc2() || wakeupDone[inst->psrc2]);
+            inv.onIssue(inst,
+                        !inst.uop.hasSrc1() || wakeupDone[inst.psrc1],
+                        !inst.uop.hasSrc2() || wakeupDone[inst.psrc2]);
         }
         if (is_fp)
             --fp_slots;
         if (cls == OpClass::MemRead)
             ++memPortsUsed;
-        if (!schemePtr->onSelect(*inst, inst->isLoad())) {
+        if (!schemePtr->onSelect(inst, inst.isLoad())) {
             ++st.schemeIssueKills;
-            trace("kill", *inst);
+            trace("kill", inst);
             continue; // Entry stays; ready is masked by the scheme.
         }
-        trace("issue", *inst);
+        trace("issue", inst);
         if (cls == OpClass::IntDiv)
             divBusyUntil = cycle + cfg.divLatency;
         if (cls == OpClass::FpDiv)
             fdivBusyUntil = cycle + cfg.fpDivLatency;
 
-        inst->addrIssued = true;
-        if (inst->isLoad() || inst->isBranch()) {
-            execNext.push_back(inst);
+        inst.addrIssued = true;
+        if (inst.isLoad() || inst.isBranch()) {
+            execNext.push_back(entry->handle);
         } else {
-            executeAluAtSelect(inst);
+            executeAluAtSelect(entry->handle, inst);
         }
-        fully_issued.push_back(inst);
+        fully_issued.push_back(entry->handle);
     }
 
-    for (const DynInstPtr &inst : fully_issued)
-        iq.remove(inst);
+    for (InstHandle h : fully_issued)
+        iq.remove(slab.get(h));
 }
 
 void
-Core::executeAluAtSelect(const DynInstPtr &inst)
+Core::executeAluAtSelect(InstHandle h, DynInst &inst)
 {
-    const Word s1 =
-        inst->uop.hasSrc1() ? regVal[inst->psrc1] : 0;
-    const Word s2 =
-        inst->uop.hasSrc2() ? regVal[inst->psrc2] : 0;
-    inst->src1Val = s1;
-    inst->src2Val = s2;
-    secMonitor.onConsume(*inst, shadows.visibilityPoint(), true, true,
+    const Word s1 = inst.uop.hasSrc1() ? regVal[inst.psrc1] : 0;
+    const Word s2 = inst.uop.hasSrc2() ? regVal[inst.psrc2] : 0;
+    inst.src1Val = s1;
+    inst.src2Val = s2;
+    secMonitor.onConsume(inst, shadows.visibilityPoint(), true, true,
                          false);
-    inst->result = evalAlu(inst->uop, s1, s2);
-    inst->executed = true;
-    if (inst->pdst != invalidPhysReg)
-        regVal[inst->pdst] = inst->result;
+    inst.result = evalAlu(inst.uop, s1, s2);
+    inst.executed = true;
+    if (inst.pdst != invalidPhysReg)
+        regVal[inst.pdst] = inst.result;
 
-    const unsigned lat = opLatency(inst->uop.opClass());
-    completions.push(cycle + lat, cycle, CompletionEvent{inst});
-    if (inst->pdst != invalidPhysReg) {
-        if (!schemePtr->deferBroadcast(inst, cycle + lat)) {
-            applyWakeup(inst->pdst, cycle + lat, inst);
+    const unsigned lat = opLatency(inst.uop.opClass());
+    completions.push(cycle + lat, cycle, CompletionEvent{h});
+    if (inst.pdst != invalidPhysReg) {
+        if (!schemePtr->deferBroadcast(h, inst, cycle + lat)) {
+            applyWakeup(inst.pdst, cycle + lat);
         } else {
             ++st.deferredBroadcasts;
         }
@@ -715,14 +858,15 @@ Core::dispatchPhase()
 {
     unsigned n = 0;
     while (n < cfg.coreWidth && !dispatchQueue.empty()) {
-        DynInstPtr inst = dispatchQueue.front();
+        const InstHandle h = dispatchQueue.front();
         if (iq.full()) {
             ++st.iqFullStalls;
             break;
         }
-        const bool s1 = !inst->uop.hasSrc1() || wakeupDone[inst->psrc1];
-        const bool s2 = !inst->uop.hasSrc2() || wakeupDone[inst->psrc2];
-        iq.insert(inst, s1, s2);
+        DynInst &inst = slab.get(h);
+        const bool s1 = !inst.uop.hasSrc1() || wakeupDone[inst.psrc1];
+        const bool s2 = !inst.uop.hasSrc2() || wakeupDone[inst.psrc2];
+        iq.insert(h, inst, s1, s2);
         dispatchQueue.pop_front();
         ++n;
     }
@@ -731,14 +875,15 @@ Core::dispatchPhase()
 void
 Core::renamePhase()
 {
-    std::vector<DynInstPtr> &group = renameScratch;
+    std::vector<DynInst *> &group = renameScratch;
     group.clear();
     unsigned n = 0;
     while (n < cfg.coreWidth && !decodeQueue.empty()) {
         DecodeSlot &slot = decodeQueue.front();
         if (slot.readyAt > cycle)
             break;
-        DynInstPtr inst = slot.inst;
+        const InstHandle h = slot.inst;
+        DynInst &inst = slab.get(h);
 
         if (rob.size() >= cfg.robEntries) {
             ++st.robFullStalls;
@@ -746,52 +891,55 @@ Core::renamePhase()
         }
         if (dispatchQueue.size() >= 2 * cfg.coreWidth)
             break;
-        if (inst->uop.hasDst() && renameMap.freeCount() == 0) {
+        if (inst.uop.hasDst() && renameMap.freeCount() == 0) {
             ++st.freelistStalls;
             break;
         }
-        if (inst->isBranch() && branchesInFlight >= cfg.maxBranches) {
+        if (inst.isBranch() && branchesInFlight >= cfg.maxBranches) {
             ++st.branchCapStalls;
             break;
         }
-        if (inst->isLoad() && lsu.lqFull()) {
+        if (inst.isLoad() && lsu.lqFull()) {
             ++st.lsuFullStalls;
             break;
         }
-        if (inst->isStore() && lsu.sqFull()) {
+        if (inst.isStore() && lsu.sqFull()) {
             ++st.lsuFullStalls;
             break;
         }
 
-        if (inst->uop.hasSrc1())
-            inst->psrc1 = renameMap.lookup(inst->uop.src1);
-        if (inst->uop.hasSrc2())
-            inst->psrc2 = renameMap.lookup(inst->uop.src2);
-        if (inst->uop.hasDst()) {
-            inst->pdst = renameMap.allocate(inst->uop.dst,
-                                            inst->stalePdst);
-            wakeupDone[inst->pdst] = 0;
-            secMonitor.onAllocate(inst->pdst);
+        if (inst.uop.hasSrc1())
+            inst.psrc1 = renameMap.lookup(inst.uop.src1);
+        if (inst.uop.hasSrc2())
+            inst.psrc2 = renameMap.lookup(inst.uop.src2);
+        if (inst.uop.hasDst()) {
+            inst.pdst = renameMap.allocate(inst.uop.dst,
+                                           inst.stalePdst);
+            wakeupDone[inst.pdst] = 0;
+            // New allocation epoch: any wakeup still queued for this
+            // register (from a squashed former owner) is now stale.
+            ++pregEpoch[inst.pdst];
+            secMonitor.onAllocate(inst.pdst);
         }
-        inst->renamed = true;
-        lastRenamedSeq = inst->seq;
-        trace("rename", *inst);
+        inst.renamed = true;
+        lastRenamedSeq = inst.seq;
+        trace("rename", inst);
 
-        rob.push_back(inst);
-        if (inst->isLoad())
-            lsu.allocateLoad(inst);
-        if (inst->isStore())
-            lsu.allocateStore(inst);
-        shadows.onRename(inst);
-        if (inst->isBranch())
+        rob.push_back(h);
+        if (inst.isLoad())
+            lsu.allocateLoad(h, inst);
+        if (inst.isStore())
+            lsu.allocateStore(h, inst);
+        shadows.onRename(h, inst);
+        if (inst.isBranch())
             ++branchesInFlight;
 
-        if (inst->uop.op == Op::Nop || inst->uop.isHalt()) {
-            inst->completed = true;
+        if (inst.uop.op == Op::Nop || inst.uop.isHalt()) {
+            inst.completed = true;
         } else {
-            dispatchQueue.push_back(inst);
+            dispatchQueue.push_back(h);
         }
-        group.push_back(inst);
+        group.push_back(&inst);
         decodeQueue.pop_front();
         ++n;
     }
@@ -809,7 +957,7 @@ Core::decodePhase()
         DecodeSlot slot;
         slot.inst = fetchQueue.front();
         slot.readyAt = cycle + 1 + frontendExtraDelay;
-        decodeQueue.push_back(std::move(slot));
+        decodeQueue.push_back(slot);
         fetchQueue.pop_front();
         ++n;
     }
@@ -829,50 +977,53 @@ Core::fetchPhase()
             fetchHalted = true;
             break;
         }
-        const MicroOp &uop = program->code[pc];
-        DynInstPtr inst = instPool.acquire();
-        inst->seq = nextSeq++;
-        inst->pc = pc;
-        inst->uop = uop;
+        // The decode cache hands back a prebuilt template (identity
+        // fields and static prediction bits preset); stamping it into
+        // the freshly allocated slot is also the slot's reset.
+        const DecodedOp &d = dcache.lookup(pc);
+        const InstHandle h = slab.alloc();
+        DynInst &inst = slab.get(h);
+        inst = d.tmpl;
+        inst.seq = nextSeq++;
 
-        if (uop.isBranch()) {
-            if (uop.op == Op::JmpReg) {
-                // Always taken; the BTB supplies the target. An
-                // untrained entry predicts fall-through, so laying the
-                // preferred target right after the jr makes a cold
-                // BTB harmless.
-                inst->predTaken = true;
-                const auto hit = btb.find(pc);
-                inst->predTarget =
-                    hit != btb.end() ? hit->second : pc + 1;
-                fetchQueue.push_back(inst);
-                ++n;
-                pc = inst->predTarget;
-                break; // Redirect: resume at the target next cycle.
-            }
-            if (uop.op == Op::Jmp) {
-                inst->predTaken = true;
-            } else {
-                inst->histSnapshot = ghist;
-                inst->predTaken = predictor.predict(pc, ghist);
-                ghist = (ghist << 1) | (inst->predTaken ? 1u : 0u);
-            }
-            fetchQueue.push_back(inst);
+        if (d.kind == FetchKind::JmpReg) {
+            // Always taken; the BTB supplies the target. An untrained
+            // entry predicts fall-through, so laying the preferred
+            // target right after the jr makes a cold BTB harmless.
+            const auto hit = btb.find(pc);
+            inst.predTarget = hit != btb.end() ? hit->second : pc + 1;
+            fetchQueue.push_back(h);
             ++n;
-            if (inst->predTaken) {
-                pc = uop.target;
+            pc = inst.predTarget;
+            break; // Redirect: resume at the target next cycle.
+        }
+        if (d.kind == FetchKind::Jmp) {
+            fetchQueue.push_back(h);
+            ++n;
+            pc = inst.uop.target;
+            break; // Redirect: resume at the target next cycle.
+        }
+        if (d.kind == FetchKind::CondBranch) {
+            inst.histSnapshot = ghist;
+            inst.predTaken = predictor.predict(pc, ghist);
+            ghist = (ghist << 1) | (inst.predTaken ? 1u : 0u);
+            fetchQueue.push_back(h);
+            ++n;
+            if (inst.predTaken) {
+                pc = inst.uop.target;
                 break; // Redirect: resume at the target next cycle.
             }
             ++pc;
-        } else if (uop.isHalt()) {
-            fetchQueue.push_back(inst);
+            continue;
+        }
+        if (d.kind == FetchKind::Halt) {
+            fetchQueue.push_back(h);
             fetchHalted = true;
             break;
-        } else {
-            fetchQueue.push_back(inst);
-            ++pc;
-            ++n;
         }
+        fetchQueue.push_back(h);
+        ++pc;
+        ++n;
     }
 }
 
@@ -885,53 +1036,53 @@ Core::squash(SeqNum from_seq, std::uint32_t new_pc)
 {
     std::uint64_t count = 0;
 
-    for (auto &inst : fetchQueue) {
-        inst->squashed = true;
+    // Front-end queues hold the only reference to their records:
+    // free directly.
+    for (InstHandle h : fetchQueue) {
+        slab.free(h);
         ++count;
     }
     fetchQueue.clear();
-    for (auto &slot : decodeQueue) {
-        slot.inst->squashed = true;
+    for (const DecodeSlot &slot : decodeQueue) {
+        slab.free(slot.inst);
         ++count;
     }
     decodeQueue.clear();
-    for (auto &inst : dispatchQueue) {
-        sb_assert(inst->seq > from_seq, "dispatch queue squash overlap");
-        inst->squashed = true;
+    // Dispatch-queue instructions are renamed, so they also sit in
+    // the ROB: count them here (matching the engine's historical
+    // squash accounting) but leave the free to the ROB walk.
+    for (InstHandle h : dispatchQueue) {
+        sb_assert(slab.get(h).seq > from_seq,
+                  "dispatch queue squash overlap");
         ++count;
     }
     dispatchQueue.clear();
 
     std::uint64_t ghist_restore = ghist;
-    while (!rob.empty() && rob.back()->seq > from_seq) {
-        DynInstPtr inst = rob.back();
-        inst->squashed = true;
-        schemePtr->onSquashWalk(*inst);
-        if (inst->pdst != invalidPhysReg) {
-            renameMap.unwind(inst->uop.dst, inst->pdst,
-                             inst->stalePdst);
+    while (!rob.empty()) {
+        const InstHandle h = rob.back();
+        DynInst &inst = slab.get(h);
+        if (inst.seq <= from_seq)
+            break;
+        inst.squashed = true;
+        schemePtr->onSquashWalk(inst);
+        if (inst.pdst != invalidPhysReg) {
+            renameMap.unwind(inst.uop.dst, inst.pdst,
+                             inst.stalePdst);
         }
-        if (inst->isBranch()) {
+        if (inst.isBranch()) {
             sb_assert(branchesInFlight > 0, "branch count underflow");
             --branchesInFlight;
-            if (inst->uop.op != Op::Jmp && inst->uop.op != Op::JmpReg)
-                ghist_restore = inst->histSnapshot;
+            if (inst.uop.op != Op::Jmp && inst.uop.op != Op::JmpReg)
+                ghist_restore = inst.histSnapshot;
         }
         rob.pop_back();
+        slab.free(h); // Every handle to this instruction is now stale.
         ++count;
     }
     lsu.squash(from_seq);
     iq.squash(from_seq);
     schemePtr->onSquash(from_seq);
-    // Waiter lists keyed by squashed stores can be dropped whole
-    // (their waiters are younger and squashed with them).
-    for (auto it = forwardWaiters.begin();
-         it != forwardWaiters.end();) {
-        if (it->first > from_seq)
-            it = forwardWaiters.erase(it);
-        else
-            ++it;
-    }
 
     // Every sequence number below nextSeq is now renamed, committed,
     // or squashed, so the visibility-point cap may advance to the

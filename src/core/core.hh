@@ -18,6 +18,15 @@
  * Stages are evaluated back-to-front each tick so an instruction
  * advances at most one stage per cycle and same-cycle wakeup/select
  * behaves like hardware.
+ *
+ * In-flight instructions live in a fixed-capacity, generation-tagged
+ * slab (core/inst_slab.hh); every pipeline structure stores 32-bit
+ * InstHandles. Records are allocated at fetch, freed at commit or
+ * during the squash walk; structures that can outlive an instruction
+ * revalidate handles through the slab. Fetch+decode of hot loop
+ * bodies is memoized per static PC (core/decode_cache.hh), and an
+ * optional functional fast-forward (CoreConfig::warmupInsts) skips
+ * detailed simulation of warmup instructions entirely.
  */
 
 #ifndef SB_CORE_CORE_HH
@@ -25,7 +34,6 @@
 
 #include <chrono>
 #include <deque>
-#include <map>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -34,8 +42,9 @@
 #include "branch/tage.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
+#include "core/decode_cache.hh"
 #include "core/dyn_inst.hh"
-#include "core/dyn_inst_pool.hh"
+#include "core/inst_slab.hh"
 #include "core/invariants.hh"
 #include "core/issue_queue.hh"
 #include "core/timing_wheel.hh"
@@ -83,7 +92,11 @@ struct CoreStats
           branchCapStalls(g.counter("branch_cap_stalls")),
           lsuFullStalls(g.counter("lsu_full_stalls")),
           squashedInsts(g.counter("squashed_insts")),
-          squashes(g.counter("squashes"))
+          squashes(g.counter("squashes")),
+          decodeCacheHits(g.counter("decode_cache_hits")),
+          decodeCacheMisses(g.counter("decode_cache_misses")),
+          slabHighWater(g.counter("slab_high_water")),
+          handlesRecycled(g.counter("handles_recycled"))
     {
     }
 
@@ -112,6 +125,11 @@ struct CoreStats
     Counter &lsuFullStalls;
     Counter &squashedInsts;
     Counter &squashes;
+    /** Engine health: decode-cache effectiveness + slab churn. */
+    Counter &decodeCacheHits;
+    Counter &decodeCacheMisses;
+    Counter &slabHighWater;
+    Counter &handlesRecycled;
 };
 
 /**
@@ -181,12 +199,23 @@ class Core
     Cycle now() const { return cycle; }
     bool halted() const { return haltedFlag; }
     std::uint64_t committedInstructions() const { return committedCount; }
+    /** Instructions executed functionally by fast-forward warmup. */
+    std::uint64_t fastForwardedInstructions() const { return ffwdCount; }
     const CoreConfig &config() const { return cfg; }
     const SchemeConfig &schemeConfig() const { return schemeCfg; }
     StatGroup &stats() { return statGroup; }
     const SecurityMonitor &monitor() const { return secMonitor; }
     MemorySystem &memorySystem() { return mem; }
     SecureScheme &scheme() { return *schemePtr; }
+
+    /** The in-flight instruction slab (engine-health diagnostics). */
+    const InstSlab &instSlab() const { return slab; }
+
+    /** The per-PC decode cache (tests drive invalidation directly). */
+    DecodeCache &decodeCache() { return dcache; }
+
+    /** Does @p h still address a live in-flight instruction? */
+    bool slabAlive(InstHandle h) const { return slab.alive(h); }
 
     /** Visibility point (oldest unresolved C/D shadow). */
     SeqNum visibilityPoint() const
@@ -209,9 +238,10 @@ class Core
 
     /**
      * Schedule a wakeup broadcast of @p preg at cycle @p at (used by
-     * schemes that own deferred broadcasts, e.g. NDA).
+     * schemes that own deferred broadcasts, e.g. NDA). The broadcast
+     * is dropped if @p preg is re-allocated before it fires.
      */
-    void scheduleWakeup(PhysReg preg, Cycle at, const DynInstPtr &producer);
+    void scheduleWakeup(PhysReg preg, Cycle at);
 
     /**
      * Re-inject a load the scheme took ownership of through
@@ -219,7 +249,7 @@ class Core
      * port like an MSHR-rejected retry (scheme tick() runs before the
      * select phase, so a load released there retries the same cycle).
      */
-    void retryLoad(const DynInstPtr &load) { retryLoads.push_back(load); }
+    void retryLoad(InstHandle load) { retryLoads.push_back(load); }
 
     /** Per-commit observer (used by examples, e.g. the attack PoC). */
     using CommitHook = std::function<void(const DynInst &, Cycle)>;
@@ -310,24 +340,38 @@ class Core
     void fetchPhase();
 
     // --- Helpers ----------------------------------------------------------
-    void executeLoadAddr(const DynInstPtr &inst);
-    void loadMemoryStage(const DynInstPtr &inst);
-    void executeStoreAddr(const DynInstPtr &inst);
-    void executeStoreData(const DynInstPtr &inst);
-    void executeBranch(const DynInstPtr &inst);
-    void executeAluAtSelect(const DynInstPtr &inst);
-    void finishLoad(const DynInstPtr &inst, Cycle complete_at,
+    void executeLoadAddr(InstHandle h, DynInst &inst);
+    void loadMemoryStage(InstHandle h, DynInst &inst);
+    void executeStoreAddr(DynInst &inst);
+    void executeStoreData(DynInst &inst);
+    void executeBranch(DynInst &inst);
+    void executeAluAtSelect(InstHandle h, DynInst &inst);
+    void finishLoad(InstHandle h, DynInst &inst, Cycle complete_at,
                     Word value, SeqNum forward_source);
+
+    /**
+     * Functional-only warmup (CoreConfig::warmupInsts): interpret up
+     * to @p max_insts instructions architecturally, training caches,
+     * the branch predictor, and the BTB, without modelling cycles.
+     * Requires a fresh core; detailed simulation resumes at the next
+     * un-executed pc.
+     */
+    void fastForward(std::uint64_t max_insts);
 
     /** Latency of an op class from the configuration. */
     unsigned opLatency(OpClass cls) const;
 
-    /** Apply (or enqueue) a wakeup broadcast. */
-    void applyWakeup(PhysReg preg, Cycle at, const DynInstPtr &producer);
+    /** Apply (or enqueue) a wakeup broadcast of @p preg. */
+    void applyWakeup(PhysReg preg, Cycle at);
+
+    /** Publish slab/decode-cache health into CoreStats (delta-based,
+     *  so mid-run StatGroup resets keep window semantics). */
+    void syncEngineStats();
 
     /**
      * Squash everything younger than @p from_seq and refetch at
-     * @p new_pc. Restores RAT/free-list/taint by walk-back.
+     * @p new_pc. Restores RAT/free-list/taint by walk-back and frees
+     * the squashed slab records.
      */
     void squash(SeqNum from_seq, std::uint32_t new_pc);
 
@@ -347,49 +391,59 @@ class Core
     SecurityMonitor secMonitor;
     MemoryImage workingMem;   ///< Committed functional memory.
 
+    /**
+     * In-flight instruction storage. Capacity is exact by
+     * construction: every live record sits in exactly one of the
+     * fetch queue, the decode queue, or the ROB (dispatch-queue
+     * entries are already in the ROB), so the sum of those bounds
+     * (plus slack for same-cycle handoffs) can never overflow.
+     */
+    InstSlab slab;
+    DecodeCache dcache;       ///< Per-PC decoded micro-op cache.
+
     // --- Register state --------------------------------------------------
     std::vector<Word> regVal;
     std::vector<std::uint8_t> wakeupDone;
+    /** Allocation epoch per physical register; a queued wakeup fires
+     *  only if its register has not been re-allocated since. */
+    std::vector<std::uint32_t> pregEpoch;
 
     // --- Pipeline buffers ---------------------------------------------------
     struct DecodeSlot
     {
-        DynInstPtr inst;
+        InstHandle inst = invalidInstHandle;
         Cycle readyAt = 0;
     };
-    std::deque<DynInstPtr> fetchQueue;
+    std::deque<InstHandle> fetchQueue;
     std::deque<DecodeSlot> decodeQueue;
-    std::deque<DynInstPtr> dispatchQueue;
-    std::deque<DynInstPtr> rob;
+    std::deque<InstHandle> dispatchQueue;
+    std::deque<InstHandle> rob;
     IssueQueue iq;
     Lsu lsu;
 
     // --- Event machinery ------------------------------------------------------
     struct CompletionEvent
     {
-        DynInstPtr inst;
+        InstHandle inst;
     };
     struct WakeupEvent
     {
         PhysReg preg;
-        DynInstPtr producer;
+        std::uint32_t epoch; ///< pregEpoch at scheduling time.
     };
     /** Longest possible event delay, from the configured latencies. */
     unsigned eventHorizon() const;
     TimingWheel<CompletionEvent> completions;
     TimingWheel<WakeupEvent> wakeups;
-    std::vector<DynInstPtr> execNow;   ///< Executing this cycle.
-    std::vector<DynInstPtr> execNext;  ///< Selected, executes next cycle.
-    std::deque<DynInstPtr> retryLoads; ///< MSHR-reject retries.
+    std::vector<InstHandle> execNow;   ///< Executing this cycle.
+    std::vector<InstHandle> execNext;  ///< Selected, executes next cycle.
+    std::deque<InstHandle> retryLoads; ///< MSHR-reject retries.
     /** Per-cycle scratch buffers (members so their capacity is kept
      *  across cycles: the steady-state hot path never allocates). */
-    std::vector<DynInstPtr> issuedScratch;
-    std::vector<DynInstPtr> renameScratch;
-    std::vector<DynInstPtr> safeScratch;
-    /** Loads sleeping on a store's data half (keyed by store seq);
-     *  spin-retrying would starve the memory ports of exactly the
-     *  store halves needed for forward progress. */
-    std::map<SeqNum, std::vector<DynInstPtr>> forwardWaiters;
+    std::vector<InstHandle> issuedScratch;
+    std::vector<DynInst *> renameScratch;
+    std::vector<InstHandle> safeScratch;
+    std::vector<InstHandle> wokenScratch;
 
     // --- Front-end state -------------------------------------------------------
     std::uint32_t pc = 0;
@@ -412,6 +466,8 @@ class Core
     Cycle fdivBusyUntil = 0;
     bool haltedFlag = false;
     std::uint64_t committedCount = 0;
+    std::uint64_t ffwdCount = 0;    ///< Fast-forwarded instructions.
+    bool ffwdDone = false;
     Cycle lastCommitCycle = 0;
     Cycle softWatchdogCycles = 0;   ///< 0 = hard panic on stall.
     bool watchdogTrippedFlag = false;
@@ -434,7 +490,10 @@ class Core
             traceHook(event, inst, cycle);
     }
 
-    DynInstPool instPool;   ///< Recycles DynInst storage across fetches.
+    /** syncEngineStats() watermarks (deltas survive group resets). */
+    std::uint64_t lastPubDcacheHits = 0;
+    std::uint64_t lastPubDcacheMisses = 0;
+    std::uint64_t lastPubRecycled = 0;
 
     StatGroup statGroup;
     CoreStats st;           ///< Cached handles into statGroup.

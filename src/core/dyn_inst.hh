@@ -7,12 +7,14 @@
  * functional values, branch resolution, LSU indices, and the secure
  * schemes' taint fields (YRoT = youngest root of taint, paper
  * Sec. 3.1).
+ *
+ * Records live in the core's InstSlab (core/inst_slab.hh) and are
+ * addressed by 32-bit generation-tagged InstHandles; pipeline
+ * structures store handles, never pointers.
  */
 
 #ifndef SB_CORE_DYN_INST_HH
 #define SB_CORE_DYN_INST_HH
-
-#include <memory>
 
 #include "common/types.hh"
 #include "isa/microop.hh"
@@ -101,8 +103,6 @@ struct DynInst
         return addrIssued || dataIssued;
     }
 };
-
-using DynInstPtr = std::shared_ptr<DynInst>;
 
 } // namespace sb
 

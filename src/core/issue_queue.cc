@@ -24,16 +24,23 @@ IssueQueue::addConsumer(PhysReg preg, std::int32_t slot)
 }
 
 void
-IssueQueue::insert(const DynInstPtr &inst, bool src1_ready, bool src2_ready)
+IssueQueue::insert(InstHandle h, DynInst &inst, bool src1_ready,
+                   bool src2_ready)
 {
     sb_assert(!full(), "insert into full issue queue");
 
     const std::int32_t idx = freeSlots.back();
     freeSlots.pop_back();
     IqEntry &e = slots[idx];
-    e.inst = inst;
-    e.src1Ready = src1_ready || !inst->uop.hasSrc1();
-    e.src2Ready = src2_ready || !inst->uop.hasSrc2();
+    e.handle = h;
+    e.seq = inst.seq;
+    e.psrc1 = inst.psrc1;
+    e.psrc2 = inst.psrc2;
+    e.hasSrc1 = inst.uop.hasSrc1();
+    e.hasSrc2 = inst.uop.hasSrc2();
+    e.isStore = inst.isStore();
+    e.src1Ready = src1_ready || !e.hasSrc1;
+    e.src2Ready = src2_ready || !e.hasSrc2;
 
     // Find the insertion point from the young end. Dispatch runs in
     // program order (and squashes only cut the young end), so the
@@ -41,7 +48,7 @@ IssueQueue::insert(const DynInstPtr &inst, bool src1_ready, bool src2_ready)
     // for out-of-order unit-test insertions.
     std::int32_t succ = -1; // Entry that will follow the new one.
     std::int32_t pred = ageTail;
-    while (pred >= 0 && slots[pred].inst->seq > inst->seq) {
+    while (pred >= 0 && slots[pred].seq > inst.seq) {
         succ = pred;
         pred = slots[pred].agePrev;
     }
@@ -57,12 +64,14 @@ IssueQueue::insert(const DynInstPtr &inst, bool src1_ready, bool src2_ready)
         ageTail = idx;
 
     if (!e.src1Ready)
-        addConsumer(inst->psrc1, idx);
+        addConsumer(e.psrc1, idx);
     if (!e.src2Ready)
-        addConsumer(inst->psrc2, idx);
+        addConsumer(e.psrc2, idx);
+    if (candidate(e))
+        readyLink(idx);
 
-    inst->inIq = true;
-    inst->iqSlot = idx;
+    inst.inIq = true;
+    inst.iqSlot = idx;
     ++count;
     orderDirty = true;
 }
@@ -75,12 +84,14 @@ IssueQueue::wakeup(PhysReg preg)
     auto &list = consumers[preg];
     for (const ConsumerRef &ref : list) {
         IqEntry &e = slots[ref.slot];
-        if (e.gen != ref.gen || !e.inst)
+        if (e.gen != ref.gen)
             continue; // Stale: the slot was freed (and maybe reused).
-        if (e.inst->uop.hasSrc1() && e.inst->psrc1 == preg)
+        if (e.hasSrc1 && e.psrc1 == preg)
             e.src1Ready = true;
-        if (e.inst->uop.hasSrc2() && e.inst->psrc2 == preg)
+        if (e.hasSrc2 && e.psrc2 == preg)
             e.src2Ready = true;
+        if (!e.inReady && candidate(e))
+            readyLink(ref.slot);
     }
     // A physical register broadcasts once per allocation; anything
     // still listed is stale by construction.
@@ -88,9 +99,53 @@ IssueQueue::wakeup(PhysReg preg)
 }
 
 void
+IssueQueue::readyLink(std::int32_t idx)
+{
+    IqEntry &e = slots[idx];
+    // Ordered insert by age, from the young end: freshly dispatched
+    // and freshly woken entries are usually the youngest candidates.
+    std::int32_t succ = -1;
+    std::int32_t pred = rdyTail;
+    while (pred >= 0 && slots[pred].seq > e.seq) {
+        succ = pred;
+        pred = slots[pred].rdyPrev;
+    }
+    e.rdyPrev = pred;
+    e.rdyNext = succ;
+    if (pred >= 0)
+        slots[pred].rdyNext = idx;
+    else
+        rdyHead = idx;
+    if (succ >= 0)
+        slots[succ].rdyPrev = idx;
+    else
+        rdyTail = idx;
+    e.inReady = true;
+}
+
+void
+IssueQueue::readyUnlink(std::int32_t idx)
+{
+    IqEntry &e = slots[idx];
+    if (e.rdyPrev >= 0)
+        slots[e.rdyPrev].rdyNext = e.rdyNext;
+    else
+        rdyHead = e.rdyNext;
+    if (e.rdyNext >= 0)
+        slots[e.rdyNext].rdyPrev = e.rdyPrev;
+    else
+        rdyTail = e.rdyPrev;
+    e.rdyPrev = -1;
+    e.rdyNext = -1;
+    e.inReady = false;
+}
+
+void
 IssueQueue::freeSlot(std::int32_t idx)
 {
     IqEntry &e = slots[idx];
+    if (e.inReady)
+        readyUnlink(idx);
     if (e.agePrev >= 0)
         slots[e.agePrev].ageNext = e.ageNext;
     else
@@ -100,9 +155,15 @@ IssueQueue::freeSlot(std::int32_t idx)
     else
         ageTail = e.agePrev;
 
-    e.inst->inIq = false;
-    e.inst->iqSlot = -1;
-    e.inst.reset();
+    // The record may already be freed (squash walks the ROB before
+    // sweeping the IQ), so revalidate through the slab.
+    if (slab) {
+        if (DynInst *r = slab->tryGet(e.handle)) {
+            r->inIq = false;
+            r->iqSlot = -1;
+        }
+    }
+    e.handle = invalidInstHandle;
     e.src1Ready = false;
     e.src2Ready = false;
     e.agePrev = -1;
@@ -116,25 +177,24 @@ IssueQueue::freeSlot(std::int32_t idx)
 void
 IssueQueue::squash(SeqNum seq)
 {
-    // Age order makes the squash set a suffix, but also sweep for
-    // entries flagged squashed by an earlier flush (parity with the
-    // seed's predicate).
+    // Age order makes the squash set a suffix, but also sweep entries
+    // whose records an earlier flush already freed.
     std::int32_t idx = ageTail;
     while (idx >= 0) {
         const std::int32_t prev = slots[idx].agePrev;
-        const DynInstPtr &inst = slots[idx].inst;
-        if (inst->seq > seq || inst->squashed)
+        const bool stale = slab && !slab->alive(slots[idx].handle);
+        if (slots[idx].seq > seq || stale)
             freeSlot(idx);
         idx = prev;
     }
 }
 
 void
-IssueQueue::remove(const DynInstPtr &inst)
+IssueQueue::remove(const DynInst &inst)
 {
-    const std::int32_t idx = inst->iqSlot;
+    const std::int32_t idx = inst.iqSlot;
     sb_assert(idx >= 0 && idx < static_cast<std::int32_t>(cap)
-                  && slots[idx].inst == inst,
+                  && slots[idx].seq == inst.seq,
               "removing instruction not in IQ");
     freeSlot(idx);
 }

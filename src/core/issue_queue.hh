@@ -7,9 +7,14 @@
  * core; the queue provides storage, wakeup, and age-ordered
  * iteration.
  *
- * Hot-path design (vs. the seed's flat vector):
+ * Hot-path design:
  *  - Entries live in a fixed slot array with a free list; a slot
  *    index is stamped on the DynInst so remove() is O(1).
+ *  - Entries hold an InstHandle plus a cached copy of the fields the
+ *    wakeup/squash/select scans touch (seq, operand registers, store
+ *    flag, ready bits). Wakeup and the not-ready skip in the select
+ *    scan never dereference the slab record — the queue is its own
+ *    dense struct-of-arrays slice.
  *  - Age order is an intrusive doubly-linked list kept sorted on
  *    insert. Dispatch happens in program order (sequence numbers are
  *    monotonic, and squashes only cut the young end), so the core's
@@ -31,21 +36,33 @@
 #include <vector>
 
 #include "core/dyn_inst.hh"
+#include "core/inst_slab.hh"
 
 namespace sb
 {
 
-/** One issue-queue slot. */
+/** One issue-queue slot: handle + cached scan fields. */
 struct IqEntry
 {
-    DynInstPtr inst;
+    InstHandle handle = invalidInstHandle;
+    SeqNum seq = 0;
+    PhysReg psrc1 = invalidPhysReg;
+    PhysReg psrc2 = invalidPhysReg;
+    bool hasSrc1 = false;
+    bool hasSrc2 = false;
+    bool isStore = false;
     bool src1Ready = false;
     bool src2Ready = false;
 
     // Intrusive bookkeeping (owned by IssueQueue).
     std::int32_t agePrev = -1;
     std::int32_t ageNext = -1;
+    std::int32_t rdyPrev = -1; ///< Ready-list links (candidate scan).
+    std::int32_t rdyNext = -1;
+    bool inReady = false;
     std::uint32_t gen = 0; ///< Bumped on free; guards consumer refs.
+
+    bool ready() const { return src1Ready && src2Ready; }
 };
 
 /** Fixed-capacity unified issue queue. */
@@ -54,12 +71,16 @@ class IssueQueue
   public:
     explicit IssueQueue(unsigned capacity);
 
+    /** Bind the backing slab (used to clear inIq/iqSlot on free). */
+    void attachSlab(InstSlab *s) { slab = s; }
+
     bool full() const { return count >= cap; }
     std::size_t size() const { return count; }
     unsigned capacity() const { return cap; }
 
     /** Insert a dispatched instruction with its initial ready bits. */
-    void insert(const DynInstPtr &inst, bool src1_ready, bool src2_ready);
+    void insert(InstHandle h, DynInst &inst, bool src1_ready,
+                bool src2_ready);
 
     /** Broadcast: wake every entry sourcing @p preg. */
     void wakeup(PhysReg preg);
@@ -68,7 +89,7 @@ class IssueQueue
     void squash(SeqNum seq);
 
     /** Remove one fully issued instruction. */
-    void remove(const DynInstPtr &inst);
+    void remove(const DynInst &inst);
 
     /**
      * Entries oldest-first. The returned view is owned by the queue
@@ -76,6 +97,36 @@ class IssueQueue
      * is rebuilt without sorting or steady-state allocation.
      */
     const std::vector<IqEntry *> &inOrder();
+
+    /**
+     * Zero-materialization age-order walk for the select scan: start
+     * at oldestSlot(), advance with nextSlot(), stop at -1. The links
+     * are stable as long as no insert/remove/squash happens mid-walk
+     * (the core defers removal of issued entries to after the scan).
+     */
+    std::int32_t oldestSlot() const { return ageHead; }
+    std::int32_t nextSlot(std::int32_t idx) const
+    {
+        return slots[idx].ageNext;
+    }
+    IqEntry &entryAt(std::int32_t idx) { return slots[idx]; }
+
+    /**
+     * Age-ordered walk over issue *candidates* only — entries with at
+     * least one ready, unissued half. Entries the full scan would
+     * skip without side effects (operands outstanding) never appear,
+     * so walking this list is behaviorally identical to the full
+     * age-order scan while touching ~issue-width entries instead of
+     * the whole queue. Membership is maintained by insert/wakeup
+     * (join) and freeSlot (leave); entries stay listed until they
+     * leave the queue, so scheme-vetoed or port-starved candidates
+     * are rescanned next cycle exactly as before.
+     */
+    std::int32_t firstReady() const { return rdyHead; }
+    std::int32_t nextReady(std::int32_t idx) const
+    {
+        return slots[idx].rdyNext;
+    }
 
     void clear();
 
@@ -90,11 +141,25 @@ class IssueQueue
     void addConsumer(PhysReg preg, std::int32_t slot);
     void freeSlot(std::int32_t slot);
 
+    /** Any ready, potentially unissued half? (Stores issue in halves.) */
+    static bool
+    candidate(const IqEntry &e)
+    {
+        return e.isStore ? (e.src1Ready || e.src2Ready)
+                         : (e.src1Ready && e.src2Ready);
+    }
+
+    void readyLink(std::int32_t slot);
+    void readyUnlink(std::int32_t slot);
+
     unsigned cap;
+    InstSlab *slab = nullptr;
     std::vector<IqEntry> slots;          ///< cap entries, index-stable.
     std::vector<std::int32_t> freeSlots;
     std::int32_t ageHead = -1;           ///< Oldest entry.
     std::int32_t ageTail = -1;           ///< Youngest entry.
+    std::int32_t rdyHead = -1;           ///< Oldest candidate.
+    std::int32_t rdyTail = -1;           ///< Youngest candidate.
     std::size_t count = 0;
 
     /** Consumer lists indexed by physical register (grown on demand). */

@@ -14,25 +14,43 @@ Lsu::Lsu(unsigned lq_capacity, unsigned sq_capacity)
 }
 
 void
-Lsu::allocateLoad(const DynInstPtr &inst)
+Lsu::allocateLoad(InstHandle h, const DynInst &inst)
 {
     sb_assert(!lqFull(), "LQ overflow");
-    sb_assert(lq.empty() || lq.back().inst->seq < inst->seq,
+    sb_assert(lq.empty() || lq.back().seq < inst.seq,
               "LQ must stay program-ordered");
     LqEntry e;
-    e.inst = inst;
+    e.handle = h;
+    e.seq = inst.seq;
+    e.pc = inst.pc;
     lq.push_back(std::move(e));
 }
 
 void
-Lsu::allocateStore(const DynInstPtr &inst)
+Lsu::allocateStore(InstHandle h, const DynInst &inst)
 {
     sb_assert(!sqFull(), "SQ overflow");
-    sb_assert(sq.empty() || sq.back().inst->seq < inst->seq,
+    sb_assert(sq.empty() || sq.back().seq < inst.seq,
               "SQ must stay program-ordered");
     SqEntry e;
-    e.inst = inst;
+    e.handle = h;
+    e.seq = inst.seq;
+    e.pc = inst.pc;
     sq.push_back(std::move(e));
+}
+
+void
+Lsu::storeAddrReady(const DynInst &store)
+{
+    sb_assert(store.effAddrValid, "caching store address before gen");
+    for (auto &e : sq) {
+        if (e.seq == store.seq) {
+            e.addr = store.effAddr;
+            e.addrValid = true;
+            return;
+        }
+    }
+    sb_panic("storeAddrReady: store not in SQ");
 }
 
 ForwardOutcome
@@ -45,25 +63,25 @@ Lsu::checkForwarding(const DynInst &load) const
     // Scan youngest-older-store first.
     for (auto it = sq.rbegin(); it != sq.rend(); ++it) {
         const SqEntry &e = *it;
-        if (e.inst->seq > load.seq)
+        if (e.seq > load.seq)
             continue;
-        if (!e.inst->effAddrValid) {
+        if (!e.addrValid) {
             // Unknown address: optimistically bypass, remember it.
             out.bypassedUnknown = true;
             continue;
         }
-        if (wordAddr(e.inst->effAddr) != target)
+        if (wordAddr(e.addr) != target)
             continue;
         if (e.dataValid) {
             out.kind = ForwardOutcome::Kind::Forward;
             out.data = e.data;
-            out.source = e.inst->seq;
+            out.source = e.seq;
             return out;
         }
         // Address matches but the data half has not issued: the load
         // must wait (retry) rather than read stale memory.
         out.kind = ForwardOutcome::Kind::StallData;
-        out.source = e.inst->seq;
+        out.source = e.seq;
         return out;
     }
     out.kind = ForwardOutcome::Kind::NoMatch;
@@ -71,12 +89,25 @@ Lsu::checkForwarding(const DynInst &load) const
 }
 
 void
+Lsu::addForwardWaiter(SeqNum store_seq, InstHandle waiter)
+{
+    for (auto &e : sq) {
+        if (e.seq == store_seq) {
+            e.waiters.push_back(waiter);
+            return;
+        }
+    }
+    sb_panic("addForwardWaiter: store not in SQ");
+}
+
+void
 Lsu::loadDataReturned(const DynInst &load, SeqNum source)
 {
     for (auto &e : lq) {
-        if (e.inst->seq == load.seq) {
+        if (e.seq == load.seq) {
             e.dataReturned = true;
             e.forwardedFrom = source;
+            e.addr = load.effAddr;
             return;
         }
     }
@@ -84,35 +115,39 @@ Lsu::loadDataReturned(const DynInst &load, SeqNum source)
 }
 
 void
-Lsu::storeDataReady(const DynInst &store, Word data)
+Lsu::storeDataReady(const DynInst &store, Word data,
+                    std::vector<InstHandle> &woken)
 {
     for (auto &e : sq) {
-        if (e.inst->seq == store.seq) {
+        if (e.seq == store.seq) {
             e.dataValid = true;
             e.data = data;
+            woken.insert(woken.end(), e.waiters.begin(), e.waiters.end());
+            e.waiters.clear();
             return;
         }
     }
     sb_panic("storeDataReady: store not in SQ");
 }
 
-DynInstPtr
+const LqEntry *
 Lsu::checkViolation(const DynInst &store) const
 {
     sb_assert(store.effAddrValid, "violation scan before address gen");
     const Addr target = wordAddr(store.effAddr);
     for (const auto &e : lq) {
-        if (e.inst->seq < store.seq || e.inst->squashed)
+        if (e.seq < store.seq)
             continue;
-        if (!e.dataReturned || !e.inst->effAddrValid)
+        // dataReturned implies the cached address is valid.
+        if (!e.dataReturned)
             continue;
-        if (wordAddr(e.inst->effAddr) != target)
+        if (wordAddr(e.addr) != target)
             continue;
         // The load already has data. It is stale unless it forwarded
         // from this store or from a younger one.
         if (e.forwardedFrom == invalidSeqNum
             || e.forwardedFrom < store.seq) {
-            return e.inst;
+            return &e;
         }
     }
     return nullptr;
@@ -122,8 +157,8 @@ void
 Lsu::markStoreCommitted(const DynInst &store)
 {
     for (auto &e : sq) {
-        if (e.inst->seq == store.seq) {
-            sb_assert(e.inst->effAddrValid && e.dataValid,
+        if (e.seq == store.seq) {
+            sb_assert(e.addrValid && e.dataValid,
                       "committing incomplete store");
             e.committed = true;
             return;
@@ -151,7 +186,7 @@ void
 Lsu::releaseLoad(const DynInst &load)
 {
     sb_assert(!lq.empty(), "releasing load from empty LQ");
-    sb_assert(lq.front().inst->seq == load.seq,
+    sb_assert(lq.front().seq == load.seq,
               "loads must commit in order");
     lq.pop_front();
 }
@@ -162,10 +197,9 @@ Lsu::functionalBypass(const DynInst &load, Word &data) const
     const Addr target = wordAddr(load.effAddr);
     for (auto it = sq.rbegin(); it != sq.rend(); ++it) {
         const SqEntry &e = *it;
-        if (e.inst->seq > load.seq)
+        if (e.seq > load.seq)
             continue;
-        if (e.inst->effAddrValid && e.dataValid
-            && wordAddr(e.inst->effAddr) == target) {
+        if (e.addrValid && e.dataValid && wordAddr(e.addr) == target) {
             data = e.data;
             return true;
         }
@@ -176,9 +210,9 @@ Lsu::functionalBypass(const DynInst &load, Word &data) const
 void
 Lsu::squash(SeqNum seq)
 {
-    while (!lq.empty() && lq.back().inst->seq > seq)
+    while (!lq.empty() && lq.back().seq > seq)
         lq.pop_back();
-    while (!sq.empty() && sq.back().inst->seq > seq) {
+    while (!sq.empty() && sq.back().seq > seq) {
         sb_assert(!sq.back().committed, "squashing a committed store");
         sq.pop_back();
     }

@@ -10,6 +10,14 @@
  * the "store-to-load forwarding errors" of paper Sec. 9.2, which STT
  * inflates by delaying store address generation.
  *
+ * Queue entries hold an InstHandle plus cached copies of every field
+ * the scans touch (seq, pc, address, data, validity bits), so the
+ * forwarding/violation/bypass scans never dereference slab records,
+ * and the post-commit store drain works after the store's record has
+ * been freed. Each SQ entry also owns the flat waiter list of loads
+ * stalled on its data half — the replacement for the core's old
+ * ordered-map forwardWaiters.
+ *
  * Matching granularity is the 8-byte word (all modelled accesses are
  * word-sized).
  */
@@ -18,26 +26,37 @@
 #define SB_CORE_LSU_HH
 
 #include <deque>
+#include <vector>
 
 #include "common/types.hh"
 #include "core/dyn_inst.hh"
+#include "core/inst_slab.hh"
 
 namespace sb
 {
 
-/** Store-queue entry; address/data live in the DynInst. */
+/** Store-queue entry; every drained/scanned field is cached here. */
 struct SqEntry
 {
-    DynInstPtr inst;
+    InstHandle handle = invalidInstHandle;
+    SeqNum seq = 0;
+    std::uint32_t pc = 0;
+    Addr addr = 0;
+    bool addrValid = false;
     bool dataValid = false;
     Word data = 0;
     bool committed = false;
+    /** Loads stalled on this store's data half (StallData outcome). */
+    std::vector<InstHandle> waiters;
 };
 
 /** Load-queue entry. */
 struct LqEntry
 {
-    DynInstPtr inst;
+    InstHandle handle = invalidInstHandle;
+    SeqNum seq = 0;
+    std::uint32_t pc = 0;
+    Addr addr = 0;       ///< Cached when data returns.
     bool dataReturned = false;
     /** Store the load forwarded from, or invalidSeqNum. */
     SeqNum forwardedFrom = invalidSeqNum;
@@ -71,24 +90,34 @@ class Lsu
     std::size_t sqSize() const { return sq.size(); }
 
     /** Allocate at rename (program order). */
-    void allocateLoad(const DynInstPtr &inst);
-    void allocateStore(const DynInstPtr &inst);
+    void allocateLoad(InstHandle h, const DynInst &inst);
+    void allocateStore(InstHandle h, const DynInst &inst);
+
+    /** Cache a store's generated address (at address execute). */
+    void storeAddrReady(const DynInst &store);
 
     /** Scan older stores for a forwarding source for @p load. */
     ForwardOutcome checkForwarding(const DynInst &load) const;
 
+    /** Register @p waiter as stalled on store @p store_seq's data. */
+    void addForwardWaiter(SeqNum store_seq, InstHandle waiter);
+
     /** Record that @p load received data (from @p source, if any). */
     void loadDataReturned(const DynInst &load, SeqNum source);
 
-    /** Record the data half of a store. */
-    void storeDataReady(const DynInst &store, Word data);
+    /**
+     * Record the data half of a store; hands back (appends) the
+     * waiter list so the core can retry the stalled loads.
+     */
+    void storeDataReady(const DynInst &store, Word data,
+                        std::vector<InstHandle> &woken);
 
     /**
      * After a store's address generation, find the oldest younger
      * load that already read data it should have received from this
      * store. Returns nullptr if none (no violation).
      */
-    DynInstPtr checkViolation(const DynInst &store) const;
+    const LqEntry *checkViolation(const DynInst &store) const;
 
     /** Mark the store-queue entry committed (drains later). */
     void markStoreCommitted(const DynInst &store);

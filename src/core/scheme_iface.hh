@@ -19,6 +19,7 @@
 
 #include "common/config.hh"
 #include "core/dyn_inst.hh"
+#include "core/inst_slab.hh"
 
 namespace sb
 {
@@ -42,7 +43,7 @@ class SecureScheme
      * cycle, oldest first. STT-Rename performs the serial YRoT chain
      * here (Fig. 3).
      */
-    virtual void onRenameGroup(const std::vector<DynInstPtr> &) {}
+    virtual void onRenameGroup(const std::vector<DynInst *> &) {}
 
     /**
      * Ready-signal veto evaluated during select: return true to keep
@@ -71,10 +72,13 @@ class SecureScheme
      * dependents (ALU results at schedule time, load results at
      * completion). Return true to take ownership of the broadcast —
      * the scheme must later call Core::scheduleWakeup itself (NDA's
-     * delayed, port-limited broadcast).
+     * delayed, port-limited broadcast). Schemes that hold the
+     * instruction past this call keep the handle and revalidate it
+     * through the slab; a stale handle means the instruction was
+     * squashed.
      */
     virtual bool
-    deferBroadcast(const DynInstPtr &, Cycle /* ready_at */)
+    deferBroadcast(InstHandle, const DynInst &, Cycle /* ready_at */)
     {
         return false;
     }
@@ -89,7 +93,7 @@ class SecureScheme
      * once the visibility point has passed it). Returning false lets
      * the access proceed normally.
      */
-    virtual bool delayLoadMiss(const DynInstPtr &) { return false; }
+    virtual bool delayLoadMiss(InstHandle, const DynInst &) { return false; }
 
     /** Per-cycle scheme machinery (e.g. draining broadcast queues). */
     virtual void tick() {}

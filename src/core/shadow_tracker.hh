@@ -9,6 +9,14 @@
  * Speculative loads are registered at rename and handed back (oldest
  * first) as the visibility point passes them, which drives STT's
  * untaint broadcast and NDA's delayed broadcast.
+ *
+ * Entries are {handle, seq} pairs; a front entry whose handle no
+ * longer resolves in the slab was squashed (its record freed during
+ * the squash walk) and is retired like the shared_ptr engine retired
+ * `squashed` fronts. Commit cannot free a tracked front first: a
+ * shadow source must resolve (branch) or generate its address (store)
+ * before it can complete, and a speculative load cannot reach the ROB
+ * head while an older shadow is still open.
  */
 
 #ifndef SB_CORE_SHADOW_TRACKER_HH
@@ -18,6 +26,7 @@
 #include <vector>
 
 #include "core/dyn_inst.hh"
+#include "core/inst_slab.hh"
 
 namespace sb
 {
@@ -26,8 +35,11 @@ namespace sb
 class ShadowTracker
 {
   public:
+    /** Bind the backing slab (handle revalidation). */
+    void attachSlab(const InstSlab *s) { slab = s; }
+
     /** Register a renamed instruction (branches, stores, loads). */
-    void onRename(const DynInstPtr &inst);
+    void onRename(InstHandle h, DynInst &inst);
 
     /**
      * Advance the visibility point.
@@ -36,7 +48,7 @@ class ShadowTracker
      * @param[out] now_safe loads that just became non-speculative,
      *        oldest first (appended).
      */
-    void update(SeqNum next_seq, std::vector<DynInstPtr> &now_safe);
+    void update(SeqNum next_seq, std::vector<InstHandle> &now_safe);
 
     /** Current visibility point. */
     SeqNum visibilityPoint() const { return vp; }
@@ -57,9 +69,16 @@ class ShadowTracker
     void reset();
 
   private:
-    std::deque<DynInstPtr> branches;  ///< Unresolved C-shadow sources.
-    std::deque<DynInstPtr> stores;    ///< Unknown-address D-shadow sources.
-    std::deque<DynInstPtr> specLoads; ///< Loads awaiting the point.
+    struct Entry
+    {
+        InstHandle handle;
+        SeqNum seq;
+    };
+
+    const InstSlab *slab = nullptr;
+    std::deque<Entry> branches;  ///< Unresolved C-shadow sources.
+    std::deque<Entry> stores;    ///< Unknown-address D-shadow sources.
+    std::deque<Entry> specLoads; ///< Loads awaiting the point.
     SeqNum vp = 0;
     SeqNum vpPrev = 0;
 };

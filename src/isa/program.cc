@@ -8,43 +8,93 @@
 namespace sb
 {
 
+const MemoryImage::Slot *
+MemoryImage::findSlot(Addr aligned) const
+{
+    if (slots.empty())
+        return nullptr;
+    const std::size_t mask = slots.size() - 1;
+    std::size_t i = probeStart(aligned, mask);
+    while (slots[i].addr != emptySlot) {
+        if (slots[i].addr == aligned)
+            return &slots[i];
+        i = (i + 1) & mask;
+    }
+    return &slots[i]; // First empty slot on the probe path.
+}
+
+void
+MemoryImage::grow(std::size_t min_capacity)
+{
+    std::size_t cap = 64;
+    while (cap < min_capacity)
+        cap <<= 1;
+    std::vector<Slot> old;
+    old.swap(slots);
+    slots.assign(cap, Slot{});
+    const std::size_t mask = cap - 1;
+    for (const Slot &s : old) {
+        if (s.addr == emptySlot)
+            continue;
+        std::size_t i = probeStart(s.addr, mask);
+        while (slots[i].addr != emptySlot)
+            i = (i + 1) & mask;
+        slots[i] = s;
+    }
+}
+
 void
 MemoryImage::write(Addr addr, Word value)
 {
-    words[align(addr)] = value;
+    // Keep the load factor under ~70% (count is pre-incremented for
+    // the possible insert).
+    if ((count + 1) * 10 >= slots.size() * 7)
+        grow(2 * slots.size() + ((count + 1) * 2));
+
+    const Addr a = align(addr);
+    Slot *s = const_cast<Slot *>(findSlot(a));
+    if (s->addr == emptySlot) {
+        s->addr = a;
+        ++count;
+    }
+    s->value = value;
 }
 
 Word
 MemoryImage::read(Addr addr) const
 {
-    auto it = words.find(align(addr));
-    if (it != words.end())
-        return it->second;
-    return backgroundValue(align(addr));
+    const Addr a = align(addr);
+    const Slot *s = findSlot(a);
+    if (s && s->addr == a)
+        return s->value;
+    return backgroundValue(a);
 }
 
 bool
 MemoryImage::contains(Addr addr) const
 {
-    return words.count(align(addr)) != 0;
+    const Addr a = align(addr);
+    const Slot *s = findSlot(a);
+    return s && s->addr == a;
 }
 
 Word
 MemoryImage::fingerprint() const
 {
     // Hash each (addr, value) pair independently and combine with a
-    // commutative fold, so the unordered_map's iteration order (which
-    // differs across libraries and insertion histories) cannot leak
-    // into the digest.
+    // commutative fold, so the table's slot order (which differs with
+    // capacity and insertion history) cannot leak into the digest.
     Word sum = 0x9ae16a3b2f90404fULL;
     Word mix = 0;
-    for (const auto &kv : words) {
+    for (const Slot &s : slots) {
+        if (s.addr == emptySlot)
+            continue;
         const Word h =
-            fnv1aWord(fnv1aWord(fnv1aBasis, kv.first), kv.second);
+            fnv1aWord(fnv1aWord(fnv1aBasis, s.addr), s.value);
         sum += h;
         mix ^= h;
     }
-    return (sum ^ (mix * 0xff51afd7ed558ccdULL)) + words.size();
+    return (sum ^ (mix * 0xff51afd7ed558ccdULL)) + count;
 }
 
 Word

@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -38,7 +37,7 @@ class MemoryImage
     /** True if the word was explicitly written. */
     bool contains(Addr addr) const;
 
-    std::size_t size() const { return words.size(); }
+    std::size_t size() const { return count; }
 
     /**
      * Order-independent content hash over every explicitly written
@@ -53,9 +52,41 @@ class MemoryImage
     static Word backgroundValue(Addr addr);
 
   private:
+    /**
+     * Flat open-addressing table (linear probe, power-of-two size).
+     * The image only ever inserts — no deletions, no tombstones —
+     * which makes this layout exact and keeps the three hot
+     * operations (the per-committed-store write, the load-miss read,
+     * and the whole-image copy into each Core's working memory) a
+     * probe or a memcpy instead of node-based hashing.
+     *
+     * Stored addresses are 8-aligned, so an odd address can serve as
+     * the empty-slot sentinel.
+     */
+    struct Slot
+    {
+        Addr addr = emptySlot;
+        Word value = 0;
+    };
+
+    static constexpr Addr emptySlot = 1;
+
     static Addr align(Addr addr) { return addr & ~Addr(7); }
 
-    std::unordered_map<Addr, Word> words;
+    static std::size_t
+    probeStart(Addr addr, std::size_t mask)
+    {
+        // splitmix64-style multiply-shift on the word index.
+        return static_cast<std::size_t>(
+                   ((addr >> 3) * 0x9e3779b97f4a7c15ULL) >> 24)
+               & mask;
+    }
+
+    const Slot *findSlot(Addr aligned) const;
+    void grow(std::size_t min_capacity);
+
+    std::vector<Slot> slots; ///< Empty until the first write.
+    std::size_t count = 0;
 };
 
 /** A complete runnable program: code, entry point, and initial memory. */

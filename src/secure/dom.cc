@@ -6,13 +6,13 @@ namespace sb
 {
 
 bool
-DomScheme::delayLoadMiss(const DynInstPtr &load)
+DomScheme::delayLoadMiss(InstHandle h, const DynInst &load)
 {
-    if (!coreRef->isSpeculative(load->seq))
+    if (!coreRef->isSpeculative(load.seq))
         return false;
-    if (coreRef->memorySystem().l1Contains(load->effAddr))
+    if (coreRef->memorySystem().l1Contains(load.effAddr))
         return false; // Speculative hits proceed (no fill, no trace).
-    parked.push_back(load);
+    parked.push_back(Parked{h, load.seq});
     return true;
 }
 
@@ -25,30 +25,29 @@ DomScheme::tick()
     // Release every parked load the visibility point has passed,
     // oldest first (a re-injected load re-arbitrates for a memory
     // port in this cycle's select phase, so order determines port
-    // priority). Squashed loads are dropped on the way: their miss
-    // never happened.
+    // priority). Squashed loads (stale handles) are dropped on the
+    // way: their miss never happened.
     releaseScratch.clear();
     auto keep = parked.begin();
     for (auto it = parked.begin(); it != parked.end(); ++it) {
-        DynInstPtr &load = *it;
-        if (load->squashed)
+        if (!coreRef->slabAlive(it->handle))
             continue;
-        if (!coreRef->isSpeculative(load->seq)) {
-            releaseScratch.push_back(std::move(load));
+        if (!coreRef->isSpeculative(it->seq)) {
+            releaseScratch.push_back(*it);
             continue;
         }
-        *keep++ = std::move(load);
+        *keep++ = *it;
     }
     parked.erase(keep, parked.end());
 
     if (releaseScratch.empty())
         return;
     std::sort(releaseScratch.begin(), releaseScratch.end(),
-              [](const DynInstPtr &a, const DynInstPtr &b) {
-                  return a->seq < b->seq;
+              [](const Parked &a, const Parked &b) {
+                  return a.seq < b.seq;
               });
-    for (const DynInstPtr &load : releaseScratch)
-        coreRef->retryLoad(load);
+    for (const Parked &load : releaseScratch)
+        coreRef->retryLoad(load.handle);
     releaseScratch.clear();
 }
 
@@ -56,9 +55,8 @@ void
 DomScheme::onSquash(SeqNum youngest_surviving)
 {
     parked.erase(std::remove_if(parked.begin(), parked.end(),
-                                [youngest_surviving](const DynInstPtr &l) {
-                                    return l->seq > youngest_surviving
-                                           || l->squashed;
+                                [youngest_surviving](const Parked &l) {
+                                    return l.seq > youngest_surviving;
                                 }),
                  parked.end());
 }

@@ -52,7 +52,7 @@ class DomScheme : public SecureScheme
     Scheme kind() const override { return Scheme::DelayOnMiss; }
     bool claimsLeakFreedom() const override { return true; }
 
-    bool delayLoadMiss(const DynInstPtr &load) override;
+    bool delayLoadMiss(InstHandle h, const DynInst &load) override;
     void tick() override;
     void onSquash(SeqNum youngest_surviving) override;
     void reset() override { parked.clear(); }
@@ -61,8 +61,15 @@ class DomScheme : public SecureScheme
     std::size_t parkedLoads() const { return parked.size(); }
 
   private:
-    std::vector<DynInstPtr> parked;
-    std::vector<DynInstPtr> releaseScratch;
+    /** A parked load: handle for re-injection, seq for ordering. */
+    struct Parked
+    {
+        InstHandle handle;
+        SeqNum seq;
+    };
+
+    std::vector<Parked> parked;
+    std::vector<Parked> releaseScratch;
 };
 
 } // namespace sb

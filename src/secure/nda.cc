@@ -6,15 +6,16 @@ namespace sb
 {
 
 bool
-NdaScheme::deferBroadcast(const DynInstPtr &inst, Cycle /* ready_at */)
+NdaScheme::deferBroadcast(InstHandle /* h */, const DynInst &inst,
+                          Cycle /* ready_at */)
 {
-    if (!inst->isLoad())
+    if (!inst.isLoad())
         return false;
-    if (!coreRef->isSpeculative(inst->seq))
+    if (!coreRef->isSpeculative(inst.seq))
         return false;
     // Data is already in the register file; only the broadcast waits
     // (split data-write / broadcast, Fig. 5b).
-    pending.push_back(Pending{inst, coreRef->now()});
+    pending.push_back(Pending{inst.seq, inst.pdst, coreRef->now()});
     return true;
 }
 
@@ -31,23 +32,20 @@ NdaScheme::tick()
         return;
 
     // Broadcast non-speculative results oldest-first, limited to the
-    // broadcast-port budget per cycle.
+    // broadcast-port budget per cycle. Squashed producers cannot be
+    // here: every squash erases them by sequence number in onSquash.
     std::sort(pending.begin(), pending.end(),
               [](const Pending &a, const Pending &b) {
-                  return a.inst->seq < b.inst->seq;
+                  return a.seq < b.seq;
               });
     unsigned budget = broadcastBudget();
     const Cycle now = coreRef->now();
     while (budget > 0 && !pending.empty()) {
         const Pending &p = pending.front();
-        if (p.inst->squashed) {
-            pending.pop_front();
-            continue;
-        }
-        if (coreRef->isSpeculative(p.inst->seq) || p.readyAt > now)
+        if (coreRef->isSpeculative(p.seq) || p.readyAt > now)
             break;
         // One broadcast cycle: dependents can be selected next cycle.
-        coreRef->scheduleWakeup(p.inst->pdst, now + 1, p.inst);
+        coreRef->scheduleWakeup(p.pdst, now + 1);
         pending.pop_front();
         --budget;
     }
@@ -58,21 +56,20 @@ NdaScheme::onSquash(SeqNum youngest_surviving)
 {
     pending.erase(std::remove_if(pending.begin(), pending.end(),
                                  [youngest_surviving](const Pending &p) {
-                                     return p.inst->seq
-                                                > youngest_surviving
-                                            || p.inst->squashed;
+                                     return p.seq > youngest_surviving;
                                  }),
                   pending.end());
 }
 
 bool
-NdaStrictScheme::deferBroadcast(const DynInstPtr &inst, Cycle ready_at)
+NdaStrictScheme::deferBroadcast(InstHandle /* h */, const DynInst &inst,
+                                Cycle ready_at)
 {
-    if (inst->pdst == invalidPhysReg)
+    if (inst.pdst == invalidPhysReg)
         return false;
-    if (!coreRef->isSpeculative(inst->seq))
+    if (!coreRef->isSpeculative(inst.seq))
         return false;
-    pending.push_back(Pending{inst, ready_at});
+    pending.push_back(Pending{inst.seq, inst.pdst, ready_at});
     return true;
 }
 

@@ -37,7 +37,8 @@ class NdaScheme : public SecureScheme
     bool claimsTransmitterSafety() const override { return true; }
     bool claimsConsumeSafety() const override { return true; }
 
-    bool deferBroadcast(const DynInstPtr &inst, Cycle ready_at) override;
+    bool deferBroadcast(InstHandle h, const DynInst &inst,
+                        Cycle ready_at) override;
     void tick() override;
     void onSquash(SeqNum youngest_surviving) override;
     void reset() override { pending.clear(); }
@@ -51,9 +52,17 @@ class NdaScheme : public SecureScheme
     std::size_t pendingBroadcasts() const { return pending.size(); }
 
   protected:
+    /**
+     * A queued broadcast carries only what firing it needs: the
+     * destination register and when. Squashed producers never fire
+     * because onSquash erases by sequence number, and the core's
+     * per-register allocation epoch drops a wakeup whose register
+     * was re-allocated between scheduling and firing.
+     */
     struct Pending
     {
-        DynInstPtr inst;
+        SeqNum seq;
+        PhysReg pdst;
         Cycle readyAt;
     };
 
@@ -76,7 +85,8 @@ class NdaStrictScheme : public NdaScheme
     const char *name() const override { return "NDA-Strict"; }
     Scheme kind() const override { return Scheme::NdaStrict; }
 
-    bool deferBroadcast(const DynInstPtr &inst, Cycle ready_at) override;
+    bool deferBroadcast(InstHandle h, const DynInst &inst,
+                        Cycle ready_at) override;
 
   protected:
     unsigned broadcastBudget() const override;

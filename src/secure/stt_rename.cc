@@ -7,7 +7,7 @@ namespace sb
 {
 
 void
-SttRenameScheme::onRenameGroup(const std::vector<DynInstPtr> &group)
+SttRenameScheme::onRenameGroup(const std::vector<DynInst *> &group)
 {
     // The untaint broadcast reaches the rename-stage taint RAT one
     // cycle after the visibility point moves.
@@ -16,7 +16,7 @@ SttRenameScheme::onRenameGroup(const std::vector<DynInstPtr> &group)
     // Serial pass over the group: younger instructions see the taint
     // writes of older same-cycle instructions — the dependency chain
     // of Fig. 3.
-    for (const DynInstPtr &inst : group) {
+    for (DynInst *inst : group) {
         YRoT src1_taint = invalidSeqNum;
         YRoT src2_taint = invalidSeqNum;
         if (inst->uop.hasSrc1())

@@ -43,7 +43,7 @@ class SttRenameScheme : public SecureScheme
     Scheme kind() const override { return Scheme::SttRename; }
     bool claimsTransmitterSafety() const override { return true; }
 
-    void onRenameGroup(const std::vector<DynInstPtr> &group) override;
+    void onRenameGroup(const std::vector<DynInst *> &group) override;
     bool selectVeto(const DynInst &inst, bool addr_half) override;
     void onSquashWalk(const DynInst &inst) override;
     void reset() override { taintRat.fill(invalidSeqNum); }

@@ -2,10 +2,14 @@
  * @file
  * Unit tests for the core's microarchitectural components: rename
  * map, issue queue, LSU, shadow tracker, and security monitor.
+ *
+ * Components address instructions through InstSlab handles, so each
+ * test owns a small slab and the helpers hand back handles.
  */
 
 #include <gtest/gtest.h>
 
+#include "core/inst_slab.hh"
 #include "core/issue_queue.hh"
 #include "core/lsu.hh"
 #include "core/rename_map.hh"
@@ -15,35 +19,41 @@
 namespace
 {
 
-sb::DynInstPtr
-makeInst(sb::SeqNum seq, sb::Op op)
+sb::InstHandle
+makeInst(sb::InstSlab &slab, sb::SeqNum seq, sb::Op op)
 {
-    auto inst = std::make_shared<sb::DynInst>();
-    inst->seq = seq;
-    inst->uop.op = op;
-    return inst;
+    const sb::InstHandle h = slab.alloc();
+    sb::DynInst &inst = slab.get(h);
+    inst = sb::DynInst{};
+    inst.seq = seq;
+    inst.uop.op = op;
+    return h;
 }
 
-sb::DynInstPtr
-makeLoad(sb::SeqNum seq, sb::PhysReg dst = 10, sb::PhysReg base = 11)
+sb::InstHandle
+makeLoad(sb::InstSlab &slab, sb::SeqNum seq, sb::PhysReg dst = 10,
+         sb::PhysReg base = 11)
 {
-    auto inst = makeInst(seq, sb::Op::Load);
-    inst->uop.dst = 1;
-    inst->uop.src1 = 2;
-    inst->pdst = dst;
-    inst->psrc1 = base;
-    return inst;
+    const sb::InstHandle h = makeInst(slab, seq, sb::Op::Load);
+    sb::DynInst &inst = slab.get(h);
+    inst.uop.dst = 1;
+    inst.uop.src1 = 2;
+    inst.pdst = dst;
+    inst.psrc1 = base;
+    return h;
 }
 
-sb::DynInstPtr
-makeStore(sb::SeqNum seq, sb::PhysReg base = 12, sb::PhysReg data = 13)
+sb::InstHandle
+makeStore(sb::InstSlab &slab, sb::SeqNum seq, sb::PhysReg base = 12,
+          sb::PhysReg data = 13)
 {
-    auto inst = makeInst(seq, sb::Op::Store);
-    inst->uop.src1 = 2;
-    inst->uop.src2 = 3;
-    inst->psrc1 = base;
-    inst->psrc2 = data;
-    return inst;
+    const sb::InstHandle h = makeInst(slab, seq, sb::Op::Store);
+    sb::DynInst &inst = slab.get(h);
+    inst.uop.src1 = 2;
+    inst.uop.src2 = 3;
+    inst.psrc1 = base;
+    inst.psrc2 = data;
+    return h;
 }
 
 // --- RenameMap -------------------------------------------------------
@@ -104,10 +114,12 @@ TEST(RenameMap, ExhaustsFreeList)
 
 TEST(IssueQueue, InsertNormalisesMissingSources)
 {
+    sb::InstSlab slab(16);
     sb::IssueQueue iq(4);
-    auto nop_like = makeInst(1, sb::Op::MovImm);
-    nop_like->uop.dst = 1;
-    iq.insert(nop_like, false, false);
+    iq.attachSlab(&slab);
+    const auto h = makeInst(slab, 1, sb::Op::MovImm);
+    slab.get(h).uop.dst = 1;
+    iq.insert(h, slab.get(h), false, false);
     auto order = iq.inOrder();
     ASSERT_EQ(order.size(), 1u);
     EXPECT_TRUE(order[0]->src1Ready);
@@ -116,14 +128,17 @@ TEST(IssueQueue, InsertNormalisesMissingSources)
 
 TEST(IssueQueue, WakeupSetsMatchingSources)
 {
+    sb::InstSlab slab(16);
     sb::IssueQueue iq(4);
-    auto inst = makeInst(1, sb::Op::Add);
-    inst->uop.dst = 1;
-    inst->uop.src1 = 2;
-    inst->uop.src2 = 3;
-    inst->psrc1 = 21;
-    inst->psrc2 = 22;
-    iq.insert(inst, false, false);
+    iq.attachSlab(&slab);
+    const auto h = makeInst(slab, 1, sb::Op::Add);
+    sb::DynInst &inst = slab.get(h);
+    inst.uop.dst = 1;
+    inst.uop.src1 = 2;
+    inst.uop.src2 = 3;
+    inst.psrc1 = 21;
+    inst.psrc2 = 22;
+    iq.insert(h, inst, false, false);
     iq.wakeup(21);
     auto order = iq.inOrder();
     EXPECT_TRUE(order[0]->src1Ready);
@@ -134,64 +149,111 @@ TEST(IssueQueue, WakeupSetsMatchingSources)
 
 TEST(IssueQueue, InOrderSortsBySeq)
 {
+    sb::InstSlab slab(16);
     sb::IssueQueue iq(8);
-    iq.insert(makeLoad(30), true, true);
-    iq.insert(makeLoad(10), true, true);
-    iq.insert(makeLoad(20), true, true);
+    iq.attachSlab(&slab);
+    // Dispatch happens in program order; the age list appends.
+    const auto a = makeLoad(slab, 10);
+    const auto b = makeLoad(slab, 20);
+    const auto c = makeLoad(slab, 30);
+    iq.insert(a, slab.get(a), true, true);
+    iq.insert(b, slab.get(b), true, true);
+    iq.insert(c, slab.get(c), true, true);
     auto order = iq.inOrder();
     ASSERT_EQ(order.size(), 3u);
-    EXPECT_EQ(order[0]->inst->seq, 10u);
-    EXPECT_EQ(order[1]->inst->seq, 20u);
-    EXPECT_EQ(order[2]->inst->seq, 30u);
+    EXPECT_EQ(order[0]->seq, 10u);
+    EXPECT_EQ(order[1]->seq, 20u);
+    EXPECT_EQ(order[2]->seq, 30u);
 }
 
 TEST(IssueQueue, SquashDropsYounger)
 {
+    sb::InstSlab slab(16);
     sb::IssueQueue iq(8);
-    iq.insert(makeLoad(10), true, true);
-    iq.insert(makeLoad(20), true, true);
-    iq.insert(makeLoad(30), true, true);
+    iq.attachSlab(&slab);
+    const auto a = makeLoad(slab, 10);
+    const auto b = makeLoad(slab, 20);
+    const auto c = makeLoad(slab, 30);
+    iq.insert(a, slab.get(a), true, true);
+    iq.insert(b, slab.get(b), true, true);
+    iq.insert(c, slab.get(c), true, true);
+    // The core frees squashed records before sweeping the queue.
+    slab.free(b);
+    slab.free(c);
     iq.squash(15);
     auto order = iq.inOrder();
     ASSERT_EQ(order.size(), 1u);
-    EXPECT_EQ(order[0]->inst->seq, 10u);
+    EXPECT_EQ(order[0]->seq, 10u);
+}
+
+TEST(IssueQueue, SquashSweepsStaleHandlesOfSurvivingSeq)
+{
+    // A defensive property of the handle migration: even an entry
+    // whose seq predates the squash point is dropped if its record
+    // died (cannot happen in the core's flow, but the queue must not
+    // keep a dangling handle).
+    sb::InstSlab slab(16);
+    sb::IssueQueue iq(8);
+    iq.attachSlab(&slab);
+    const auto a = makeLoad(slab, 10);
+    iq.insert(a, slab.get(a), true, true);
+    slab.free(a);
+    iq.squash(100);
+    EXPECT_EQ(iq.size(), 0u);
 }
 
 TEST(IssueQueue, FullAndRemove)
 {
+    sb::InstSlab slab(16);
     sb::IssueQueue iq(2);
-    auto a = makeLoad(1);
-    auto b = makeLoad(2);
-    iq.insert(a, true, true);
-    iq.insert(b, true, true);
+    iq.attachSlab(&slab);
+    const auto a = makeLoad(slab, 1);
+    const auto b = makeLoad(slab, 2);
+    iq.insert(a, slab.get(a), true, true);
+    iq.insert(b, slab.get(b), true, true);
     EXPECT_TRUE(iq.full());
-    iq.remove(a);
+    iq.remove(slab.get(a));
     EXPECT_FALSE(iq.full());
     EXPECT_EQ(iq.size(), 1u);
+    EXPECT_FALSE(slab.get(a).inIq);
 }
 
 // --- LSU -------------------------------------------------------------
 
+namespace lsu_detail
+{
+
+/** Set a store's generated address and publish it to the SQ. */
+void
+storeAddr(sb::Lsu &lsu, sb::DynInst &st, sb::Addr addr)
+{
+    st.effAddr = addr;
+    st.effAddrValid = true;
+    lsu.storeAddrReady(st);
+}
+
+} // namespace lsu_detail
+
 TEST(Lsu, ForwardFromYoungestOlderStore)
 {
+    sb::InstSlab slab(16);
     sb::Lsu lsu(8, 8);
-    auto st1 = makeStore(1);
-    auto st2 = makeStore(2);
-    auto ld = makeLoad(3);
-    lsu.allocateStore(st1);
-    lsu.allocateStore(st2);
-    lsu.allocateLoad(ld);
+    std::vector<sb::InstHandle> woken;
+    const auto st1 = makeStore(slab, 1);
+    const auto st2 = makeStore(slab, 2);
+    const auto ld = makeLoad(slab, 3);
+    lsu.allocateStore(st1, slab.get(st1));
+    lsu.allocateStore(st2, slab.get(st2));
+    lsu.allocateLoad(ld, slab.get(ld));
 
-    st1->effAddr = 0x1000;
-    st1->effAddrValid = true;
-    lsu.storeDataReady(*st1, 111);
-    st2->effAddr = 0x1000;
-    st2->effAddrValid = true;
-    lsu.storeDataReady(*st2, 222);
+    lsu_detail::storeAddr(lsu, slab.get(st1), 0x1000);
+    lsu.storeDataReady(slab.get(st1), 111, woken);
+    lsu_detail::storeAddr(lsu, slab.get(st2), 0x1000);
+    lsu.storeDataReady(slab.get(st2), 222, woken);
 
-    ld->effAddr = 0x1000;
-    ld->effAddrValid = true;
-    const auto out = lsu.checkForwarding(*ld);
+    slab.get(ld).effAddr = 0x1000;
+    slab.get(ld).effAddrValid = true;
+    const auto out = lsu.checkForwarding(slab.get(ld));
     EXPECT_EQ(out.kind, sb::ForwardOutcome::Kind::Forward);
     EXPECT_EQ(out.data, 222u);
     EXPECT_EQ(out.source, 2u);
@@ -199,107 +261,172 @@ TEST(Lsu, ForwardFromYoungestOlderStore)
 
 TEST(Lsu, StallWhenStoreDataMissing)
 {
+    sb::InstSlab slab(16);
     sb::Lsu lsu(8, 8);
-    auto st = makeStore(1);
-    auto ld = makeLoad(2);
-    lsu.allocateStore(st);
-    lsu.allocateLoad(ld);
-    st->effAddr = 0x1000;
-    st->effAddrValid = true; // Address known, data not ready.
-    ld->effAddr = 0x1000;
-    ld->effAddrValid = true;
-    EXPECT_EQ(lsu.checkForwarding(*ld).kind,
+    const auto st = makeStore(slab, 1);
+    const auto ld = makeLoad(slab, 2);
+    lsu.allocateStore(st, slab.get(st));
+    lsu.allocateLoad(ld, slab.get(ld));
+    // Address known, data not ready.
+    lsu_detail::storeAddr(lsu, slab.get(st), 0x1000);
+    slab.get(ld).effAddr = 0x1000;
+    slab.get(ld).effAddrValid = true;
+    EXPECT_EQ(lsu.checkForwarding(slab.get(ld)).kind,
               sb::ForwardOutcome::Kind::StallData);
+}
+
+TEST(Lsu, ForwardWaitersRideTheSqEntry)
+{
+    sb::InstSlab slab(16);
+    sb::Lsu lsu(8, 8);
+    const auto st = makeStore(slab, 1);
+    const auto ld = makeLoad(slab, 2);
+    lsu.allocateStore(st, slab.get(st));
+    lsu.allocateLoad(ld, slab.get(ld));
+    lsu_detail::storeAddr(lsu, slab.get(st), 0x1000);
+
+    slab.get(ld).effAddr = 0x1000;
+    slab.get(ld).effAddrValid = true;
+    const auto out = lsu.checkForwarding(slab.get(ld));
+    ASSERT_EQ(out.kind, sb::ForwardOutcome::Kind::StallData);
+    lsu.addForwardWaiter(out.source, ld);
+
+    // The data half hands the waiter list back.
+    std::vector<sb::InstHandle> woken;
+    lsu.storeDataReady(slab.get(st), 77, woken);
+    ASSERT_EQ(woken.size(), 1u);
+    EXPECT_EQ(woken[0], ld);
+
+    // A second data-ready (cannot happen in the core, but the list
+    // must have been consumed) wakes nobody.
+    woken.clear();
+    lsu.storeDataReady(slab.get(st), 77, woken);
+    EXPECT_TRUE(woken.empty());
+}
+
+TEST(Lsu, SquashedStoreTakesItsWaitersWithIt)
+{
+    sb::InstSlab slab(16);
+    sb::Lsu lsu(8, 8);
+    const auto st = makeStore(slab, 5);
+    const auto ld = makeLoad(slab, 6);
+    lsu.allocateStore(st, slab.get(st));
+    lsu.allocateLoad(ld, slab.get(ld));
+    lsu_detail::storeAddr(lsu, slab.get(st), 0x1000);
+    lsu.addForwardWaiter(5, ld);
+    // Squashing the store drops its SQ entry and, with it, the waiter
+    // list — no separate cleanup structure to maintain.
+    lsu.squash(4);
+    EXPECT_EQ(lsu.sqSize(), 0u);
+    EXPECT_EQ(lsu.lqSize(), 0u);
 }
 
 TEST(Lsu, BypassUnknownStoreAddressIsFlagged)
 {
+    sb::InstSlab slab(16);
     sb::Lsu lsu(8, 8);
-    auto st = makeStore(1);
-    auto ld = makeLoad(2);
-    lsu.allocateStore(st);
-    lsu.allocateLoad(ld);
-    ld->effAddr = 0x1000;
-    ld->effAddrValid = true;
-    const auto out = lsu.checkForwarding(*ld);
+    const auto st = makeStore(slab, 1);
+    const auto ld = makeLoad(slab, 2);
+    lsu.allocateStore(st, slab.get(st));
+    lsu.allocateLoad(ld, slab.get(ld));
+    slab.get(ld).effAddr = 0x1000;
+    slab.get(ld).effAddrValid = true;
+    const auto out = lsu.checkForwarding(slab.get(ld));
     EXPECT_EQ(out.kind, sb::ForwardOutcome::Kind::NoMatch);
     EXPECT_TRUE(out.bypassedUnknown);
 }
 
 TEST(Lsu, ViolationDetectedOnLateStoreAddress)
 {
+    sb::InstSlab slab(16);
     sb::Lsu lsu(8, 8);
-    auto st = makeStore(1);
-    auto ld = makeLoad(2);
-    lsu.allocateStore(st);
-    lsu.allocateLoad(ld);
+    const auto st = makeStore(slab, 1);
+    const auto ld = makeLoad(slab, 2);
+    lsu.allocateStore(st, slab.get(st));
+    lsu.allocateLoad(ld, slab.get(ld));
 
     // Load executes first, reading memory (bypassing the store).
-    ld->effAddr = 0x1000;
-    ld->effAddrValid = true;
-    lsu.loadDataReturned(*ld, sb::invalidSeqNum);
+    slab.get(ld).effAddr = 0x1000;
+    slab.get(ld).effAddrValid = true;
+    lsu.loadDataReturned(slab.get(ld), sb::invalidSeqNum);
 
     // Store address resolves later and overlaps: violation.
-    st->effAddr = 0x1000;
-    st->effAddrValid = true;
-    const auto victim = lsu.checkViolation(*st);
-    ASSERT_TRUE(victim);
+    slab.get(st).effAddr = 0x1000;
+    slab.get(st).effAddrValid = true;
+    lsu.storeAddrReady(slab.get(st));
+    const sb::LqEntry *victim = lsu.checkViolation(slab.get(st));
+    ASSERT_NE(victim, nullptr);
     EXPECT_EQ(victim->seq, 2u);
+    EXPECT_EQ(victim->handle, ld);
 }
 
 TEST(Lsu, NoViolationWhenLoadForwardedFromThatStore)
 {
+    sb::InstSlab slab(16);
     sb::Lsu lsu(8, 8);
-    auto st = makeStore(1);
-    auto ld = makeLoad(2);
-    lsu.allocateStore(st);
-    lsu.allocateLoad(ld);
-    ld->effAddr = 0x1000;
-    ld->effAddrValid = true;
-    lsu.loadDataReturned(*ld, st->seq);
-    st->effAddr = 0x1000;
-    st->effAddrValid = true;
-    EXPECT_FALSE(lsu.checkViolation(*st));
+    const auto st = makeStore(slab, 1);
+    const auto ld = makeLoad(slab, 2);
+    lsu.allocateStore(st, slab.get(st));
+    lsu.allocateLoad(ld, slab.get(ld));
+    slab.get(ld).effAddr = 0x1000;
+    slab.get(ld).effAddrValid = true;
+    lsu.loadDataReturned(slab.get(ld), slab.get(st).seq);
+    slab.get(st).effAddr = 0x1000;
+    slab.get(st).effAddrValid = true;
+    lsu.storeAddrReady(slab.get(st));
+    EXPECT_EQ(lsu.checkViolation(slab.get(st)), nullptr);
 }
 
 TEST(Lsu, NoViolationOnDisjointAddresses)
 {
+    sb::InstSlab slab(16);
     sb::Lsu lsu(8, 8);
-    auto st = makeStore(1);
-    auto ld = makeLoad(2);
-    lsu.allocateStore(st);
-    lsu.allocateLoad(ld);
-    ld->effAddr = 0x2000;
-    ld->effAddrValid = true;
-    lsu.loadDataReturned(*ld, sb::invalidSeqNum);
-    st->effAddr = 0x1000;
-    st->effAddrValid = true;
-    EXPECT_FALSE(lsu.checkViolation(*st));
+    const auto st = makeStore(slab, 1);
+    const auto ld = makeLoad(slab, 2);
+    lsu.allocateStore(st, slab.get(st));
+    lsu.allocateLoad(ld, slab.get(ld));
+    slab.get(ld).effAddr = 0x2000;
+    slab.get(ld).effAddrValid = true;
+    lsu.loadDataReturned(slab.get(ld), sb::invalidSeqNum);
+    slab.get(st).effAddr = 0x1000;
+    slab.get(st).effAddrValid = true;
+    lsu.storeAddrReady(slab.get(st));
+    EXPECT_EQ(lsu.checkViolation(slab.get(st)), nullptr);
 }
 
 TEST(Lsu, DrainLifecycle)
 {
+    sb::InstSlab slab(16);
     sb::Lsu lsu(8, 8);
-    auto st = makeStore(1);
-    lsu.allocateStore(st);
-    st->effAddr = 0x1000;
-    st->effAddrValid = true;
-    lsu.storeDataReady(*st, 5);
+    std::vector<sb::InstHandle> woken;
+    const auto st = makeStore(slab, 1);
+    lsu.allocateStore(st, slab.get(st));
+    lsu_detail::storeAddr(lsu, slab.get(st), 0x1000);
+    lsu.storeDataReady(slab.get(st), 5, woken);
     EXPECT_EQ(lsu.drainableStore(), nullptr);
-    lsu.markStoreCommitted(*st);
+    lsu.markStoreCommitted(slab.get(st));
+    // The drain works from the entry's cached fields alone — the
+    // record can be gone, as it is after a real commit.
+    slab.free(st);
     ASSERT_NE(lsu.drainableStore(), nullptr);
     EXPECT_EQ(lsu.drainableStore()->data, 5u);
+    EXPECT_EQ(lsu.drainableStore()->addr, 0x1000u);
     lsu.popDrainedStore();
     EXPECT_EQ(lsu.sqSize(), 0u);
 }
 
 TEST(Lsu, SquashDropsYoungerEntries)
 {
+    sb::InstSlab slab(16);
     sb::Lsu lsu(8, 8);
-    lsu.allocateStore(makeStore(1));
-    lsu.allocateLoad(makeLoad(2));
-    lsu.allocateStore(makeStore(3));
-    lsu.allocateLoad(makeLoad(4));
+    const auto s1 = makeStore(slab, 1);
+    const auto l2 = makeLoad(slab, 2);
+    const auto s3 = makeStore(slab, 3);
+    const auto l4 = makeLoad(slab, 4);
+    lsu.allocateStore(s1, slab.get(s1));
+    lsu.allocateLoad(l2, slab.get(l2));
+    lsu.allocateStore(s3, slab.get(s3));
+    lsu.allocateLoad(l4, slab.get(l4));
     lsu.squash(2);
     EXPECT_EQ(lsu.sqSize(), 1u);
     EXPECT_EQ(lsu.lqSize(), 1u);
@@ -309,92 +436,123 @@ TEST(Lsu, SquashDropsYoungerEntries)
 
 TEST(ShadowTracker, VisibilityPointTracksOldestShadow)
 {
+    sb::InstSlab slab(16);
     sb::ShadowTracker st;
-    std::vector<sb::DynInstPtr> safe;
+    st.attachSlab(&slab);
+    std::vector<sb::InstHandle> safe;
 
-    auto br = makeInst(5, sb::Op::Beq);
-    st.onRename(br);
+    const auto br = makeInst(slab, 5, sb::Op::Beq);
+    st.onRename(br, slab.get(br));
     st.update(6, safe);
     EXPECT_EQ(st.visibilityPoint(), 5u);
     EXPECT_TRUE(st.isSpeculative(6));
     EXPECT_FALSE(st.isSpeculative(4));
 
-    br->resolved = true;
+    slab.get(br).resolved = true;
     st.update(6, safe);
     EXPECT_EQ(st.visibilityPoint(), 6u);
 }
 
 TEST(ShadowTracker, StoresCastDShadowsUntilAddressKnown)
 {
+    sb::InstSlab slab(16);
     sb::ShadowTracker st;
-    std::vector<sb::DynInstPtr> safe;
-    auto store = makeStore(3);
-    st.onRename(store);
+    st.attachSlab(&slab);
+    std::vector<sb::InstHandle> safe;
+    const auto store = makeStore(slab, 3);
+    st.onRename(store, slab.get(store));
     st.update(10, safe);
     EXPECT_EQ(st.visibilityPoint(), 3u);
-    store->effAddrValid = true;
+    slab.get(store).effAddrValid = true;
     st.update(10, safe);
     EXPECT_EQ(st.visibilityPoint(), 10u);
 }
 
 TEST(ShadowTracker, SpeculativeLoadsReleasedInOrder)
 {
+    sb::InstSlab slab(16);
     sb::ShadowTracker st;
-    std::vector<sb::DynInstPtr> safe;
-    auto br = makeInst(1, sb::Op::Beq);
-    st.onRename(br);
+    st.attachSlab(&slab);
+    std::vector<sb::InstHandle> safe;
+    const auto br = makeInst(slab, 1, sb::Op::Beq);
+    st.onRename(br, slab.get(br));
     st.update(2, safe);
 
-    auto ld1 = makeLoad(2);
-    auto ld2 = makeLoad(3);
-    st.onRename(ld1);
-    st.onRename(ld2);
-    EXPECT_TRUE(ld1->specAtRename);
-    EXPECT_TRUE(ld2->specAtRename);
+    const auto ld1 = makeLoad(slab, 2);
+    const auto ld2 = makeLoad(slab, 3);
+    st.onRename(ld1, slab.get(ld1));
+    st.onRename(ld2, slab.get(ld2));
+    EXPECT_TRUE(slab.get(ld1).specAtRename);
+    EXPECT_TRUE(slab.get(ld2).specAtRename);
 
-    br->resolved = true;
+    slab.get(br).resolved = true;
     st.update(4, safe);
     ASSERT_EQ(safe.size(), 2u);
-    EXPECT_EQ(safe[0]->seq, 2u);
-    EXPECT_EQ(safe[1]->seq, 3u);
+    EXPECT_EQ(safe[0], ld1);
+    EXPECT_EQ(safe[1], ld2);
 }
 
 TEST(ShadowTracker, LoadWithNoOlderShadowIsNeverSpeculative)
 {
+    sb::InstSlab slab(16);
     sb::ShadowTracker st;
-    std::vector<sb::DynInstPtr> safe;
+    st.attachSlab(&slab);
+    std::vector<sb::InstHandle> safe;
     st.update(5, safe);
-    auto ld = makeLoad(5);
-    st.onRename(ld);
-    EXPECT_FALSE(ld->specAtRename);
+    const auto ld = makeLoad(slab, 5);
+    st.onRename(ld, slab.get(ld));
+    EXPECT_FALSE(slab.get(ld).specAtRename);
 }
 
 TEST(ShadowTracker, SquashedShadowsAreSkipped)
 {
+    sb::InstSlab slab(16);
     sb::ShadowTracker st;
-    std::vector<sb::DynInstPtr> safe;
-    auto br1 = makeInst(1, sb::Op::Beq);
-    auto br2 = makeInst(2, sb::Op::Beq);
-    st.onRename(br1);
-    st.onRename(br2);
+    st.attachSlab(&slab);
+    std::vector<sb::InstHandle> safe;
+    const auto br1 = makeInst(slab, 1, sb::Op::Beq);
+    const auto br2 = makeInst(slab, 2, sb::Op::Beq);
+    st.onRename(br1, slab.get(br1));
+    st.onRename(br2, slab.get(br2));
     st.update(3, safe);
     EXPECT_EQ(st.visibilityPoint(), 1u);
-    br1->resolved = true;
-    br2->squashed = true;
+    slab.get(br1).resolved = true;
+    // A squash frees the record; the stale handle marks the shadow.
+    slab.free(br2);
     st.update(3, safe);
+    EXPECT_EQ(st.visibilityPoint(), 3u);
+}
+
+TEST(ShadowTracker, SquashedSpeculativeLoadIsNotReleased)
+{
+    sb::InstSlab slab(16);
+    sb::ShadowTracker st;
+    st.attachSlab(&slab);
+    std::vector<sb::InstHandle> safe;
+    const auto br = makeInst(slab, 1, sb::Op::Beq);
+    st.onRename(br, slab.get(br));
+    st.update(2, safe);
+    const auto ld = makeLoad(slab, 2);
+    st.onRename(ld, slab.get(ld));
+    slab.free(ld); // Squashed.
+    slab.get(br).resolved = true;
+    st.update(3, safe);
+    EXPECT_TRUE(safe.empty());
     EXPECT_EQ(st.visibilityPoint(), 3u);
 }
 
 TEST(ShadowTracker, PrevLatchLagsOneUpdate)
 {
+    sb::InstSlab slab(16);
     sb::ShadowTracker st;
-    std::vector<sb::DynInstPtr> safe;
-    auto br = makeInst(1, sb::Op::Beq);
-    st.onRename(br);
+    st.attachSlab(&slab);
+    std::vector<sb::InstHandle> safe;
+    const auto br = makeInst(slab, 1, sb::Op::Beq);
+    st.onRename(br, slab.get(br));
     st.latchPrev();
     st.update(2, safe);
     EXPECT_EQ(st.visibilityPointPrev(), 0u);
-    br->resolved = true;
+    slab.get(br).resolved = true;
     st.latchPrev();
     st.update(5, safe);
     EXPECT_EQ(st.visibilityPointPrev(), 1u);
@@ -405,89 +563,101 @@ TEST(ShadowTracker, PrevLatchLagsOneUpdate)
 
 TEST(Monitor, TransmitterWithTaintedOperandViolates)
 {
+    sb::InstSlab slab(16);
     sb::SecurityMonitor mon(64);
-    auto ld = makeLoad(10, 20);
-    mon.onLoadData(*ld, true); // Speculative load -> preg 20 tainted.
+    const auto ld = makeLoad(slab, 10, 20);
+    mon.onLoadData(slab.get(ld), true); // Spec load -> preg 20 tainted.
 
-    auto consumer = makeLoad(12, 21, 20); // Load using preg 20.
-    mon.onConsume(*consumer, 5, true, false, true);
+    const auto consumer = makeLoad(slab, 12, 21, 20); // Uses preg 20.
+    mon.onConsume(slab.get(consumer), 5, true, false, true);
     EXPECT_EQ(mon.transmitViolations(), 1u);
     EXPECT_EQ(mon.consumeViolations(), 1u);
 }
 
 TEST(Monitor, NonTransmitterConsumptionOnlyFlagsNda)
 {
+    sb::InstSlab slab(16);
     sb::SecurityMonitor mon(64);
-    auto ld = makeLoad(10, 20);
-    mon.onLoadData(*ld, true);
-    auto alu = makeInst(12, sb::Op::Add);
-    alu->uop.dst = 1;
-    alu->uop.src1 = 2;
-    alu->uop.src2 = 3;
-    alu->pdst = 22;
-    alu->psrc1 = 20;
-    alu->psrc2 = 21;
-    mon.onConsume(*alu, 5, true, true, false);
+    const auto ld = makeLoad(slab, 10, 20);
+    mon.onLoadData(slab.get(ld), true);
+    const auto alu = makeInst(slab, 12, sb::Op::Add);
+    sb::DynInst &a = slab.get(alu);
+    a.uop.dst = 1;
+    a.uop.src1 = 2;
+    a.uop.src2 = 3;
+    a.pdst = 22;
+    a.psrc1 = 20;
+    a.psrc2 = 21;
+    mon.onConsume(a, 5, true, true, false);
     EXPECT_EQ(mon.transmitViolations(), 0u);
     EXPECT_EQ(mon.consumeViolations(), 1u);
 }
 
 TEST(Monitor, TaintPropagatesTransitively)
 {
+    sb::InstSlab slab(16);
     sb::SecurityMonitor mon(64);
-    auto ld = makeLoad(10, 20);
-    mon.onLoadData(*ld, true);
+    const auto ld = makeLoad(slab, 10, 20);
+    mon.onLoadData(slab.get(ld), true);
     // alu: preg 22 = f(preg 20) while root still speculative.
-    auto alu = makeInst(11, sb::Op::Add);
-    alu->uop.dst = 1;
-    alu->uop.src1 = 2;
-    alu->pdst = 22;
-    alu->psrc1 = 20;
-    mon.onConsume(*alu, 5, true, false, false);
+    const auto alu = makeInst(slab, 11, sb::Op::Add);
+    sb::DynInst &a = slab.get(alu);
+    a.uop.dst = 1;
+    a.uop.src1 = 2;
+    a.pdst = 22;
+    a.psrc1 = 20;
+    mon.onConsume(a, 5, true, false, false);
     // Transmitter consuming preg 22: indirect taint.
-    auto br = makeInst(12, sb::Op::Beq);
-    br->uop.src1 = 2;
-    br->psrc1 = 22;
-    mon.onConsume(*br, 5, true, false, true);
+    const auto br = makeInst(slab, 12, sb::Op::Beq);
+    sb::DynInst &b = slab.get(br);
+    b.uop.src1 = 2;
+    b.psrc1 = 22;
+    mon.onConsume(b, 5, true, false, true);
     EXPECT_EQ(mon.transmitViolations(), 1u);
 }
 
 TEST(Monitor, RootsExpireAtVisibilityPoint)
 {
+    sb::InstSlab slab(16);
     sb::SecurityMonitor mon(64);
-    auto ld = makeLoad(10, 20);
-    mon.onLoadData(*ld, true);
-    auto br = makeInst(12, sb::Op::Beq);
-    br->uop.src1 = 2;
-    br->psrc1 = 20;
+    const auto ld = makeLoad(slab, 10, 20);
+    mon.onLoadData(slab.get(ld), true);
+    const auto br = makeInst(slab, 12, sb::Op::Beq);
+    sb::DynInst &b = slab.get(br);
+    b.uop.src1 = 2;
+    b.psrc1 = 20;
     // Visibility point has passed the load: data is public now.
-    mon.onConsume(*br, 11, true, false, true);
+    mon.onConsume(b, 11, true, false, true);
     EXPECT_EQ(mon.transmitViolations(), 0u);
     EXPECT_EQ(mon.consumeViolations(), 0u);
 }
 
 TEST(Monitor, NonSpeculativeLoadProducesCleanData)
 {
+    sb::InstSlab slab(16);
     sb::SecurityMonitor mon(64);
-    auto ld = makeLoad(10, 20);
-    mon.onLoadData(*ld, false);
-    auto br = makeInst(12, sb::Op::Beq);
-    br->uop.src1 = 2;
-    br->psrc1 = 20;
-    mon.onConsume(*br, 5, true, false, true);
+    const auto ld = makeLoad(slab, 10, 20);
+    mon.onLoadData(slab.get(ld), false);
+    const auto br = makeInst(slab, 12, sb::Op::Beq);
+    sb::DynInst &b = slab.get(br);
+    b.uop.src1 = 2;
+    b.psrc1 = 20;
+    mon.onConsume(b, 5, true, false, true);
     EXPECT_EQ(mon.transmitViolations(), 0u);
 }
 
 TEST(Monitor, AllocationClearsOldState)
 {
+    sb::InstSlab slab(16);
     sb::SecurityMonitor mon(64);
-    auto ld = makeLoad(10, 20);
-    mon.onLoadData(*ld, true);
+    const auto ld = makeLoad(slab, 10, 20);
+    mon.onLoadData(slab.get(ld), true);
     mon.onAllocate(20); // Register reallocated to a new producer.
-    auto br = makeInst(12, sb::Op::Beq);
-    br->uop.src1 = 2;
-    br->psrc1 = 20;
-    mon.onConsume(*br, 5, true, false, true);
+    const auto br = makeInst(slab, 12, sb::Op::Beq);
+    sb::DynInst &b = slab.get(br);
+    b.uop.src1 = 2;
+    b.psrc1 = 20;
+    mon.onConsume(b, 5, true, false, true);
     EXPECT_EQ(mon.transmitViolations(), 0u);
 }
 

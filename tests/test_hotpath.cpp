@@ -1,8 +1,9 @@
 /**
  * @file
  * Unit tests for the cycle engine's hot-path machinery: the indexed
- * issue queue's invariants, the DynInst recycling pool, the
- * timing-wheel event queue, and the histogram-aware stats reset.
+ * issue queue's invariants, the generation-tagged instruction slab,
+ * the per-PC decode cache, the timing-wheel event queue, and the
+ * histogram-aware stats reset.
  */
 
 #include <gtest/gtest.h>
@@ -10,26 +11,31 @@
 #include <vector>
 
 #include "common/stats.hh"
-#include "core/dyn_inst_pool.hh"
+#include "core/decode_cache.hh"
+#include "core/inst_slab.hh"
 #include "core/issue_queue.hh"
 #include "core/timing_wheel.hh"
+#include "isa/program.hh"
 
 namespace
 {
 
-sb::DynInstPtr
-makeAdd(sb::SeqNum seq, sb::PhysReg src1, sb::PhysReg src2)
+sb::InstHandle
+makeAdd(sb::InstSlab &slab, sb::SeqNum seq, sb::PhysReg src1,
+        sb::PhysReg src2)
 {
-    auto inst = std::make_shared<sb::DynInst>();
-    inst->seq = seq;
-    inst->uop.op = sb::Op::Add;
-    inst->uop.dst = 1;
-    inst->uop.src1 = 2;
-    inst->uop.src2 = 3;
-    inst->pdst = 40;
-    inst->psrc1 = src1;
-    inst->psrc2 = src2;
-    return inst;
+    const sb::InstHandle h = slab.alloc();
+    sb::DynInst &inst = slab.get(h);
+    inst = sb::DynInst{};
+    inst.seq = seq;
+    inst.uop.op = sb::Op::Add;
+    inst.uop.dst = 1;
+    inst.uop.src1 = 2;
+    inst.uop.src2 = 3;
+    inst.pdst = 40;
+    inst.psrc1 = src1;
+    inst.psrc2 = src2;
+    return h;
 }
 
 std::vector<sb::SeqNum>
@@ -37,7 +43,7 @@ seqs(sb::IssueQueue &iq)
 {
     std::vector<sb::SeqNum> out;
     for (sb::IqEntry *e : iq.inOrder())
-        out.push_back(e->inst->seq);
+        out.push_back(e->seq);
     return out;
 }
 
@@ -45,11 +51,13 @@ seqs(sb::IssueQueue &iq)
 
 TEST(IssueQueueIndexed, WakeupViaConsumerListsSetsOnlyMatchingSources)
 {
+    sb::InstSlab slab(16);
     sb::IssueQueue iq(8);
-    auto a = makeAdd(1, 10, 11);
-    auto b = makeAdd(2, 11, 12);
-    iq.insert(a, false, false);
-    iq.insert(b, false, false);
+    iq.attachSlab(&slab);
+    const auto a = makeAdd(slab, 1, 10, 11);
+    const auto b = makeAdd(slab, 2, 11, 12);
+    iq.insert(a, slab.get(a), false, false);
+    iq.insert(b, slab.get(b), false, false);
 
     iq.wakeup(11);
     auto order = iq.inOrder();
@@ -61,9 +69,11 @@ TEST(IssueQueueIndexed, WakeupViaConsumerListsSetsOnlyMatchingSources)
 
 TEST(IssueQueueIndexed, WakeupOfUnknownRegisterIsANoop)
 {
+    sb::InstSlab slab(16);
     sb::IssueQueue iq(4);
-    auto a = makeAdd(1, 10, 11);
-    iq.insert(a, false, false);
+    iq.attachSlab(&slab);
+    const auto a = makeAdd(slab, 1, 10, 11);
+    iq.insert(a, slab.get(a), false, false);
     iq.wakeup(500); // Never registered anywhere.
     EXPECT_FALSE(iq.inOrder()[0]->src1Ready);
     EXPECT_FALSE(iq.inOrder()[0]->src2Ready);
@@ -71,13 +81,15 @@ TEST(IssueQueueIndexed, WakeupOfUnknownRegisterIsANoop)
 
 TEST(IssueQueueIndexed, StaleConsumerRefsDoNotWakeRecycledSlots)
 {
+    sb::InstSlab slab(16);
     sb::IssueQueue iq(2);
-    auto a = makeAdd(1, 5, 5);
-    iq.insert(a, false, false);
-    iq.remove(a); // Leaves stale refs for preg 5 behind.
+    iq.attachSlab(&slab);
+    const auto a = makeAdd(slab, 1, 5, 5);
+    iq.insert(a, slab.get(a), false, false);
+    iq.remove(slab.get(a)); // Leaves stale refs for preg 5 behind.
 
-    auto b = makeAdd(2, 6, 7); // Reuses a's slot.
-    iq.insert(b, false, false);
+    const auto b = makeAdd(slab, 2, 6, 7); // Reuses a's IQ slot.
+    iq.insert(b, slab.get(b), false, false);
     iq.wakeup(5);
     EXPECT_FALSE(iq.inOrder()[0]->src1Ready);
     EXPECT_FALSE(iq.inOrder()[0]->src2Ready);
@@ -88,45 +100,54 @@ TEST(IssueQueueIndexed, StaleConsumerRefsDoNotWakeRecycledSlots)
 
 TEST(IssueQueueIndexed, AgeOrderSurvivesInterleavedRemovals)
 {
+    sb::InstSlab slab(16);
     sb::IssueQueue iq(8);
-    std::vector<sb::DynInstPtr> insts;
+    iq.attachSlab(&slab);
+    std::vector<sb::InstHandle> insts;
     for (sb::SeqNum s = 1; s <= 6; ++s) {
-        insts.push_back(makeAdd(s, 10, 11));
-        iq.insert(insts.back(), true, true);
+        insts.push_back(makeAdd(slab, s, 10, 11));
+        iq.insert(insts.back(), slab.get(insts.back()), true, true);
     }
-    iq.remove(insts[2]); // seq 3 (middle).
-    iq.remove(insts[0]); // seq 1 (head).
-    iq.remove(insts[5]); // seq 6 (tail).
+    iq.remove(slab.get(insts[2])); // seq 3 (middle).
+    iq.remove(slab.get(insts[0])); // seq 1 (head).
+    iq.remove(slab.get(insts[5])); // seq 6 (tail).
     EXPECT_EQ(seqs(iq), (std::vector<sb::SeqNum>{2, 4, 5}));
 
     // Slots freed in the middle get reused; order must still hold.
-    auto late = makeAdd(7, 10, 11);
-    iq.insert(late, true, true);
+    const auto late = makeAdd(slab, 7, 10, 11);
+    iq.insert(late, slab.get(late), true, true);
     EXPECT_EQ(seqs(iq), (std::vector<sb::SeqNum>{2, 4, 5, 7}));
-    EXPECT_EQ(late->iqSlot >= 0, true);
+    EXPECT_GE(slab.get(late).iqSlot, 0);
 }
 
-TEST(IssueQueueIndexed, SquashCutsYoungEndAndFlaggedEntries)
+TEST(IssueQueueIndexed, SquashCutsYoungEndAndStaleHandles)
 {
+    sb::InstSlab slab(16);
     sb::IssueQueue iq(8);
-    std::vector<sb::DynInstPtr> insts;
+    iq.attachSlab(&slab);
+    std::vector<sb::InstHandle> insts;
     for (sb::SeqNum s = 1; s <= 5; ++s) {
-        insts.push_back(makeAdd(s, 10, 11));
-        iq.insert(insts.back(), true, true);
+        insts.push_back(makeAdd(slab, s, 10, 11));
+        iq.insert(insts.back(), slab.get(insts.back()), true, true);
     }
-    insts[1]->squashed = true; // seq 2: flagged by an earlier flush.
+    // seq 2's record died in an earlier flush: its handle is stale.
+    slab.free(insts[1]);
+    // The young-end records are freed before the sweep, as in the
+    // core's squash.
+    slab.free(insts[3]);
+    slab.free(insts[4]);
     iq.squash(3);
     EXPECT_EQ(seqs(iq), (std::vector<sb::SeqNum>{1, 3}));
-    EXPECT_FALSE(insts[4]->inIq);
-    EXPECT_EQ(insts[4]->iqSlot, -1);
     EXPECT_EQ(iq.size(), 2u);
 }
 
 TEST(IssueQueueIndexed, InOrderViewIsStableBetweenMutations)
 {
+    sb::InstSlab slab(16);
     sb::IssueQueue iq(4);
-    auto a = makeAdd(1, 10, 11);
-    iq.insert(a, false, false);
+    iq.attachSlab(&slab);
+    const auto a = makeAdd(slab, 1, 10, 11);
+    iq.insert(a, slab.get(a), false, false);
     const auto &v1 = iq.inOrder();
     const auto &v2 = iq.inOrder();
     EXPECT_EQ(&v1, &v2);
@@ -138,75 +159,233 @@ TEST(IssueQueueIndexed, InOrderViewIsStableBetweenMutations)
 
 TEST(IssueQueueIndexed, FillDrainRefillToCapacity)
 {
+    sb::InstSlab slab(64);
     sb::IssueQueue iq(3);
-    std::vector<sb::DynInstPtr> live;
+    iq.attachSlab(&slab);
+    std::vector<sb::InstHandle> live;
     sb::SeqNum next = 1;
     for (int round = 0; round < 4; ++round) {
         while (!iq.full()) {
-            live.push_back(makeAdd(next++, 10, 11));
-            iq.insert(live.back(), true, true);
+            live.push_back(makeAdd(slab, next++, 10, 11));
+            iq.insert(live.back(), slab.get(live.back()), true, true);
         }
         EXPECT_EQ(iq.size(), 3u);
-        for (auto &inst : live)
-            iq.remove(inst);
+        for (const auto h : live) {
+            iq.remove(slab.get(h));
+            slab.free(h);
+        }
         live.clear();
         EXPECT_EQ(iq.size(), 0u);
     }
 }
 
-// --- DynInst pool ----------------------------------------------------
+// --- Instruction slab ------------------------------------------------
 
-TEST(DynInstPool, RecyclesStorageAfterLastReferenceDrops)
+TEST(InstSlab, HandlesAddressTheRecordTheyWereCreatedFor)
 {
-    sb::DynInstPool pool;
-    sb::DynInst *raw;
-    {
-        sb::DynInstPtr inst = pool.acquire();
-        raw = inst.get();
-        inst->seq = 42;
-        inst->squashed = true;
-        inst->effAddr = 0xdeadbeef;
-    }
-    // Same storage comes back, fully reset to default state.
-    sb::DynInstPtr again = pool.acquire();
-    EXPECT_EQ(again.get(), raw);
-    EXPECT_EQ(again->seq, 0u);
-    EXPECT_FALSE(again->squashed);
-    EXPECT_EQ(again->effAddr, 0u);
-    EXPECT_EQ(again->iqSlot, -1);
+    sb::InstSlab slab(4);
+    const auto a = slab.alloc();
+    const auto b = slab.alloc();
+    slab.get(a).seq = 1;
+    slab.get(b).seq = 2;
+    EXPECT_EQ(slab.get(a).seq, 1u);
+    EXPECT_EQ(slab.get(b).seq, 2u);
+    EXPECT_EQ(slab.liveCount(), 2u);
 }
 
-TEST(DynInstPool, NoReuseWhileReferenced)
+TEST(InstSlab, FreeStalesEveryOutstandingHandle)
 {
-    sb::DynInstPool pool;
-    sb::DynInstPtr a = pool.acquire();
-    sb::DynInstPtr extra_ref = a;
-    sb::DynInstPtr b = pool.acquire();
-    EXPECT_NE(a.get(), b.get());
-    a.reset();
-    // Still referenced through extra_ref: must not be handed out.
-    sb::DynInstPtr c = pool.acquire();
-    EXPECT_NE(c.get(), extra_ref.get());
+    sb::InstSlab slab(4);
+    const auto h = slab.alloc();
+    slab.get(h).seq = 42;
+    EXPECT_TRUE(slab.alive(h));
+    slab.free(h);
+    EXPECT_FALSE(slab.alive(h));
+    EXPECT_EQ(slab.tryGet(h), nullptr);
 }
 
-TEST(DynInstPool, SteadyStateStopsGrowingSlabs)
+TEST(InstSlab, RecycledSlotGetsANewGeneration)
 {
-    sb::DynInstPool pool;
-    for (int i = 0; i < 10000; ++i)
-        pool.acquire(); // Dropped immediately: recycled every time.
-    EXPECT_EQ(pool.totalBlocks(), 256u); // One slab forever.
+    sb::InstSlab slab(1); // Single slot: reuse is guaranteed.
+    const auto old = slab.alloc();
+    slab.free(old);
+    const auto fresh = slab.alloc();
+    EXPECT_NE(old, fresh);           // Same index, new generation.
+    EXPECT_FALSE(slab.alive(old));   // Old handle stays dead...
+    EXPECT_TRUE(slab.alive(fresh));  // ...while the slot lives on.
+    EXPECT_EQ(slab.tryGet(old), nullptr);
+    EXPECT_EQ(&slab.get(fresh), slab.tryGet(fresh));
 }
 
-TEST(DynInstPool, BlocksOutliveThePool)
+TEST(InstSlab, TracksHighWaterAndRecycleCounts)
 {
-    sb::DynInstPtr survivor;
-    {
-        sb::DynInstPool pool;
-        survivor = pool.acquire();
-        survivor->seq = 7;
-    }
-    // The arena is kept alive by the allocation's control block.
-    EXPECT_EQ(survivor->seq, 7u);
+    sb::InstSlab slab(8);
+    const auto a = slab.alloc();
+    const auto b = slab.alloc();
+    const auto c = slab.alloc();
+    EXPECT_EQ(slab.highWater(), 3u);
+    slab.free(a);
+    slab.free(b);
+    EXPECT_EQ(slab.liveCount(), 1u);
+    EXPECT_EQ(slab.highWater(), 3u); // High water never recedes.
+    EXPECT_EQ(slab.recycled(), 2u);
+    slab.free(c);
+    EXPECT_EQ(slab.recycled(), 3u);
+}
+
+TEST(InstSlab, InvalidHandleNeverResolves)
+{
+    sb::InstSlab slab(4);
+    EXPECT_FALSE(slab.alive(sb::invalidInstHandle));
+    EXPECT_EQ(slab.tryGet(sb::invalidInstHandle), nullptr);
+}
+
+// sb_assert is active in every build type, so the generation tag's
+// guarantees can be death-tested in release binaries too.
+TEST(InstSlabDeath, StaleDereferenceIsCaught)
+{
+    sb::InstSlab slab(2);
+    const auto h = slab.alloc();
+    slab.free(h);
+    EXPECT_DEATH(slab.get(h), "stale instruction handle");
+}
+
+TEST(InstSlabDeath, DoubleFreeIsCaught)
+{
+    sb::InstSlab slab(2);
+    const auto h = slab.alloc();
+    slab.free(h);
+    EXPECT_DEATH(slab.free(h), "stale or invalid");
+}
+
+TEST(InstSlabDeath, OverflowIsCaught)
+{
+    sb::InstSlab slab(2);
+    slab.alloc();
+    slab.alloc();
+    EXPECT_DEATH(slab.alloc(), "slab overflow");
+}
+
+// --- Decode cache ----------------------------------------------------
+
+namespace dc
+{
+
+sb::Program
+tinyProgram()
+{
+    sb::ProgramBuilder b;
+    b.movi(1, 5);          // 0: Plain
+    b.addi(1, 1, -1);      // 1: Plain
+    b.bne(1, 0, 1);        // 2: CondBranch (loop to 1)
+    b.jmp(5);              // 3: Jmp
+    b.nop();               // 4
+    b.jr(1);               // 5: JmpReg
+    b.halt();              // 6: Halt
+    return b.build("tiny");
+}
+
+} // namespace dc
+
+TEST(DecodeCache, FirstTouchMissesThenHits)
+{
+    const sb::Program p = dc::tinyProgram();
+    sb::DecodeCache cache;
+    cache.attach(p);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+
+    const auto &d0 = cache.lookup(0);
+    EXPECT_TRUE(d0.valid);
+    EXPECT_EQ(cache.misses(), 1u);
+    cache.lookup(0);
+    cache.lookup(0);
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(DecodeCache, ClassifiesFetchKinds)
+{
+    const sb::Program p = dc::tinyProgram();
+    sb::DecodeCache cache;
+    cache.attach(p);
+    EXPECT_EQ(cache.lookup(0).kind, sb::FetchKind::Plain);
+    EXPECT_EQ(cache.lookup(2).kind, sb::FetchKind::CondBranch);
+    EXPECT_EQ(cache.lookup(3).kind, sb::FetchKind::Jmp);
+    EXPECT_EQ(cache.lookup(5).kind, sb::FetchKind::JmpReg);
+    EXPECT_EQ(cache.lookup(6).kind, sb::FetchKind::Halt);
+    // Unconditional jumps are statically taken.
+    EXPECT_TRUE(cache.lookup(3).tmpl.predTaken);
+    EXPECT_TRUE(cache.lookup(5).tmpl.predTaken);
+    EXPECT_FALSE(cache.lookup(0).tmpl.predTaken);
+}
+
+TEST(DecodeCache, TemplateCarriesIdentityAndDefaults)
+{
+    const sb::Program p = dc::tinyProgram();
+    sb::DecodeCache cache;
+    cache.attach(p);
+    const auto &d = cache.lookup(1);
+    EXPECT_EQ(d.tmpl.pc, 1u);
+    EXPECT_EQ(d.tmpl.uop.op, p.code[1].op);
+    // Everything dynamic is default: stamping the template is the
+    // slab record's reset.
+    EXPECT_EQ(d.tmpl.seq, 0u);
+    EXPECT_FALSE(d.tmpl.completed);
+    EXPECT_FALSE(d.tmpl.squashed);
+    EXPECT_EQ(d.tmpl.iqSlot, -1);
+}
+
+TEST(DecodeCache, InvalidateForcesRebuild)
+{
+    const sb::Program p = dc::tinyProgram();
+    sb::DecodeCache cache;
+    cache.attach(p);
+    cache.lookup(0);
+    cache.lookup(0);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    cache.invalidate(0);
+    cache.lookup(0); // Must rebuild.
+    EXPECT_EQ(cache.misses(), 2u);
+
+    // Other entries are untouched.
+    cache.lookup(1);
+    cache.invalidate(0);
+    cache.lookup(1);
+    EXPECT_EQ(cache.misses(), 3u);
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(DecodeCache, InvalidateAllDropsEverything)
+{
+    const sb::Program p = dc::tinyProgram();
+    sb::DecodeCache cache;
+    cache.attach(p);
+    for (std::uint32_t pc = 0; pc < p.code.size(); ++pc)
+        cache.lookup(pc);
+    const auto misses_before = cache.misses();
+    cache.invalidateAll();
+    for (std::uint32_t pc = 0; pc < p.code.size(); ++pc)
+        cache.lookup(pc);
+    EXPECT_EQ(cache.misses(), 2 * misses_before);
+}
+
+TEST(DecodeCache, AttachResetsCountersAndResizes)
+{
+    const sb::Program p = dc::tinyProgram();
+    sb::DecodeCache cache;
+    cache.attach(p);
+    cache.lookup(0);
+    cache.lookup(0);
+
+    sb::ProgramBuilder b;
+    b.halt();
+    const sb::Program q = b.build("one-op");
+    cache.attach(q);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.lookup(0).kind, sb::FetchKind::Halt);
 }
 
 // --- Timing wheel ----------------------------------------------------
