@@ -7,6 +7,9 @@
 #   scripts/check.sh --asan    # Sanitizer build + full test suite
 #   scripts/check.sh --bench   # Also run sim-speed + the sbsim grid
 #   scripts/check.sh --verify  # Also run the Spectre gadget battery
+#   scripts/check.sh --contracts # Also judge the battery under the
+#                              # constant-time contract + run the
+#                              # contract_check fuzz scenario
 #   scripts/check.sh --fuzz    # Also run the conformance fuzz smoke
 #   scripts/check.sh --docs    # Also run the markdown docs link check
 #   scripts/check.sh --shards  # Also run the shard-tier smoke
@@ -28,6 +31,7 @@ cmake_flags=()
 ctest_flags=()
 run_bench=0
 run_verify=0
+run_contracts=0
 run_fuzz=0
 run_docs=0
 run_shards=0
@@ -48,6 +52,9 @@ for arg in "$@"; do
       --verify)
         run_verify=1
         ;;
+      --contracts)
+        run_contracts=1
+        ;;
       --fuzz)
         run_fuzz=1
         ;;
@@ -59,7 +66,7 @@ for arg in "$@"; do
         ;;
       *)
         echo "usage: $0 [--asan] [--quick] [--bench] [--verify]" \
-             "[--fuzz] [--docs] [--shards]" >&2
+             "[--contracts] [--fuzz] [--docs] [--shards]" >&2
         exit 2
         ;;
     esac
@@ -85,6 +92,24 @@ if [ "$run_verify" = 1 ]; then
         echo "leak matrix: $build_dir/SBSIM_verify.json"
     else
         echo "FAIL: security battery reported a leak / divergence" >&2
+        status=1
+    fi
+fi
+
+if [ "$run_contracts" = 1 ]; then
+    # Contract shadow gate: the battery re-judged under the strictest
+    # (constant-time) policy, plus the contract_check scenario over
+    # the fuzz corpus. The matrix JSON moves aside so it never
+    # clobbers the --verify output. --no-cache for the same reason as
+    # the battery: a cached verdict must never green-light a broken
+    # scheme.
+    if (cd "$build_dir" \
+        && ./sbsim verify --contract constant-time --no-cache --json \
+        && mv SBSIM_verify.json SBSIM_verify_ct.json \
+        && ./sbsim run contract_check --no-cache); then
+        echo "constant-time matrix: $build_dir/SBSIM_verify_ct.json"
+    else
+        echo "FAIL: contract shadow check" >&2
         status=1
     fi
 fi

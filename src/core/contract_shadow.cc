@@ -1,0 +1,219 @@
+#include "core/contract_shadow.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace sb
+{
+
+ContractShadow::ContractShadow(unsigned num_phys_regs)
+    : regs(num_phys_regs)
+{
+    active = defaultActive();
+}
+
+bool
+ContractShadow::defaultActive()
+{
+    if (const char *env = std::getenv("SB_INVARIANTS")) {
+        if (std::strcmp(env, "0") == 0)
+            return false;
+        if (std::strcmp(env, "1") == 0)
+            return true;
+        // InvariantChecker::defaultActive already warned about the
+        // malformed value; fall through silently to the build default.
+    }
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+}
+
+void
+ContractShadow::markSecretRegion(Addr base, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    const Addr first = alignWord(base);
+    const Addr last = alignWord(base + bytes - 1);
+    for (Addr a = first; a <= last; a += 8)
+        secretWords.insert(a);
+}
+
+bool
+ContractShadow::memSecret(Addr addr) const
+{
+    return secretWords.count(alignWord(addr)) != 0;
+}
+
+void
+ContractShadow::setMemSecret(Addr addr, bool secret)
+{
+    if (secret)
+        secretWords.insert(alignWord(addr));
+    else
+        secretWords.erase(alignWord(addr));
+}
+
+void
+ContractShadow::onAllocate(PhysReg reg)
+{
+    sb_assert(reg < regs.size(), "shadow register out of range");
+    regs[reg] = Label{};
+}
+
+void
+ContractShadow::onLoadValue(const DynInst &load, SeqNum forward_source)
+{
+    Label label;
+    if (forward_source != invalidSeqNum) {
+        // Store-to-load forwarding: the value never touched memory;
+        // it carries the forwarding store's data label.
+        auto it = storeData.find(forward_source);
+        if (it != storeData.end())
+            label = it->second;
+    } else if (load.effAddrValid && memSecret(load.effAddr)) {
+        label.secret = true;
+    }
+    pendingLoads[load.seq] = label;
+}
+
+void
+ContractShadow::onLoadData(const DynInst &load, bool still_speculative)
+{
+    Label label;
+    auto it = pendingLoads.find(load.seq);
+    if (it != pendingLoads.end()) {
+        label = it->second;
+        pendingLoads.erase(it);
+    }
+    if (load.pdst == invalidPhysReg)
+        return;
+    // The load itself is the youngest point the secret crossed the
+    // sandbox boundary; once the load is bound to commit the access
+    // is architecturally sanctioned and only the constant-time
+    // contract still cares about the label.
+    label.root = (label.secret && still_speculative) ? load.seq
+                                                     : invalidSeqNum;
+    regs[load.pdst] = label;
+}
+
+void
+ContractShadow::onStoreData(const DynInst &store)
+{
+    if (!store.uop.hasSrc2())
+        return;
+    storeData[store.seq] = regs[store.psrc2];
+}
+
+void
+ContractShadow::onStoreCommit(const DynInst &store)
+{
+    Label label;
+    auto it = storeData.find(store.seq);
+    if (it != storeData.end()) {
+        label = it->second;
+        storeData.erase(it);
+    }
+    if (store.effAddrValid)
+        setMemSecret(store.effAddr, label.secret);
+}
+
+SeqNum
+ContractShadow::liveRoot(PhysReg reg, SeqNum vp) const
+{
+    const Label &label = regs[reg];
+    if (label.secret && label.root != invalidSeqNum && label.root > vp)
+        return label.root;
+    return invalidSeqNum;
+}
+
+void
+ContractShadow::onConsume(const DynInst &inst, Cycle now, SeqNum vp,
+                          bool use_src1, bool use_src2, bool transmits)
+{
+    bool secret = false;
+    SeqNum root = invalidSeqNum;
+
+    auto check_src = [&](PhysReg reg) {
+        if (reg == invalidPhysReg)
+            return;
+        if (!regs[reg].secret)
+            return;
+        secret = true;
+        const SeqNum r = liveRoot(reg, vp);
+        if (r != invalidSeqNum && (root == invalidSeqNum || r > root))
+            root = r;
+    };
+
+    if (use_src1 && inst.uop.hasSrc1())
+        check_src(inst.psrc1);
+    if (use_src2 && inst.uop.hasSrc2())
+        check_src(inst.psrc2);
+
+    if (transmits && secret) {
+        // Constant-time (ProSpeCT): a secret operand reached a
+        // transmitter, speculatively or not.
+        ++ctViol;
+        if (!firstCt.valid())
+            firstCt = {now, inst.seq, inst.pc};
+        // Sandboxing: only out-of-sandbox (still-speculative) secret
+        // acquisition violates the observational contract.
+        if (root != invalidSeqNum) {
+            ++sandboxViol;
+            if (!firstSandbox.valid())
+                firstSandbox = {now, inst.seq, inst.pc};
+        }
+    }
+
+    // Propagate the joined label to the destination (loads are
+    // handled in onLoadData, which overwrites with the load's own
+    // label).
+    if (inst.pdst != invalidPhysReg && !inst.isLoad()) {
+        regs[inst.pdst].secret = secret;
+        regs[inst.pdst].root = root;
+    }
+}
+
+void
+ContractShadow::onSquash(SeqNum youngest_surviving)
+{
+    auto purge = [&](std::unordered_map<SeqNum, Label> &map) {
+        for (auto it = map.begin(); it != map.end();) {
+            if (it->first > youngest_surviving)
+                it = map.erase(it);
+            else
+                ++it;
+        }
+    };
+    purge(pendingLoads);
+    purge(storeData);
+}
+
+void
+ContractShadow::onArchTransmit(std::uint32_t pc, bool secret_operand)
+{
+    if (!secret_operand)
+        return;
+    ++ctViol;
+    if (!firstCt.valid())
+        firstCt = {0, 0, pc};
+}
+
+void
+ContractShadow::reset()
+{
+    for (auto &r : regs)
+        r = Label{};
+    pendingLoads.clear();
+    storeData.clear();
+    sandboxViol = 0;
+    ctViol = 0;
+    firstSandbox = ContractViolation{};
+    firstCt = ContractViolation{};
+}
+
+} // namespace sb

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * In-core contract shadow engine.
+ *
+ * A shadow copy of architectural state that tracks the
+ * contract-permitted observation set cycle by cycle, after Tan et
+ * al., "RTL Verification for Secure Speculation Using Contract Shadow
+ * Logic". Program data carries secret labels (Program::secretRegions
+ * seeds them; the register file and memory image propagate them
+ * taint-style alongside values), and at every transmitter site the
+ * core already instruments for LoadObservation the engine checks
+ * whether the observed operand is inside the active contract's
+ * permitted set. On violation it records (cycle, seqNum, pc) — the
+ * pinpointed repro behind the differential verifier's verdict.
+ *
+ * Two contracts are modelled simultaneously:
+ *
+ *  - **sandboxing** — the leak-freedom notion the differential
+ *    verifier polices: a transmitter may not execute with an operand
+ *    carrying a secret acquired through a still-speculative load
+ *    (out-of-sandbox transient access).
+ *  - **constant-time** — ProSpeCT (Daniel et al.): secret-labelled
+ *    data may never reach a transmitter operand at all, even
+ *    architecturally.
+ *
+ * The engine is a pure observer: every hook is gated on on() and no
+ * result feeds timing, so goldens are bit-identical with it on or
+ * off. Like the invariant checkers it defaults on in debug builds
+ * and off in release, with SB_INVARIANTS=0/1 forcing either way.
+ */
+
+#ifndef SB_CORE_CONTRACT_SHADOW_HH
+#define SB_CORE_CONTRACT_SHADOW_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/dyn_inst.hh"
+
+namespace sb
+{
+
+/** One pinpointed contract violation: the exact retire-stream
+ *  coordinates of the offending transmitter execution. */
+struct ContractViolation
+{
+    Cycle cycle = 0;
+    SeqNum seq = invalidSeqNum;
+    std::uint32_t pc = 0;
+
+    bool valid() const { return seq != invalidSeqNum; }
+};
+
+/** Shadow label/permitted-set tracker and contract checker. */
+class ContractShadow
+{
+  public:
+    explicit ContractShadow(unsigned num_phys_regs);
+
+    /** Mirror of InvariantChecker::defaultActive(): SB_INVARIANTS=1
+     *  forces the shadow on even in release builds. */
+    static bool defaultActive();
+
+    bool on() const { return active; }
+    void setActive(bool enable) { active = enable; }
+
+    /** Seed memory labels from a program secret region. */
+    void markSecretRegion(Addr base, std::uint64_t bytes);
+
+    /** True if the word containing @p addr is secret-labelled. */
+    bool memSecret(Addr addr) const;
+
+    // --- Core hooks (all no-ops unless on()) --------------------------
+
+    /** A physical register was newly allocated: clear its label. */
+    void onAllocate(PhysReg reg);
+
+    /** A load's value was read from memory / forwarded from a store
+     *  (Core::finishLoad): capture the value's label, keyed by seq,
+     *  until the result drains to the register file. */
+    void onLoadValue(const DynInst &load, SeqNum forward_source);
+
+    /** The load's result reached the register file: apply the label
+     *  captured by onLoadValue, rooted at the load itself if it is
+     *  still speculative. */
+    void onLoadData(const DynInst &load, bool still_speculative);
+
+    /** A store's data half executed: capture the data label. */
+    void onStoreData(const DynInst &store);
+
+    /** A store committed: move its captured data label into the
+     *  memory labels (clean data scrubs a previously secret word). */
+    void onStoreCommit(const DynInst &store);
+
+    /**
+     * An instruction consumed operands; the label analogue of
+     * SecurityMonitor::onConsume. @p now is the current cycle and
+     * @p vp the visibility point (a secret root older than it is
+     * architecturally sanctioned). @p transmits marks observable
+     * uses (load/store address, branch), where both contracts are
+     * checked.
+     */
+    void onConsume(const DynInst &inst, Cycle now, SeqNum vp,
+                   bool use_src1, bool use_src2, bool transmits);
+
+    /** Squash: purge captured labels of killed loads/stores. */
+    void onSquash(SeqNum youngest_surviving);
+
+    // --- Architectural (fast-forward) path ----------------------------
+    // The functional interpreter bypasses the pipeline, so the label
+    // flow collapses to architectural reads/writes; only the
+    // constant-time contract can fire there (nothing is speculative).
+
+    struct Label
+    {
+        bool secret = false;
+        /** Youngest still-speculative load the secret flowed through;
+         *  invalidSeqNum = architecturally acquired. */
+        SeqNum root = invalidSeqNum;
+    };
+
+    Label regLabel(PhysReg reg) const { return regs[reg]; }
+    void setRegLabel(PhysReg reg, Label label) { regs[reg] = label; }
+    void setMemSecret(Addr addr, bool secret);
+
+    /** A transmitter executed architecturally (fast-forward) with
+     *  @p secret_operand: constant-time check only. */
+    void onArchTransmit(std::uint32_t pc, bool secret_operand);
+
+    // --- Verdicts ------------------------------------------------------
+
+    std::uint64_t sandboxViolations() const { return sandboxViol; }
+    std::uint64_t ctViolations() const { return ctViol; }
+    const ContractViolation &firstSandboxViolation() const
+    {
+        return firstSandbox;
+    }
+    const ContractViolation &firstCtViolation() const { return firstCt; }
+
+    void reset();
+
+  private:
+    static Addr alignWord(Addr addr) { return addr & ~Addr(7); }
+
+    /** Secret root of a register live at @p vp, invalid otherwise. */
+    SeqNum liveRoot(PhysReg reg, SeqNum vp) const;
+
+    bool active = false;
+    std::vector<Label> regs;
+
+    /** 8-aligned word addresses currently holding secret data. */
+    std::unordered_set<Addr> secretWords;
+
+    /** Labels captured at finishLoad, pending writeback (by seq). */
+    std::unordered_map<SeqNum, Label> pendingLoads;
+
+    /** Store data labels captured at executeStoreData (by seq). */
+    std::unordered_map<SeqNum, Label> storeData;
+
+    std::uint64_t sandboxViol = 0;
+    std::uint64_t ctViol = 0;
+    ContractViolation firstSandbox;
+    ContractViolation firstCt;
+};
+
+} // namespace sb
+
+#endif // SB_CORE_CONTRACT_SHADOW_HH

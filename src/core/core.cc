@@ -19,6 +19,7 @@ Core::Core(const CoreConfig &config, const SchemeConfig &scheme_config,
       predictor(10),
       renameMap(numArchRegs, config.numPhysRegs),
       secMonitor(config.numPhysRegs),
+      cshadow(config.numPhysRegs),
       workingMem(prog.memory),
       // Exact by construction: a live record is in the fetch queue,
       // the decode queue, or the ROB (dispatch-queue entries are also
@@ -45,6 +46,8 @@ Core::Core(const CoreConfig &config, const SchemeConfig &scheme_config,
     iq.attachSlab(&slab);
     shadows.attachSlab(&slab);
     dcache.attach(prog);
+    for (const SecretRegion &region : prog.secretRegions)
+        cshadow.markSecretRegion(region.base, region.bytes);
     schemePtr->attach(*this);
 }
 
@@ -235,6 +238,11 @@ Core::fastForward(std::uint64_t max_insts)
         if (uop.op == Op::JmpReg) {
             const std::uint32_t target = static_cast<std::uint32_t>(
                 regVal[renameMap.lookup(uop.src1)]);
+            if (cshadow.on()) {
+                cshadow.onArchTransmit(
+                    pc, cshadow.regLabel(renameMap.lookup(uop.src1))
+                            .secret);
+            }
             // Train the BTB exactly like commit does.
             btb[pc] = target;
             pc = target;
@@ -251,6 +259,20 @@ Core::fastForward(std::uint64_t max_insts)
                 uop.hasSrc1() ? regVal[renameMap.lookup(uop.src1)] : 0;
             const Word s2 =
                 uop.hasSrc2() ? regVal[renameMap.lookup(uop.src2)] : 0;
+            if (cshadow.on()) {
+                // Architectural transmit: the branch outcome is
+                // observable, so a secret operand violates the
+                // constant-time contract even without speculation.
+                const bool sec1 =
+                    uop.hasSrc1()
+                    && cshadow.regLabel(renameMap.lookup(uop.src1))
+                           .secret;
+                const bool sec2 =
+                    uop.hasSrc2()
+                    && cshadow.regLabel(renameMap.lookup(uop.src2))
+                           .secret;
+                cshadow.onArchTransmit(pc, sec1 || sec2);
+            }
             const bool taken = evalBranch(uop, s1, s2);
             // Same training as commit: update against the history the
             // predictor would have seen, then shift the outcome in.
@@ -265,6 +287,14 @@ Core::fastForward(std::uint64_t max_insts)
             const Addr addr = regVal[renameMap.lookup(uop.src1)]
                               + static_cast<Word>(uop.imm);
             regVal[renameMap.lookup(uop.dst)] = workingMem.read(addr);
+            if (cshadow.on()) {
+                cshadow.onArchTransmit(
+                    pc, cshadow.regLabel(renameMap.lookup(uop.src1))
+                            .secret);
+                cshadow.setRegLabel(
+                    renameMap.lookup(uop.dst),
+                    {cshadow.memSecret(addr), invalidSeqNum});
+            }
             mem.warmAccess(addr, pc, 0);
             ++pc;
             ++n;
@@ -275,6 +305,14 @@ Core::fastForward(std::uint64_t max_insts)
                               + static_cast<Word>(uop.imm);
             workingMem.write(addr,
                              regVal[renameMap.lookup(uop.src2)]);
+            if (cshadow.on()) {
+                cshadow.onArchTransmit(
+                    pc, cshadow.regLabel(renameMap.lookup(uop.src1))
+                            .secret);
+                cshadow.setMemSecret(
+                    addr, cshadow.regLabel(renameMap.lookup(uop.src2))
+                              .secret);
+            }
             mem.warmAccess(addr, pc, 0);
             ++pc;
             ++n;
@@ -285,8 +323,20 @@ Core::fastForward(std::uint64_t max_insts)
             uop.hasSrc1() ? regVal[renameMap.lookup(uop.src1)] : 0;
         const Word s2 =
             uop.hasSrc2() ? regVal[renameMap.lookup(uop.src2)] : 0;
-        if (uop.hasDst())
+        if (uop.hasDst()) {
             regVal[renameMap.lookup(uop.dst)] = evalAlu(uop, s1, s2);
+            if (cshadow.on()) {
+                const bool sec =
+                    (uop.hasSrc1()
+                     && cshadow.regLabel(renameMap.lookup(uop.src1))
+                            .secret)
+                    || (uop.hasSrc2()
+                        && cshadow.regLabel(renameMap.lookup(uop.src2))
+                               .secret);
+                cshadow.setRegLabel(renameMap.lookup(uop.dst),
+                                    {sec, invalidSeqNum});
+            }
+        }
         ++pc;
         ++n;
     }
@@ -361,8 +411,11 @@ Core::commitPhase()
         if (inv.on())
             inv.onCommit(inst);
 
-        if (inst.isStore())
+        if (inst.isStore()) {
             lsu.markStoreCommitted(inst);
+            if (cshadow.on())
+                cshadow.onStoreCommit(inst);
+        }
         if (inst.isLoad()) {
             lsu.releaseLoad(inst);
             ++st.committedLoads;
@@ -453,6 +506,8 @@ Core::writebackPhase()
             const bool still_spec = shadows.isSpeculative(inst->seq);
             inst->specAtComplete = still_spec;
             secMonitor.onLoadData(*inst, still_spec);
+            if (cshadow.on())
+                cshadow.onLoadData(*inst, still_spec);
             regVal[inst->pdst] = inst->result;
             const Cycle ready =
                 speculativeSchedulingEnabled() ? cycle : cycle + 1;
@@ -514,6 +569,10 @@ Core::executeBranch(DynInst &inst)
     inst.src2Val = s2;
     secMonitor.onConsume(inst, shadows.visibilityPoint(), true, true,
                          true);
+    if (cshadow.on()) {
+        cshadow.onConsume(inst, cycle, shadows.visibilityPoint(), true,
+                          true, true);
+    }
 
     inst.actualTaken = evalBranch(inst.uop, s1, s2);
     inst.resolved = true;
@@ -550,6 +609,10 @@ Core::executeLoadAddr(InstHandle h, DynInst &inst)
     inst.effAddrValid = true;
     secMonitor.onConsume(inst, shadows.visibilityPoint(), true, false,
                          true);
+    if (cshadow.on()) {
+        cshadow.onConsume(inst, cycle, shadows.visibilityPoint(), true,
+                          false, true);
+    }
     loadMemoryStage(h, inst);
 }
 
@@ -607,6 +670,8 @@ Core::finishLoad(InstHandle h, DynInst &inst, Cycle complete_at,
 {
     if (inv.on())
         inv.onForward(inst, forward_source);
+    if (cshadow.on())
+        cshadow.onLoadValue(inst, forward_source);
     inst.result = value;
     inst.completeAt = complete_at;
     lsu.loadDataReturned(inst, forward_source);
@@ -623,6 +688,10 @@ Core::executeStoreAddr(DynInst &inst)
     lsu.storeAddrReady(inst);
     secMonitor.onConsume(inst, shadows.visibilityPoint(), true, false,
                          true);
+    if (cshadow.on()) {
+        cshadow.onConsume(inst, cycle, shadows.visibilityPoint(), true,
+                          false, true);
+    }
 
     if (const LqEntry *victim = lsu.checkViolation(inst)) {
         // Memory-order violation (store-to-load forwarding error,
@@ -646,6 +715,11 @@ Core::executeStoreData(DynInst &inst)
     inst.storeDataDone = true;
     secMonitor.onConsume(inst, shadows.visibilityPoint(), false, true,
                          false);
+    if (cshadow.on()) {
+        cshadow.onConsume(inst, cycle, shadows.visibilityPoint(), false,
+                          true, false);
+        cshadow.onStoreData(inst);
+    }
     wokenScratch.clear();
     lsu.storeDataReady(inst, inst.src2Val, wokenScratch);
     if (inst.effAddrValid)
@@ -833,6 +907,10 @@ Core::executeAluAtSelect(InstHandle h, DynInst &inst)
     inst.src2Val = s2;
     secMonitor.onConsume(inst, shadows.visibilityPoint(), true, true,
                          false);
+    if (cshadow.on()) {
+        cshadow.onConsume(inst, cycle, shadows.visibilityPoint(), true,
+                          true, false);
+    }
     inst.result = evalAlu(inst.uop, s1, s2);
     inst.executed = true;
     if (inst.pdst != invalidPhysReg)
@@ -920,6 +998,8 @@ Core::renamePhase()
             // register (from a squashed former owner) is now stale.
             ++pregEpoch[inst.pdst];
             secMonitor.onAllocate(inst.pdst);
+            if (cshadow.on())
+                cshadow.onAllocate(inst.pdst);
         }
         inst.renamed = true;
         lastRenamedSeq = inst.seq;
@@ -1082,6 +1162,8 @@ Core::squash(SeqNum from_seq, std::uint32_t new_pc)
     }
     lsu.squash(from_seq);
     iq.squash(from_seq);
+    if (cshadow.on())
+        cshadow.onSquash(from_seq);
     schemePtr->onSquash(from_seq);
 
     // Every sequence number below nextSeq is now renamed, committed,

@@ -42,6 +42,7 @@
 #include "branch/tage.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
+#include "core/contract_shadow.hh"
 #include "core/decode_cache.hh"
 #include "core/dyn_inst.hh"
 #include "core/inst_slab.hh"
@@ -294,6 +295,18 @@ class Core
      *  build/environment default (the fuzz harness always enables). */
     void setInvariantsEnabled(bool enable) { inv.setActive(enable); }
 
+    /** Contract shadow engine verdicts (pure observer; see
+     *  contract_shadow.hh). */
+    const ContractShadow &contractShadow() const { return cshadow; }
+
+    /** Force the contract shadow engine on/off, overriding the
+     *  build/environment default (the verify and conformance
+     *  harnesses always enable). */
+    void setContractShadowEnabled(bool enable)
+    {
+        cshadow.setActive(enable);
+    }
+
     /**
      * Replace the hard 100k-cycle commit-stall panic with a soft
      * watchdog: after @p stall_cycles without a commit the run ends
@@ -389,6 +402,7 @@ class Core
     RenameMap renameMap;
     ShadowTracker shadows;
     SecurityMonitor secMonitor;
+    ContractShadow cshadow;
     MemoryImage workingMem;   ///< Committed functional memory.
 
     /**

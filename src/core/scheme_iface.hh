@@ -20,6 +20,7 @@
 #include "common/config.hh"
 #include "core/dyn_inst.hh"
 #include "core/inst_slab.hh"
+#include "core/security_contract.hh"
 
 namespace sb
 {
@@ -114,33 +115,20 @@ class SecureScheme
 
     /**
      * Security contract self-description, consumed by the gadget
-     * battery (src/harness/verify.hh): a scheme that claims the STT
-     * obligation (no transmitter executes with speculatively-tainted
-     * operands) must show zero leaks and zero differential timing
-     * divergence across every gadget; the verifier fails the run
-     * otherwise. The unsafe baseline claims nothing, so the verifier
+     * battery (src/harness/verify.hh), the conformance fuzzer and the
+     * in-core contract shadow engine: the descriptor names the
+     * declared policy and the monitor obligations the harness holds
+     * the scheme to. A scheme that obliges transmitter safety (no
+     * transmitter executes with speculatively-tainted operands) must
+     * show zero leaks and zero differential divergence across every
+     * gadget; the verifier fails the run otherwise. The unsafe
+     * baseline declares SecurityContract::none(), so the verifier
      * instead *requires* it to leak (proof the gadgets are armed).
      */
-    virtual bool claimsTransmitterSafety() const { return false; }
-
-    /** Claim of the stronger NDA obligation (no instruction consumes
-     *  a speculative load's value at all). Implies the STT claim. */
-    virtual bool claimsConsumeSafety() const { return false; }
-
-    /**
-     * The purely observational contract (the weakest claim the
-     * verifier can police): paired secret-flipped runs must neither
-     * recover the secret through a receiver nor diverge in their
-     * committed-load observation traces. Schemes that satisfy a
-     * dataflow obligation claim it implicitly; schemes that close the
-     * channel without policing dataflow (Delay-on-Miss lets tainted
-     * transmitters *hit*, it only hides the misses) claim exactly
-     * this and nothing stronger.
-     */
-    virtual bool
-    claimsLeakFreedom() const
+    virtual SecurityContract
+    contract() const
     {
-        return claimsTransmitterSafety() || claimsConsumeSafety();
+        return SecurityContract::none();
     }
 
     /** Reset all scheme state (between runs). */

@@ -46,6 +46,9 @@ runGadgetAttack(const GadgetProgram &gadget,
     Core core(core_config, scheme_config, std::move(scheme),
               gadget.program);
     core.enableObservationTrace();
+    // The battery always judges contracts, whatever the build default
+    // (the engine is a pure observer, so timing is unaffected).
+    core.setContractShadowEnabled(true);
 
     // Commit-time receiver: record the commit cycle of each probe.
     std::vector<Cycle> commit_cycle(256, 0);
@@ -113,6 +116,11 @@ runGadgetAttack(const GadgetProgram &gadget,
 
     res.transmitViolations = core.monitor().transmitViolations();
     res.consumeViolations = core.monitor().consumeViolations();
+    res.sandboxViolations = core.contractShadow().sandboxViolations();
+    res.ctViolations = core.contractShadow().ctViolations();
+    res.firstSandboxViolation =
+        core.contractShadow().firstSandboxViolation();
+    res.firstCtViolation = core.contractShadow().firstCtViolation();
     res.leaked = res.timingByte == secret_byte
                  || res.oracleByte == secret_byte;
     res.traceHash = hashObservations(core.observationTrace());

@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "common/config.hh"
+#include "core/contract_shadow.hh"
 #include "core/scheme_iface.hh"
 #include "trace/gadgets.hh"
 
@@ -38,6 +39,15 @@ struct AttackResult
     /** Ground-truth monitor counts for the run. */
     std::uint64_t transmitViolations = 0;
     std::uint64_t consumeViolations = 0;
+    /** Contract shadow engine counts (contract_shadow.hh): sandboxing
+     *  = a transmitter executed on a transiently-acquired secret;
+     *  constant-time = a secret reached a transmitter at all. */
+    std::uint64_t sandboxViolations = 0;
+    std::uint64_t ctViolations = 0;
+    /** Pinpointed first violation of each contract (invalid seq if
+     *  the contract was never violated). */
+    ContractViolation firstSandboxViolation;
+    ContractViolation firstCtViolation;
     /** Median / minimum probe gaps (diagnostics). */
     double medianGap = 0.0;
     double minGap = 0.0;

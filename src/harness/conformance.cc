@@ -89,6 +89,7 @@ runConformanceCell(const Program &program, const CoreConfig &core_cfg,
 {
     Core core(core_cfg, scheme_config, std::move(scheme), program);
     core.setInvariantsEnabled(true);
+    core.setContractShadowEnabled(true);
     core.setSoftWatchdog(100000);
 
     std::uint64_t commit_hash = fnv1aBasis;
@@ -114,6 +115,14 @@ runConformanceCell(const Program &program, const CoreConfig &core_cfg,
     cell.invariantViolations = core.invariants().violations();
     cell.transmitViolations = core.monitor().transmitViolations();
     cell.consumeViolations = core.monitor().consumeViolations();
+    cell.sandboxViolations = core.contractShadow().sandboxViolations();
+    cell.ctViolations = core.contractShadow().ctViolations();
+    const ContractViolation &first =
+        core.contractShadow().firstSandboxViolation();
+    if (first.valid()) {
+        cell.firstSandboxCycle = first.cycle;
+        cell.firstSandboxPc = first.pc;
+    }
     return cell;
 }
 
@@ -154,6 +163,10 @@ runFuzzCell(const RunSpec &spec)
     out.stats["fuzz_halted"] = cell.halted ? 1 : 0;
     out.stats["fuzz_watchdog"] = cell.watchdogTripped ? 1 : 0;
     out.stats["fuzz_invariant_violations"] = cell.invariantViolations;
+    out.stats["fuzz_sandbox_viol"] = cell.sandboxViolations;
+    out.stats["fuzz_ct_viol"] = cell.ctViolations;
+    out.stats["fuzz_first_sandbox_cycle"] = cell.firstSandboxCycle;
+    out.stats["fuzz_first_sandbox_pc"] = cell.firstSandboxPc;
     return out;
 }
 
@@ -214,6 +227,10 @@ cellFromOutcome(const RunOutcome &outcome)
     cell.invariantViolations = outcome.stat("fuzz_invariant_violations");
     cell.transmitViolations = outcome.transmitViolations;
     cell.consumeViolations = outcome.consumeViolations;
+    cell.sandboxViolations = outcome.stat("fuzz_sandbox_viol");
+    cell.ctViolations = outcome.stat("fuzz_ct_viol");
+    cell.firstSandboxCycle = outcome.stat("fuzz_first_sandbox_cycle");
+    cell.firstSandboxPc = outcome.stat("fuzz_first_sandbox_pc");
     return cell;
 }
 
@@ -243,20 +260,12 @@ foldFuzzOutcomes(const FuzzParams &params,
     report.cells = static_cast<unsigned>(outcomes.size());
     report.coreName = params.core.name;
 
-    // The monitor obligations each scheme claims are constant per
-    // scheme: resolve them once, not per (program, scheme) cell.
-    struct Claims
-    {
-        bool transmitter;
-        bool consume;
-    };
-    std::vector<Claims> claims;
-    claims.reserve(schemes.size());
-    for (const SchemeConfig &scfg : schemes) {
-        const auto impl = makeScheme(scfg);
-        claims.push_back(
-            {impl->claimsTransmitterSafety(), impl->claimsConsumeSafety()});
-    }
+    // The contract each scheme declares is constant per scheme:
+    // resolve the descriptors once, not per (program, scheme) cell.
+    std::vector<SecurityContract> contracts;
+    contracts.reserve(schemes.size());
+    for (const SchemeConfig &scfg : schemes)
+        contracts.push_back(makeScheme(scfg)->contract());
 
     for (unsigned p = 0; p < params.programs; ++p) {
         const std::uint64_t seed = params.programSeed(p);
@@ -324,20 +333,43 @@ foldFuzzOutcomes(const FuzzParams &params,
                         + " invariant violation(s)");
             }
 
-            // Monitor obligations: only the ones the scheme claims
-            // (DoM claims leak freedom alone, so tainted transmitters
-            // executing on L1 hits are by design).
-            if (claims[s].transmitter && cell.transmitViolations) {
+            // Monitor obligations: only the ones the scheme's
+            // contract obliges (DoM declares sandboxing alone, so
+            // tainted transmitters executing on L1 hits are by
+            // design).
+            if (contracts[s].obligesTransmitterSafety
+                && cell.transmitViolations) {
                 add(scheme, "monitor",
                     std::to_string(cell.transmitViolations)
                         + " transmit violation(s) against a "
-                          "transmitter-safety claim");
+                          "transmitter-safety obligation");
             }
-            if (claims[s].consume && cell.consumeViolations) {
+            if (contracts[s].obligesConsumeSafety
+                && cell.consumeViolations) {
                 add(scheme, "monitor",
                     std::to_string(cell.consumeViolations)
                         + " consume violation(s) against a "
-                          "consume-safety claim");
+                          "consume-safety obligation");
+            }
+
+            // Contract shadow check, on the generated programs'
+            // secret-labelled buffers: a dataflow policy must keep
+            // transiently-acquired secrets away from every
+            // transmitter operand. Observational-only policies
+            // (DoM's sandboxing) are judged by the differential
+            // oracle instead — a speculative L1 hit on a secret is
+            // by design there.
+            const ContractPolicy policy = contracts[s].policy;
+            if ((policy == ContractPolicy::TransmitterSafe
+                 || policy == ContractPolicy::ConsumeSafe)
+                && cell.sandboxViolations) {
+                add(scheme, "contract",
+                    std::to_string(cell.sandboxViolations)
+                        + " sandboxing violation(s) against the "
+                        + contractPolicyName(policy)
+                        + " contract; first at cycle "
+                        + std::to_string(cell.firstSandboxCycle)
+                        + " pc " + std::to_string(cell.firstSandboxPc));
             }
         }
     }
@@ -409,6 +441,67 @@ printFuzzReport(const FuzzReport &report, std::FILE *out)
 }
 
 void
+printContractReport(const FuzzParams &params,
+                    const std::vector<RunOutcome> &outcomes,
+                    std::FILE *out)
+{
+    const std::vector<SchemeConfig> schemes = allSchemeConfigs();
+    std::fprintf(out,
+                 "=== Contract check: shadow engine over %u generated "
+                 "program(s) x %zu scheme(s) on %s ===\n\n",
+                 params.programs, schemes.size(),
+                 params.core.name.c_str());
+
+    // Per-scheme totals across the campaign: what each declared
+    // contract permitted vs what the shadow engine observed.
+    std::fprintf(out, "%-12s %-16s %12s %12s\n", "scheme", "contract",
+                 "sandbox-viol", "ct-viol");
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        SchemeConfig scfg = schemes[s];
+        const SecurityContract contract = makeScheme(scfg)->contract();
+        std::uint64_t sandbox = 0, ct = 0;
+        for (unsigned p = 0; p < params.programs; ++p) {
+            const RunOutcome &o =
+                outcomes[std::size_t(p) * schemes.size() + s];
+            sandbox += o.stat("fuzz_sandbox_viol");
+            ct += o.stat("fuzz_ct_viol");
+        }
+        std::fprintf(out, "%-12s %-16s %12llu %12llu\n",
+                     schemeName(scfg.scheme),
+                     contractPolicyName(contract.policy),
+                     static_cast<unsigned long long>(sandbox),
+                     static_cast<unsigned long long>(ct));
+    }
+    std::fprintf(out, "\n");
+
+    // The verdict rides the normal fold; only contract failures are
+    // surfaced here (everything else belongs to the conformance
+    // scenario's report over the same cells).
+    const FuzzReport report = foldFuzzOutcomes(params, outcomes);
+    unsigned contract_failures = 0;
+    for (const FuzzFailure &f : report.failures) {
+        if (f.kind != "contract")
+            continue;
+        ++contract_failures;
+        std::fprintf(out,
+                     "FAIL [contract] seed=%llu profile=%s scheme=%s: "
+                     "%s\n      repro: %s\n",
+                     static_cast<unsigned long long>(f.seed),
+                     opMixProfileName(f.profile), schemeName(f.scheme),
+                     f.detail.c_str(),
+                     f.repro(report.coreName).c_str());
+    }
+    if (contract_failures == 0) {
+        std::fprintf(out,
+                     "every declared dataflow contract held: no "
+                     "transiently-acquired secret reached a "
+                     "transmitter operand\n");
+    }
+    std::fprintf(out, "verdict: %s\n",
+                 contract_failures == 0 ? "PASS" : "FAIL");
+}
+
+void
 registerConformanceScenarios(ScenarioRegistry &registry)
 {
     Scenario s;
@@ -421,6 +514,20 @@ registerConformanceScenarios(ScenarioRegistry &registry)
                         out);
     };
     registry.add(std::move(s));
+
+    // Same cells as "conformance" (the engine dedups shared specs),
+    // different lens: the contract shadow engine's verdict over the
+    // generated programs' secret-labelled buffers.
+    Scenario c;
+    c.name = "contract_check";
+    c.title = "Contract shadow check (secret-labelled fuzz programs "
+              "x full roster)";
+    c.specs = [] { return fuzzSpecs(scenarioParams()); };
+    c.report = [](const std::vector<RunOutcome> &outcomes,
+                  std::FILE *out) {
+        printContractReport(scenarioParams(), outcomes, out);
+    };
+    registry.add(std::move(c));
 }
 
 } // namespace sb

@@ -78,6 +78,12 @@ struct ConformanceCell
     std::uint64_t invariantViolations = 0;
     std::uint64_t transmitViolations = 0;
     std::uint64_t consumeViolations = 0;
+    /** Contract shadow verdicts (src/core/contract_shadow.hh) over
+     *  the generated program's secret-labelled buffer. */
+    std::uint64_t sandboxViolations = 0;
+    std::uint64_t ctViolations = 0;
+    std::uint64_t firstSandboxCycle = 0;
+    std::uint64_t firstSandboxPc = 0;
 
     /** The oracle's equality: architectural state only (timing and
      *  health bits are checked separately). */
@@ -142,7 +148,9 @@ struct FuzzFailure
     std::uint64_t seed = 0;
     OpMixProfile profile = OpMixProfile::Mixed;
     Scheme scheme = Scheme::Baseline;
-    /** "divergence" | "deadlock" | "invariant" | "monitor". */
+    /** "divergence" | "deadlock" | "invariant" | "monitor" |
+     *  "contract" (shadow-engine sandboxing breach against a declared
+     *  dataflow policy). */
     std::string kind;
     std::string detail;
 
@@ -178,8 +186,17 @@ Json toJson(const FuzzReport &report);
 /** Human-readable report, with repro lines for every failure. */
 void printFuzzReport(const FuzzReport &report, std::FILE *out);
 
-/** Register the "conformance" scenario (a fixed small campaign). */
+/** Register the "conformance" and "contract_check" scenarios (the
+ *  same fixed small campaign; contract_check reports the contract
+ *  shadow engine's per-scheme verdict over the generated programs'
+ *  secret-labelled buffers). */
 void registerConformanceScenarios(ScenarioRegistry &registry);
+
+/** The contract_check report: per-scheme shadow-violation totals
+ *  plus every "contract" failure with its repro. */
+void printContractReport(const FuzzParams &params,
+                         const std::vector<RunOutcome> &outcomes,
+                         std::FILE *out);
 
 } // namespace sb
 

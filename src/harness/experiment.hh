@@ -25,7 +25,7 @@ namespace sb
  * cache lines then miss instead of resurfacing stale results. CI
  * keys its persisted result cache on this constant.
  */
-constexpr unsigned specSchemaVersion = 3;
+constexpr unsigned specSchemaVersion = 4;
 
 /** One simulation to run. */
 struct RunSpec

@@ -119,25 +119,45 @@ runGadgetCell(const RunSpec &spec)
         static_cast<std::uint64_t>(res.medianGap);
     out.stats["gadget_min_gap"] =
         static_cast<std::uint64_t>(res.minGap);
+    // Contract shadow verdicts: counters plus the pinpointed first
+    // violation of each contract (valid flag keeps the zero cycle of
+    // a real first-cycle violation distinguishable from "none").
+    out.stats["gadget_sandbox_viol"] = res.sandboxViolations;
+    out.stats["gadget_ct_viol"] = res.ctViolations;
+    auto record = [&out](const char *prefix, const ContractViolation &v) {
+        const std::string p = prefix;
+        out.stats[p + "_valid"] = v.valid() ? 1 : 0;
+        out.stats[p + "_cycle"] = v.valid() ? v.cycle : 0;
+        out.stats[p + "_seq"] = v.valid() ? v.seq : 0;
+        out.stats[p + "_pc"] = v.valid() ? v.pc : 0;
+    };
+    record("gadget_first_sandbox", res.firstSandboxViolation);
+    record("gadget_first_ct", res.firstCtViolation);
     return out;
 }
 
 bool
 VerifyCell::pass() const
 {
-    if (claimsLeakFreedom) {
-        if (leaked || diverged)
-            return false;
-        if (claimsTransmitterSafety && transmitViolations != 0)
-            return false;
-        if (claimsConsumeSafety && consumeViolations != 0)
-            return false;
-        return true;
+    if (judgedPolicy == ContractPolicy::None) {
+        // A non-declaring scheme (the unsafe baseline) must
+        // demonstrably leak on both paired runs — proof the gadget is
+        // armed — and the shadow engine must have pinpointed the
+        // secret reaching a transmitter, so the differential verdict
+        // always comes with a (cycle, seq, pc) repro.
+        return armed && firstCtViolation.valid();
     }
-    // A non-claiming scheme (the unsafe baseline) must demonstrably
-    // leak on both paired runs: that is the proof the gadget is armed
-    // and a blocked leak under a real scheme means something.
-    return armed;
+    if (leaked || diverged)
+        return false;
+    if (contract.obligesTransmitterSafety && transmitViolations != 0)
+        return false;
+    if (contract.obligesConsumeSafety && consumeViolations != 0)
+        return false;
+    if (judgedPolicy == ContractPolicy::ConstantTime)
+        return ctViolations == 0;
+    // Every declared policy at least sandboxes: transiently-acquired
+    // secrets must never have reached a transmitter operand.
+    return sandboxViolations == 0;
 }
 
 std::vector<RunSpec>
@@ -166,7 +186,8 @@ verifyBatterySpecs(const CoreConfig &core,
 }
 
 VerifyMatrix
-foldVerifyOutcomes(const std::vector<RunOutcome> &outcomes)
+foldVerifyOutcomes(const std::vector<RunOutcome> &outcomes,
+                   std::optional<ContractPolicy> contract_override)
 {
     sb_assert(outcomes.size() % 2 == 0,
               "battery outcomes must come in secret pairs");
@@ -195,11 +216,12 @@ foldVerifyOutcomes(const std::vector<RunOutcome> &outcomes)
         cell.scheme = a.scheme;
         SchemeConfig scfg;
         scfg.scheme = a.scheme;
-        const auto scheme_impl = makeScheme(scfg);
-        cell.claimsTransmitterSafety =
-            scheme_impl->claimsTransmitterSafety();
-        cell.claimsConsumeSafety = scheme_impl->claimsConsumeSafety();
-        cell.claimsLeakFreedom = scheme_impl->claimsLeakFreedom();
+        cell.contract = makeScheme(scfg)->contract();
+        cell.judgedPolicy = cell.contract.policy;
+        if (contract_override
+            && cell.contract.policy != ContractPolicy::None) {
+            cell.judgedPolicy = *contract_override;
+        }
 
         const bool leaked_a = a.stat("gadget_leaked") != 0;
         const bool leaked_b = b.stat("gadget_leaked") != 0;
@@ -219,6 +241,26 @@ foldVerifyOutcomes(const std::vector<RunOutcome> &outcomes)
             static_cast<int>(b.stat("gadget_timing_byte")) - 1;
         cell.cyclesA = a.cycles;
         cell.cyclesB = b.cycles;
+        cell.sandboxViolations = std::max(a.stat("gadget_sandbox_viol"),
+                                          b.stat("gadget_sandbox_viol"));
+        cell.ctViolations = std::max(a.stat("gadget_ct_viol"),
+                                     b.stat("gadget_ct_viol"));
+        auto first = [](const RunOutcome &o, const char *prefix) {
+            const std::string p = prefix;
+            ContractViolation v;
+            if (o.stat(p + "_valid") != 0) {
+                v.cycle = o.stat(p + "_cycle");
+                v.seq = o.stat(p + "_seq");
+                v.pc = static_cast<std::uint32_t>(o.stat(p + "_pc"));
+            }
+            return v;
+        };
+        const ContractViolation sa = first(a, "gadget_first_sandbox");
+        cell.firstSandboxViolation =
+            sa.valid() ? sa : first(b, "gadget_first_sandbox");
+        const ContractViolation ca = first(a, "gadget_first_ct");
+        cell.firstCtViolation =
+            ca.valid() ? ca : first(b, "gadget_first_ct");
         matrix.cells.push_back(std::move(cell));
     }
     return matrix;
@@ -228,7 +270,7 @@ Json
 toJson(const VerifyMatrix &matrix)
 {
     Json doc = Json::object();
-    doc.set("schema", Json::num(std::uint64_t(2)));
+    doc.set("schema", Json::num(std::uint64_t(3)));
     doc.set("ok", Json::boolean(matrix.ok()));
     doc.set("secret_a", Json::num(std::uint64_t(verifySecretA)));
     doc.set("secret_b", Json::num(std::uint64_t(verifySecretB)));
@@ -238,12 +280,16 @@ toJson(const VerifyMatrix &matrix)
         c.set("gadget", Json::str(cell.gadget));
         c.set("scheme", Json::str(schemeName(cell.scheme)));
         c.set("core", Json::str(cell.core));
-        c.set("claims_transmitter_safety",
-              Json::boolean(cell.claimsTransmitterSafety));
-        c.set("claims_consume_safety",
-              Json::boolean(cell.claimsConsumeSafety));
-        c.set("claims_leak_freedom",
-              Json::boolean(cell.claimsLeakFreedom));
+        c.set("contract",
+              Json::str(contractPolicyName(cell.contract.policy)));
+        c.set("judged_contract",
+              Json::str(contractPolicyName(cell.judgedPolicy)));
+        c.set("obliges_transmitter_safety",
+              Json::boolean(cell.contract.obligesTransmitterSafety));
+        c.set("obliges_consume_safety",
+              Json::boolean(cell.contract.obligesConsumeSafety));
+        c.set("obliges_leak_freedom",
+              Json::boolean(cell.contract.obligesLeakFreedom));
         c.set("leaked", Json::boolean(cell.leaked));
         c.set("armed", Json::boolean(cell.armed));
         c.set("diverged", Json::boolean(cell.diverged));
@@ -255,6 +301,19 @@ toJson(const VerifyMatrix &matrix)
               Json::num(std::uint64_t(cell.timingByteB + 1)));
         c.set("cycles_a", Json::num(cell.cyclesA));
         c.set("cycles_b", Json::num(cell.cyclesB));
+        c.set("sandbox_violations", Json::num(cell.sandboxViolations));
+        c.set("ct_violations", Json::num(cell.ctViolations));
+        auto record = [](const ContractViolation &v) {
+            Json j = Json::object();
+            j.set("valid", Json::boolean(v.valid()));
+            j.set("cycle", Json::num(v.valid() ? v.cycle : 0));
+            j.set("seq", Json::num(v.valid() ? v.seq : 0));
+            j.set("pc", Json::num(std::uint64_t(v.valid() ? v.pc : 0)));
+            return j;
+        };
+        c.set("first_sandbox_violation",
+              record(cell.firstSandboxViolation));
+        c.set("first_ct_violation", record(cell.firstCtViolation));
         c.set("pass", Json::boolean(cell.pass()));
         cells.push(std::move(c));
     }
@@ -268,29 +327,45 @@ printVerifyMatrix(const VerifyMatrix &matrix, std::FILE *out)
     std::fprintf(out, "=== Security: Spectre gadget battery + "
                       "differential leakage check ===\n\n");
     TextTable t;
-    t.header({"gadget", "scheme", "core", "claims", "leaked",
-              "diverged", "t-viol", "c-viol", "verdict"});
+    t.header({"gadget", "scheme", "core", "contract", "leaked",
+              "diverged", "t-viol", "c-viol", "sbx-viol", "ct-viol",
+              "first-viol", "verdict"});
     for (const VerifyCell &cell : matrix.cells) {
-        const char *claims =
-            cell.claimsConsumeSafety       ? "consume"
-            : cell.claimsTransmitterSafety ? "transmit"
-            : cell.claimsLeakFreedom       ? "leak-free"
-                                           : "none";
-        t.row({cell.gadget, schemeName(cell.scheme), cell.core, claims,
-               cell.leaked ? "yes" : "no",
+        // The pinpointed repro: the sandboxing record when the judged
+        // contract has one, else the constant-time record (what the
+        // baseline's leak verdict rests on).
+        const ContractViolation &first =
+            cell.firstSandboxViolation.valid()
+                ? cell.firstSandboxViolation
+                : cell.firstCtViolation;
+        const std::string repro =
+            first.valid() ? "c" + std::to_string(first.cycle) + "@pc"
+                                + std::to_string(first.pc)
+                          : "-";
+        std::string contract = contractPolicyName(cell.contract.policy);
+        if (cell.judgedPolicy != cell.contract.policy) {
+            contract += "->";
+            contract += contractPolicyName(cell.judgedPolicy);
+        }
+        t.row({cell.gadget, schemeName(cell.scheme), cell.core,
+               contract, cell.leaked ? "yes" : "no",
                cell.diverged ? "yes" : "no",
                std::to_string(cell.transmitViolations),
                std::to_string(cell.consumeViolations),
+               std::to_string(cell.sandboxViolations),
+               std::to_string(cell.ctViolations), repro,
                cell.pass() ? "pass" : "FAIL"});
     }
     std::fprintf(out, "%s\n", t.render().c_str());
     std::fprintf(out,
-                 "Claiming schemes must show leaked=no diverged=no, "
-                 "plus clean monitor obligations for the dataflow\n"
-                 "contracts they claim (transmit/consume; leak-free "
-                 "is the purely observational contract, e.g. DoM);\n"
-                 "the unsafe baseline must leak on every gadget "
-                 "(proof the battery is armed).\n");
+                 "Declared contracts must show leaked=no diverged=no "
+                 "and zero sandboxing shadow violations, plus clean\n"
+                 "monitor obligations for the dataflow policies "
+                 "(transmitter-safe/consume-safe; sandboxing is the\n"
+                 "purely observational contract, e.g. DoM). The unsafe "
+                 "baseline must leak on every gadget (proof the\n"
+                 "battery is armed), with the shadow engine "
+                 "pinpointing the first out-of-contract transmit.\n");
     std::fprintf(out, "verdict: %s\n",
                  matrix.ok() ? "PASS" : "FAIL");
 }

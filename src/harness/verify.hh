@@ -31,10 +31,13 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/json.hh"
+#include "core/contract_shadow.hh"
+#include "core/security_contract.hh"
 #include "harness/experiment.hh"
 #include "trace/gadgets.hh"
 
@@ -83,14 +86,17 @@ struct VerifyCell
     std::string gadget;
     std::string core;
     Scheme scheme = Scheme::Baseline;
-    /** The scheme's own contract (SecureScheme::claims*). The
-     *  dataflow obligations (transmitter/consume) are checked against
-     *  the ground-truth monitor; leak freedom is the observational
-     *  contract every non-baseline scheme must honour (no recovery,
-     *  no differential divergence) — Delay-on-Miss claims only it. */
-    bool claimsTransmitterSafety = false;
-    bool claimsConsumeSafety = false;
-    bool claimsLeakFreedom = false;
+    /** The scheme's declared contract (SecureScheme::contract()).
+     *  The dataflow obligations (transmitter/consume) are checked
+     *  against the ground-truth monitor; the observational
+     *  obligation (leak freedom + zero sandboxing shadow violations)
+     *  binds every scheme with a non-None policy — Delay-on-Miss
+     *  declares exactly the sandboxing policy and nothing stronger. */
+    SecurityContract contract;
+    /** The policy this cell is judged under: the declared policy, or
+     *  the `sbsim verify --contract` override (which never touches
+     *  None cells — the unsafe baseline keeps its armed-proof role). */
+    ContractPolicy judgedPolicy = ContractPolicy::None;
     /** Either paired run recovered its own secret. */
     bool leaked = false;
     /** Both paired runs recovered their own secrets — the gadget is
@@ -106,13 +112,24 @@ struct VerifyCell
     int timingByteB = -1;
     std::uint64_t cyclesA = 0;
     std::uint64_t cyclesB = 0;
+    /** Worst-case contract shadow counts over the pair. */
+    std::uint64_t sandboxViolations = 0;
+    std::uint64_t ctViolations = 0;
+    /** Pinpointed first violation of each contract (from run A when
+     *  both runs violated; invalid seq when neither did). */
+    ContractViolation firstSandboxViolation;
+    ContractViolation firstCtViolation;
 
     /**
-     * Contract check: a scheme claiming leak freedom must block
-     * recovery and show no differential divergence, plus keep
-     * whichever monitor obligations it additionally claims
-     * (transmitter/consume); a scheme claiming nothing (the unsafe
-     * baseline) must demonstrably leak.
+     * Contract check under judgedPolicy: a scheme with a declared
+     * contract must block recovery, show no differential divergence,
+     * keep whichever monitor obligations it declares, and show zero
+     * sandboxing shadow violations (zero constant-time violations
+     * when judged under the ConstantTime override); a scheme
+     * declaring nothing (the unsafe baseline) must demonstrably leak
+     * — and the shadow engine must have pinpointed the secret
+     * reaching a transmitter, so every leak verdict carries its
+     * (cycle, seq, pc) repro.
      */
     bool pass() const;
 };
@@ -141,8 +158,16 @@ std::vector<RunSpec>
 verifyBatterySpecs(const CoreConfig &core,
                    const std::vector<SchemeConfig> &schemes);
 
-/** Fold engine outcomes (in verifyBatterySpecs() order) into cells. */
-VerifyMatrix foldVerifyOutcomes(const std::vector<RunOutcome> &outcomes);
+/**
+ * Fold engine outcomes (in verifyBatterySpecs() order) into cells.
+ * @p contract_override, when set, replaces the judged policy of every
+ * cell whose scheme declares a contract (None cells keep their
+ * armed-proof role) — the `sbsim verify --contract` hook.
+ */
+VerifyMatrix
+foldVerifyOutcomes(const std::vector<RunOutcome> &outcomes,
+                   std::optional<ContractPolicy> contract_override =
+                       std::nullopt);
 
 /** Machine-readable leak matrix (the SBSIM_verify.json document). */
 Json toJson(const VerifyMatrix &matrix);

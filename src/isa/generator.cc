@@ -416,6 +416,13 @@ generateProgram(const GeneratorParams &p)
     for (unsigned w = 0; w < 32 && w * 8 < p.memBytes; ++w)
         g.b.memory().write(generatorMemBase + w * 8, g.rng.next());
 
+    // Secret-label the top half of the data region: every generated
+    // access is masked into [base, base + memBytes), so random loads
+    // regularly pull secret-labelled words through the pipeline and
+    // the contract shadow engine gets organic coverage of every
+    // scheme's declared contract for free.
+    g.b.markSecret(generatorMemBase + p.memBytes / 2, p.memBytes / 2);
+
     // --- Outer loop: the structured body, then the LFSR churn --------
     const auto loop = g.b.here();
     for (unsigned s = 0; s < p.segments; ++s)

@@ -335,6 +335,14 @@ ProgramBuilder::halt()
     return emit(uop);
 }
 
+void
+ProgramBuilder::markSecret(Addr base, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    secrets.push_back({base, bytes});
+}
+
 Program
 ProgramBuilder::build(std::string name)
 {
@@ -361,6 +369,7 @@ ProgramBuilder::build(std::string name)
     p.code = std::move(code);
     p.memory = std::move(mem);
     p.name = std::move(name);
+    p.secretRegions = std::move(secrets);
     return p;
 }
 

@@ -89,6 +89,18 @@ class MemoryImage
     std::size_t count = 0;
 };
 
+/**
+ * A byte range of the initial memory image holding secret data. The
+ * contract shadow engine (src/core/contract_shadow.hh) seeds its
+ * memory labels from these regions and propagates them taint-style
+ * alongside values; everything outside is public.
+ */
+struct SecretRegion
+{
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+};
+
 /** A complete runnable program: code, entry point, and initial memory. */
 struct Program
 {
@@ -96,6 +108,9 @@ struct Program
     std::uint32_t entry = 0;
     MemoryImage memory;
     std::string name = "program";
+
+    /** Byte ranges of `memory` holding secret-labelled data. */
+    std::vector<SecretRegion> secretRegions;
 
     std::size_t size() const { return code.size(); }
 
@@ -157,6 +172,10 @@ class ProgramBuilder
     /** Direct access to the memory image being built. */
     MemoryImage &memory() { return mem; }
 
+    /** Annotate a byte range of the initial image as secret-labelled
+     *  (word-granular; the range is widened to 8-byte alignment). */
+    void markSecret(Addr base, std::uint64_t bytes);
+
     /** Finalise: checks all labels bound and targets in range. */
     Program build(std::string name = "program");
 
@@ -170,6 +189,7 @@ class ProgramBuilder
     std::vector<MicroOp> code;
     std::vector<std::int64_t> futureTargets; ///< -1 until bound.
     MemoryImage mem;
+    std::vector<SecretRegion> secrets;
 };
 
 } // namespace sb

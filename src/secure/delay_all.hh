@@ -15,8 +15,8 @@
  *
  * Because a load only ever executes non-speculatively, its result is
  * never speculative when broadcast: DelayAll satisfies the NDA
- * obligation (claimsConsumeSafety, which implies the STT obligation)
- * by construction, at the largest IPC cost in the roster. That makes
+ * obligation (SecurityContract::consumeSafe(), which implies the STT
+ * obligation) by construction, at the largest IPC cost in the roster. That makes
  * it the anchor every selective scheme (STT, NDA, DoM) is measured
  * against in the scheme_compare scenario.
  */
@@ -38,8 +38,12 @@ class DelayAllScheme : public SecureScheme
 
     const char *name() const override { return "DelayAll"; }
     Scheme kind() const override { return Scheme::DelayAll; }
-    bool claimsTransmitterSafety() const override { return true; }
-    bool claimsConsumeSafety() const override { return true; }
+
+    SecurityContract
+    contract() const override
+    {
+        return SecurityContract::consumeSafe();
+    }
 
     bool selectVeto(const DynInst &inst, bool addr_half) override;
 };

@@ -19,8 +19,9 @@
  *
  * Contract: DoM polices the *memory side channel*, not dataflow.
  * Tainted transmitters still execute when they hit, so the STT
- * obligation (claimsTransmitterSafety) is deliberately not claimed;
- * the scheme claims leak freedom only (claimsLeakFreedom): paired
+ * obligation (ContractPolicy::TransmitterSafe) is deliberately not
+ * declared; the scheme declares the observational sandboxing
+ * contract only (SecurityContract::sandboxing()): paired
  * secret-flipped runs must not leak through a receiver nor diverge
  * in their committed observation traces.
  *
@@ -50,7 +51,12 @@ class DomScheme : public SecureScheme
 
     const char *name() const override { return "DoM"; }
     Scheme kind() const override { return Scheme::DelayOnMiss; }
-    bool claimsLeakFreedom() const override { return true; }
+
+    SecurityContract
+    contract() const override
+    {
+        return SecurityContract::sandboxing();
+    }
 
     bool delayLoadMiss(InstHandle h, const DynInst &load) override;
     void tick() override;

@@ -34,8 +34,12 @@ class NdaScheme : public SecureScheme
 
     const char *name() const override { return "NDA"; }
     Scheme kind() const override { return Scheme::Nda; }
-    bool claimsTransmitterSafety() const override { return true; }
-    bool claimsConsumeSafety() const override { return true; }
+
+    SecurityContract
+    contract() const override
+    {
+        return SecurityContract::consumeSafe();
+    }
 
     bool deferBroadcast(InstHandle h, const DynInst &inst,
                         Cycle ready_at) override;

@@ -40,7 +40,12 @@ class SttIssueScheme : public SecureScheme
 
     const char *name() const override { return "STT-Issue"; }
     Scheme kind() const override { return Scheme::SttIssue; }
-    bool claimsTransmitterSafety() const override { return true; }
+
+    SecurityContract
+    contract() const override
+    {
+        return SecurityContract::transmitterSafe();
+    }
 
     void attach(Core &core) override;
     bool selectVeto(const DynInst &inst, bool addr_half) override;

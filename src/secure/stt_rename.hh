@@ -41,7 +41,12 @@ class SttRenameScheme : public SecureScheme
 
     const char *name() const override { return "STT-Rename"; }
     Scheme kind() const override { return Scheme::SttRename; }
-    bool claimsTransmitterSafety() const override { return true; }
+
+    SecurityContract
+    contract() const override
+    {
+        return SecurityContract::transmitterSafe();
+    }
 
     void onRenameGroup(const std::vector<DynInst *> &group) override;
     bool selectVeto(const DynInst &inst, bool addr_half) override;

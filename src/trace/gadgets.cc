@@ -89,6 +89,7 @@ initVictimArrays(ProgramBuilder &b, std::uint8_t secret_byte)
     for (unsigned i = 0; i < inRangeLength; ++i)
         b.memory().write(array1Base + 8 * i, 0);
     b.memory().write(array1Base + secretOffset, secret_byte);
+    b.markSecret(array1Base + secretOffset, 8);
 }
 
 /** Common register preamble; gadget-specific registers ride along. */
@@ -115,7 +116,7 @@ emitPreamble(ProgramBuilder &b, const ChaseChain &chain,
  * residency of probe slot array2[byte * 512]. Transient execution of
  * this sequence with a malicious idx is what every gadget arranges.
  */
-void
+std::uint32_t
 emitTransmitter(ProgramBuilder &b)
 {
     b.add(Regs::offs, Regs::a1, Regs::idx);
@@ -123,8 +124,12 @@ emitTransmitter(ProgramBuilder &b)
     b.and_(Regs::secret, Regs::secret, Regs::byteMask);
     b.shl(Regs::slot, Regs::secret, Regs::nine); // * 512.
     b.add(Regs::slot, Regs::a2, Regs::slot);
-    b.load(Regs::leakv, Regs::slot, 0);    // Transmit: warms the slot.
+    // Transmit: warms the slot; its address operand carries the
+    // secret label, so this pc is where the contract shadow engine
+    // pinpoints an out-of-contract transmit.
+    const std::uint32_t transmit_pc = b.load(Regs::leakv, Regs::slot, 0);
     b.add(Regs::acc, Regs::acc, Regs::leakv);
+    return transmit_pc;
 }
 
 /**
@@ -196,7 +201,7 @@ buildV1(std::uint8_t secret_byte, std::uint64_t seed, bool masked)
     }
     const auto skip = b.futureLabel();
     b.bge(Regs::idx, Regs::bound, skip); // The trained bounds check.
-    emitTransmitter(b);
+    const std::uint32_t transmit_pc = emitTransmitter(b);
     b.bind(skip);
     b.add(Regs::cnt, Regs::cnt, Regs::one);
     // Loop structure matters for receiver hygiene: the exit branch is
@@ -208,6 +213,7 @@ buildV1(std::uint8_t secret_byte, std::uint64_t seed, bool masked)
     b.bind(exit_label);
 
     GadgetProgram out;
+    out.transmitPc = transmit_pc;
     emitBarrierAndProbe(b, out);
     out.program = b.build(masked ? "spectre-v1-mask" : "spectre-v1");
     return out;
@@ -249,7 +255,7 @@ buildV2(std::uint8_t secret_byte, std::uint64_t seed)
     // fall-through, which is also the architectural target of every
     // training round, so training is mispredict-free from round 0.
     const std::uint32_t gadget_pc = b.here();
-    emitTransmitter(b);
+    const std::uint32_t transmit_pc = emitTransmitter(b);
     // Training rounds fall through the gadget into the join.
     const std::uint32_t join_pc = b.here();
     b.add(Regs::cnt, Regs::cnt, Regs::one);
@@ -259,6 +265,7 @@ buildV2(std::uint8_t secret_byte, std::uint64_t seed)
     b.bind(exit_label);
 
     GadgetProgram out;
+    out.transmitPc = transmit_pc;
     emitBarrierAndProbe(b, out);
 
     // Per-round targets, written now that the PCs are known: round r
@@ -317,7 +324,7 @@ buildV4(std::uint8_t secret_byte, std::uint64_t seed)
     // The victim load of the same slot: address known immediately, so
     // it optimistically bypasses the store and reads the stale index.
     b.load(Regs::idx, Regs::preg, 0);
-    emitTransmitter(b);
+    const std::uint32_t transmit_pc = emitTransmitter(b);
     b.addi(Regs::preg, Regs::preg, 64);
     b.add(Regs::cnt, Regs::cnt, Regs::one);
     const auto exit_label = b.futureLabel();
@@ -326,6 +333,7 @@ buildV4(std::uint8_t secret_byte, std::uint64_t seed)
     b.bind(exit_label);
 
     GadgetProgram out;
+    out.transmitPc = transmit_pc;
     emitBarrierAndProbe(b, out);
 
     // The store's delayed address, parked on the chase like v2's

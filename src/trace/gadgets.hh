@@ -76,6 +76,10 @@ struct GadgetProgram
     std::uint32_t barrierPc = 0;
     /** First probe load (slot v=1); one probe group is 4 ops. */
     std::uint32_t firstProbePc = 0;
+    /** The transmit load (array2[secret * 512]) inside the shared
+     *  transmitter — where the contract shadow engine pinpoints an
+     *  out-of-contract transmit. */
+    std::uint32_t transmitPc = 0;
 };
 
 /** Shared memory layout the receiver and harness agree on. */

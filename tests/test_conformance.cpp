@@ -342,9 +342,9 @@ TEST(SpecKey, GoldenStability)
     fuzz.scheme.scheme = sb::Scheme::DelayOnMiss;
     fuzz.maxCycles = 4'000'000;
 
-    EXPECT_EQ(bench.specKey(), "920f46cd79e61475");
-    EXPECT_EQ(gadget.specKey(), "e85580b56eb2296e");
-    EXPECT_EQ(fuzz.specKey(), "1b0b5b0375aa86e8");
+    EXPECT_EQ(bench.specKey(), "3e315373bd4c5454");
+    EXPECT_EQ(gadget.specKey(), "6abf369e3053fc49");
+    EXPECT_EQ(fuzz.specKey(), "d80d6efc9ae36cb5");
 }
 
 // ---------------------------------------------------------------------

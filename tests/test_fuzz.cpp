@@ -88,7 +88,7 @@ TEST_P(FuzzSeedTest, AllSchemesMatchBaseline)
         EXPECT_TRUE(got == base)
             << "seed " << params.seed << " scheme "
             << sb::schemeName(s);
-        // DoM claims no dataflow obligation (tainted transmitters may
+        // DoM's contract has no dataflow obligation (tainted transmitters may
         // execute on L1 hits); every other scheme must stay clean.
         if (s != sb::Scheme::DelayOnMiss) {
             EXPECT_EQ(tv, 0u) << "seed " << params.seed << " "

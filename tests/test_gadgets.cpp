@@ -40,7 +40,7 @@ TEST_P(GadgetBatteryTest, MatchesSchemeSecurityContract)
         sb::runGadget(gadget, sb::CoreConfig::mega(), scfg, 0xA7);
 
     const auto impl = sb::makeScheme(scfg);
-    if (impl->claimsTransmitterSafety()) {
+    if (impl->contract().obligesTransmitterSafety) {
         EXPECT_FALSE(res.leaked)
             << sb::gadgetName(gadget) << " leaked under "
             << impl->name();

@@ -265,33 +265,42 @@ TEST(DelayAll, NoLoadIssuesSpeculatively)
     EXPECT_EQ(core->monitor().consumeViolations(), 0u);
 }
 
-TEST(Schemes, ContractClaimsMatchTheRoster)
+TEST(Schemes, ContractsMatchTheRoster)
 {
     struct Expect
     {
         sb::Scheme scheme;
+        sb::ContractPolicy policy;
         bool transmitter;
         bool consume;
         bool leakFree;
     };
     const Expect expected[] = {
-        {sb::Scheme::Baseline, false, false, false},
-        {sb::Scheme::SttRename, true, false, true},
-        {sb::Scheme::SttIssue, true, false, true},
-        {sb::Scheme::Nda, true, true, true},
-        {sb::Scheme::NdaStrict, true, true, true},
-        {sb::Scheme::DelayOnMiss, false, false, true},
-        {sb::Scheme::DelayAll, true, true, true},
+        {sb::Scheme::Baseline, sb::ContractPolicy::None, false, false,
+         false},
+        {sb::Scheme::SttRename, sb::ContractPolicy::TransmitterSafe,
+         true, false, true},
+        {sb::Scheme::SttIssue, sb::ContractPolicy::TransmitterSafe,
+         true, false, true},
+        {sb::Scheme::Nda, sb::ContractPolicy::ConsumeSafe, true, true,
+         true},
+        {sb::Scheme::NdaStrict, sb::ContractPolicy::ConsumeSafe, true,
+         true, true},
+        {sb::Scheme::DelayOnMiss, sb::ContractPolicy::Sandboxing, false,
+         false, true},
+        {sb::Scheme::DelayAll, sb::ContractPolicy::ConsumeSafe, true,
+         true, true},
     };
     for (const Expect &e : expected) {
         sb::SchemeConfig scfg;
         scfg.scheme = e.scheme;
-        const auto scheme = sb::makeScheme(scfg);
-        EXPECT_EQ(scheme->claimsTransmitterSafety(), e.transmitter)
+        const sb::SecurityContract c = sb::makeScheme(scfg)->contract();
+        EXPECT_EQ(c.policy, e.policy) << sb::schemeName(e.scheme);
+        EXPECT_EQ(c.obligesTransmitterSafety, e.transmitter)
             << sb::schemeName(e.scheme);
-        EXPECT_EQ(scheme->claimsConsumeSafety(), e.consume)
+        EXPECT_EQ(c.obligesConsumeSafety, e.consume)
             << sb::schemeName(e.scheme);
-        EXPECT_EQ(scheme->claimsLeakFreedom(), e.leakFree)
+        EXPECT_EQ(c.obligesLeakFreedom, e.leakFree)
             << sb::schemeName(e.scheme);
     }
 }

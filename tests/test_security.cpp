@@ -59,8 +59,8 @@ TEST(SpectreV1, DelayOnMissBlocksTheChannelNotTheDataflow)
     // recovers the secret — but tainted transmitters still execute
     // when they *hit* in the L1, so the monitor legitimately records
     // transmitter violations. That asymmetry is exactly the
-    // leak-freedom-only contract DoM claims (claimsLeakFreedom
-    // without claimsTransmitterSafety).
+    // sandboxing contract DoM declares (obligesLeakFreedom without
+    // obligesTransmitterSafety).
     sb::SchemeConfig scfg;
     scfg.scheme = sb::Scheme::DelayOnMiss;
     const auto res = sb::runSpectreV1(sb::CoreConfig::mega(), scfg,

@@ -138,7 +138,11 @@ TEST(Battery, FoldAndJsonOverEngineOutcomes)
     EXPECT_TRUE(cell.leaked);
     EXPECT_TRUE(cell.armed);
     EXPECT_TRUE(cell.diverged);   // A leaky run is secret-dependent.
-    EXPECT_FALSE(cell.claimsTransmitterSafety);
+    EXPECT_EQ(cell.contract.policy, sb::ContractPolicy::None);
+    // An unprotected leak must come with the pinpointed repro record
+    // from the contract shadow engine.
+    EXPECT_TRUE(cell.firstCtViolation.valid());
+    EXPECT_GT(cell.ctViolations, 0u);
     EXPECT_TRUE(cell.pass());     // The baseline is *supposed* to leak.
     EXPECT_TRUE(matrix.ok());
 
@@ -158,7 +162,10 @@ class LeakyDummyScheme : public sb::SecureScheme
 {
   public:
     const char *name() const override { return "LeakyDummy"; }
-    bool claimsTransmitterSafety() const override { return true; }
+    sb::SecurityContract contract() const override
+    {
+        return sb::SecurityContract::transmitterSafe();
+    }
 };
 
 TEST(Differential, LeakyDummySchemeIsCaught)
@@ -190,9 +197,8 @@ TEST(Differential, LeakyDummySchemeIsCaught)
     sb::VerifyCell cell;
     cell.gadget = "spectre-v1";
     cell.scheme = sb::Scheme::Baseline;
-    cell.claimsTransmitterSafety =
-        LeakyDummyScheme().claimsTransmitterSafety();
-    cell.claimsLeakFreedom = LeakyDummyScheme().claimsLeakFreedom();
+    cell.contract = LeakyDummyScheme().contract();
+    cell.judgedPolicy = cell.contract.policy;
     cell.leaked = res_a.leaked || res_b.leaked;
     cell.armed = res_a.leaked && res_b.leaked;
     cell.diverged = res_a.traceHash != res_b.traceHash
@@ -257,7 +263,10 @@ class LeakyObservationalScheme : public sb::SecureScheme
 {
   public:
     const char *name() const override { return "LeakyObservational"; }
-    bool claimsLeakFreedom() const override { return true; }
+    sb::SecurityContract contract() const override
+    {
+        return sb::SecurityContract::sandboxing();
+    }
 };
 
 TEST(Differential, LeakyLeakFreedomClaimantIsCaught)
@@ -284,7 +293,9 @@ TEST(Differential, LeakyLeakFreedomClaimantIsCaught)
     sb::VerifyCell cell;
     cell.gadget = "spectre-v1";
     cell.scheme = sb::Scheme::Baseline;
-    cell.claimsLeakFreedom = true; // Claims nothing stronger.
+    // Declares nothing stronger than observational leak freedom.
+    cell.contract = sb::SecurityContract::sandboxing();
+    cell.judgedPolicy = cell.contract.policy;
     cell.leaked = res_a.leaked || res_b.leaked;
     cell.armed = res_a.leaked && res_b.leaked;
     cell.diverged = res_a.traceHash != res_b.traceHash
@@ -296,7 +307,7 @@ TEST(Differential, LeakyLeakFreedomClaimantIsCaught)
                                  "freedom must fail verification";
 }
 
-TEST(Battery, FoldCarriesTheLeakFreedomClaim)
+TEST(Battery, FoldCarriesTheContract)
 {
     std::vector<sb::RunSpec> specs;
     for (std::uint8_t secret : {sb::verifySecretA, sb::verifySecretB}) {
@@ -307,18 +318,57 @@ TEST(Battery, FoldCarriesTheLeakFreedomClaim)
     const auto matrix = sb::foldVerifyOutcomes(engine.run(specs));
     ASSERT_EQ(matrix.cells.size(), 1u);
     const auto &cell = matrix.cells[0];
-    EXPECT_TRUE(cell.claimsLeakFreedom);
-    EXPECT_FALSE(cell.claimsTransmitterSafety);
-    EXPECT_FALSE(cell.claimsConsumeSafety);
+    EXPECT_EQ(cell.contract.policy, sb::ContractPolicy::Sandboxing);
+    EXPECT_EQ(cell.judgedPolicy, sb::ContractPolicy::Sandboxing);
+    EXPECT_TRUE(cell.contract.obligesLeakFreedom);
+    EXPECT_FALSE(cell.contract.obligesTransmitterSafety);
+    EXPECT_FALSE(cell.contract.obligesConsumeSafety);
     EXPECT_FALSE(cell.leaked);
     EXPECT_FALSE(cell.diverged);
+    EXPECT_EQ(cell.sandboxViolations, 0u);
     EXPECT_TRUE(cell.pass());
 
     const sb::Json doc = sb::toJson(matrix);
-    EXPECT_TRUE(doc.at("cells")
-                    .items()[0]
-                    .at("claims_leak_freedom")
-                    .asBool());
+    const auto &jcell = doc.at("cells").items()[0];
+    EXPECT_EQ(jcell.at("contract").asString(), "sandboxing");
+    EXPECT_EQ(jcell.at("judged_contract").asString(), "sandboxing");
+    EXPECT_TRUE(jcell.at("obliges_leak_freedom").asBool());
+}
+
+TEST(Battery, ConstantTimeOverrideJudgesDeclaredCells)
+{
+    std::vector<sb::RunSpec> specs;
+    for (sb::Scheme s :
+         {sb::Scheme::Baseline, sb::Scheme::DelayOnMiss}) {
+        for (std::uint8_t secret :
+             {sb::verifySecretA, sb::verifySecretB}) {
+            specs.push_back(
+                gadgetSpec(sb::GadgetKind::SpectreV1, secret, s));
+        }
+    }
+    sb::ExperimentEngine engine;
+    const auto matrix = sb::foldVerifyOutcomes(
+        engine.run(specs), sb::ContractPolicy::ConstantTime);
+    ASSERT_EQ(matrix.cells.size(), 2u);
+    for (const auto &cell : matrix.cells) {
+        if (cell.scheme == sb::Scheme::Baseline) {
+            // The override never touches undeclared cells: Baseline
+            // keeps its armed-proof role, and its shadow record is the
+            // evidence that it violates constant-time.
+            EXPECT_EQ(cell.judgedPolicy, sb::ContractPolicy::None);
+            EXPECT_GT(cell.ctViolations, 0u);
+            EXPECT_TRUE(cell.firstCtViolation.valid());
+        } else {
+            EXPECT_EQ(cell.judgedPolicy,
+                      sb::ContractPolicy::ConstantTime);
+            // DoM never lets the secret reach a transmitter on this
+            // battery (the transient read is the only access, and the
+            // judged CT count is over executed transmitters).
+            EXPECT_EQ(cell.ctViolations, 0u);
+        }
+        EXPECT_TRUE(cell.pass());
+    }
+    EXPECT_TRUE(matrix.ok());
 }
 
 TEST(Differential, SecureSchemeTracesAreEquivalent)

@@ -9,11 +9,14 @@
  *   sbsim fuzz [opts]                # differential conformance fuzz
  *   sbsim serve [--fd N]             # shard worker daemon (internal)
  *
- * Options:
+ * Common options, accepted identically by run/all/verify/fuzz (one
+ * shared parser — parseCommonOpt — so the verbs cannot drift):
  *   --jobs N        worker threads (default: SB_JOBS, else hardware)
  *   --cache-dir D   result-cache directory (default: .sbsim-cache)
  *   --no-cache      disable the on-disk result cache
  *   --json          also write SBSIM_<scenario>.json outcome dumps
+ *
+ * run/all options:
  *   --shards N      run cells on N supervised worker processes
  *                   (`sbsim serve` children; crashes and hangs are
  *                   retried with backoff, poisoned cells quarantined,
@@ -21,6 +24,15 @@
  *                   no worker survives)
  *   --cell-timeout S  per-cell wall-clock budget in seconds; overruns
  *                   come back as stats["watchdog_tripped"] outcomes
+ *
+ * verify options:
+ *   --contract C    contract to judge protected cells under:
+ *                   declared (default; each scheme's own contract),
+ *                   sandboxing, or constant-time. The override only
+ *                   rebinds cells whose scheme declares a contract —
+ *                   the unprotected baseline keeps its armed-proof
+ *                   role (and its constant-time violation record is
+ *                   the printed evidence against it).
  *
  * SIGINT/SIGTERM stop dispatch gracefully: in-flight work is cut
  * short, finished cells stay in the cache, the partial grid summary
@@ -65,11 +77,13 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/json.hh"
 #include "common/signals.hh"
+#include "core/security_contract.hh"
 #include "harness/conformance.hh"
 #include "harness/engine.hh"
 #include "harness/result_cache.hh"
@@ -86,21 +100,72 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s list\n"
-                 "       %s run <scenario...> [--jobs N] [--cache-dir D]"
-                 " [--no-cache] [--json]\n"
-                 "             [--shards N] [--cell-timeout S]\n"
-                 "       %s all [--jobs N] [--cache-dir D] [--no-cache]"
-                 " [--json]\n"
-                 "             [--shards N] [--cell-timeout S]\n"
-                 "       %s verify [--jobs N] [--cache-dir D]"
-                 " [--no-cache] [--json]\n"
-                 "       %s fuzz [--programs N] [--seed S]"
+                 "       %s run <scenario...> [common] [--shards N]"
+                 " [--cell-timeout S]\n"
+                 "       %s all [common] [--shards N] [--cell-timeout S]\n"
+                 "       %s verify [common]"
+                 " [--contract declared|sandboxing|constant-time]\n"
+                 "       %s fuzz [common] [--programs N] [--seed S]"
                  " [--profile P] [--core C]\n"
-                 "             [--jobs N] [--cache-dir D] [--no-cache]"
-                 " [--json]\n"
-                 "       %s serve [--fd N] [--cache-dir D]\n",
+                 "       %s serve [--fd N] [--cache-dir D]\n"
+                 "common options (identical for run/all/verify/fuzz):\n"
+                 "       [--jobs N] [--cache-dir D] [--no-cache]"
+                 " [--json]\n",
                  argv0, argv0, argv0, argv0, argv0, argv0);
     return 2;
+}
+
+/** Options every simulating verb accepts with identical semantics. */
+struct CommonOpts
+{
+    unsigned jobs = 0;              // 0 = resolveJobs() default
+    std::string cacheDir = ".sbsim-cache";
+    bool useCache = true;
+    bool emitJson = false;
+};
+
+/**
+ * Shared flag parser for the cross-verb options. Attempts to consume
+ * argv[i] (advancing @p i past any value argument). Returns 1 when
+ * consumed, 0 when argv[i] is not a common option, -1 on a malformed
+ * value (diagnostic already printed).
+ */
+int
+parseCommonOpt(int argc, char **argv, int &i, CommonOpts &opts)
+{
+    const std::string arg = argv[i];
+    if (arg == "--jobs" || arg == "--cache-dir") {
+        if (++i >= argc) {
+            std::fprintf(stderr, "%s wants a value\n", arg.c_str());
+            return -1;
+        }
+    }
+    if (arg == "--jobs") {
+        char *end = nullptr;
+        errno = 0;
+        const long v = std::strtol(argv[i], &end, 10);
+        if (end == argv[i] || *end != '\0' || errno != 0 || v <= 0
+            || v > static_cast<long>(sb::maxJobs)) {
+            std::fprintf(stderr, "--jobs wants an integer in [1, %u]\n",
+                         sb::maxJobs);
+            return -1;
+        }
+        opts.jobs = static_cast<unsigned>(v);
+        return 1;
+    }
+    if (arg == "--cache-dir") {
+        opts.cacheDir = argv[i];
+        return 1;
+    }
+    if (arg == "--no-cache") {
+        opts.useCache = false;
+        return 1;
+    }
+    if (arg == "--json") {
+        opts.emitJson = true;
+        return 1;
+    }
+    return 0;
 }
 
 /** The path the dispatcher should exec as workers: this very binary. */
@@ -252,17 +317,19 @@ int
 fuzzMain(int argc, char **argv)
 {
     sb::FuzzParams params;
-    std::string cache_dir = ".sbsim-cache";
-    bool use_cache = true;
-    bool emit_json = false;
+    CommonOpts common;
 
     for (int i = 2; i < argc; ++i) {
+        const int consumed = parseCommonOpt(argc, argv, i, common);
+        if (consumed < 0)
+            return 2;
+        if (consumed > 0)
+            continue;
         const std::string arg = argv[i];
         char *end = nullptr;
         errno = 0;
         if (arg == "--programs" || arg == "--seed"
-            || arg == "--profile" || arg == "--core" || arg == "--jobs"
-            || arg == "--cache-dir") {
+            || arg == "--profile" || arg == "--core") {
             if (++i >= argc)
                 return usage(argv[0]);
         }
@@ -314,39 +381,24 @@ fuzzMain(int argc, char **argv)
                              argv[i]);
                 return 2;
             }
-        } else if (arg == "--jobs") {
-            const long v = std::strtol(argv[i], &end, 10);
-            if (end == argv[i] || *end != '\0' || errno != 0 || v <= 0
-                || v > static_cast<long>(sb::maxJobs)) {
-                std::fprintf(stderr,
-                             "--jobs wants an integer in [1, %u]\n",
-                             sb::maxJobs);
-                return 2;
-            }
-            params.jobs = static_cast<unsigned>(v);
-        } else if (arg == "--cache-dir") {
-            cache_dir = argv[i];
-        } else if (arg == "--no-cache") {
-            use_cache = false;
-        } else if (arg == "--json") {
-            emit_json = true;
         } else {
             std::fprintf(stderr, "unknown fuzz option '%s'\n",
                          arg.c_str());
             return usage(argv[0]);
         }
     }
-    params.cacheDir = use_cache ? cache_dir : std::string();
+    params.jobs = common.jobs;
+    params.cacheDir = common.useCache ? common.cacheDir : std::string();
 
     std::printf("sbsim fuzz: %u program(s), %zu cells, base seed %llu, "
                 "cache %s\n",
                 params.programs,
                 params.programs * sb::allSchemeConfigs().size(),
                 static_cast<unsigned long long>(params.baseSeed),
-                use_cache ? cache_dir.c_str() : "off");
+                common.useCache ? common.cacheDir.c_str() : "off");
     const sb::FuzzReport report = sb::runFuzz(params);
     printFuzzReport(report, stdout);
-    if (emit_json)
+    if (common.emitJson)
         writeFuzzJson(report);
     if (!report.ok()) {
         std::fprintf(stderr,
@@ -379,16 +431,19 @@ main(int argc, char **argv)
         return usage(argv[0]);
 
     std::vector<std::string> names;
-    unsigned jobs = 0;
+    CommonOpts common;
     unsigned shards = 0;
     double cell_timeout = 0;
-    std::string cache_dir = ".sbsim-cache";
-    bool use_cache = true;
-    bool emit_json = false;
+    std::optional<sb::ContractPolicy> contract_override;
 
     for (int i = 2; i < argc; ++i) {
+        const int consumed = parseCommonOpt(argc, argv, i, common);
+        if (consumed < 0)
+            return 2;
+        if (consumed > 0)
+            continue;
         const std::string arg = argv[i];
-        if (arg == "--shards") {
+        if (arg == "--shards" && command != "verify") {
             if (++i >= argc)
                 return usage(argv[0]);
             char *end = nullptr;
@@ -401,7 +456,7 @@ main(int argc, char **argv)
                 return 2;
             }
             shards = static_cast<unsigned>(v);
-        } else if (arg == "--cell-timeout") {
+        } else if (arg == "--cell-timeout" && command != "verify") {
             if (++i >= argc)
                 return usage(argv[0]);
             char *end = nullptr;
@@ -414,30 +469,28 @@ main(int argc, char **argv)
                 return 2;
             }
             cell_timeout = v;
-        } else if (arg == "--jobs") {
+        } else if (arg == "--contract" && command == "verify") {
             if (++i >= argc)
                 return usage(argv[0]);
-            char *end = nullptr;
-            errno = 0;
-            const long v = std::strtol(argv[i], &end, 10);
-            if (end == argv[i] || *end != '\0' || errno != 0 || v <= 0
-                || v > static_cast<long>(sb::maxJobs)) {
+            const std::string want = argv[i];
+            sb::ContractPolicy policy;
+            if (want == "declared") {
+                contract_override.reset();
+            } else if (sb::contractPolicyFromName(want, policy)
+                       && (policy == sb::ContractPolicy::Sandboxing
+                           || policy
+                                  == sb::ContractPolicy::ConstantTime)) {
+                contract_override = policy;
+            } else {
                 std::fprintf(stderr,
-                             "--jobs wants an integer in [1, %u]\n",
-                             sb::maxJobs);
+                             "--contract wants declared, sandboxing, "
+                             "or constant-time (got '%s')\n",
+                             want.c_str());
                 return 2;
             }
-            jobs = static_cast<unsigned>(v);
-        } else if (arg == "--cache-dir") {
-            if (++i >= argc)
-                return usage(argv[0]);
-            cache_dir = argv[i];
-        } else if (arg == "--no-cache") {
-            use_cache = false;
-        } else if (arg == "--json") {
-            emit_json = true;
         } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            std::fprintf(stderr, "unknown %s option '%s'\n",
+                         command.c_str(), arg.c_str());
             return usage(argv[0]);
         } else {
             names.push_back(arg);
@@ -480,11 +533,12 @@ main(int argc, char **argv)
     offsets.push_back(specs.size());
 
     sb::ExperimentEngine::Options options;
-    options.jobs = jobs;
+    options.jobs = common.jobs;
     // Model-only requests (zero cells) should not create a cache
     // directory as a side effect.
-    options.cacheDir =
-        use_cache && !specs.empty() ? cache_dir : std::string();
+    options.cacheDir = common.useCache && !specs.empty()
+                           ? common.cacheDir
+                           : std::string();
     options.shards = shards;
     options.cellTimeoutSec = cell_timeout;
     if (shards > 0)
@@ -493,7 +547,7 @@ main(int argc, char **argv)
 
     std::printf("sbsim: %zu scenario(s), %zu cells, %u jobs, cache %s",
                 scenarios.size(), specs.size(), engine.jobs(),
-                use_cache ? cache_dir.c_str() : "off");
+                common.useCache ? common.cacheDir.c_str() : "off");
     if (shards > 0)
         std::printf(", %u shard worker(s)", shards);
     std::printf("\n");
@@ -513,10 +567,10 @@ main(int argc, char **argv)
             // matrix JSON; the generic paths keep the raw outcome
             // dump (same as every other scenario).
             const sb::VerifyMatrix matrix =
-                sb::foldVerifyOutcomes(slice);
+                sb::foldVerifyOutcomes(slice, contract_override);
             sb::printVerifyMatrix(matrix, stdout);
             verify_ok = verify_ok && matrix.ok();
-            if (emit_json) {
+            if (common.emitJson) {
                 if (command == "verify")
                     writeVerifyJson(matrix);
                 else
@@ -525,7 +579,7 @@ main(int argc, char **argv)
             continue;
         }
         scenarios[i]->report(slice, stdout);
-        if (emit_json)
+        if (common.emitJson)
             writeOutcomesJson(scenarios[i]->name, slice);
     }
 
