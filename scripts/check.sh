@@ -11,6 +11,9 @@
 #                              # constant-time contract + run the
 #                              # contract_check fuzz scenario
 #   scripts/check.sh --fuzz    # Also run the conformance fuzz smoke
+#   scripts/check.sh --mitigations # Also prove each software
+#                              # mitigation's gadget closure and run a
+#                              # mitigated conformance slice
 #   scripts/check.sh --docs    # Also run the markdown docs link check
 #   scripts/check.sh --shards  # Also run the shard-tier smoke
 #                              # (cold sharded run == in-process run)
@@ -33,6 +36,7 @@ run_bench=0
 run_verify=0
 run_contracts=0
 run_fuzz=0
+run_mitigations=0
 run_docs=0
 run_shards=0
 for arg in "$@"; do
@@ -58,6 +62,9 @@ for arg in "$@"; do
       --fuzz)
         run_fuzz=1
         ;;
+      --mitigations)
+        run_mitigations=1
+        ;;
       --docs)
         run_docs=1
         ;;
@@ -66,7 +73,8 @@ for arg in "$@"; do
         ;;
       *)
         echo "usage: $0 [--asan] [--quick] [--bench] [--verify]" \
-             "[--contracts] [--fuzz] [--docs] [--shards]" >&2
+             "[--contracts] [--fuzz] [--mitigations] [--docs]" \
+             "[--shards]" >&2
         exit 2
         ;;
     esac
@@ -126,6 +134,30 @@ if [ "$run_fuzz" = 1 ]; then
         echo "FAIL: conformance fuzz found a divergence/deadlock" >&2
         status=1
     fi
+fi
+
+if [ "$run_mitigations" = 1 ]; then
+    # Software-mitigation gate: each pass must close exactly its
+    # target gadgets on the unprotected core (`sbsim verify
+    # --mitigation` exits nonzero on any closure miss), and a
+    # mitigated conformance slice must stay architecturally
+    # equivalent to the unmitigated oracle. --no-cache for the same
+    # reason as the battery: a cached verdict must never green-light
+    # a pass broken by the change under test.
+    for m in slh fence retpoline; do
+        if (cd "$build_dir" && ./sbsim verify --mitigation "$m" --no-cache --json); then
+            echo "closure matrix: $build_dir/SBSIM_verify_$m.json"
+        else
+            echo "FAIL: mitigation $m missed its closure contract" >&2
+            status=1
+        fi
+        if (cd "$build_dir" && ./sbsim fuzz --programs 10 --mitigation "$m" --no-cache); then
+            :
+        else
+            echo "FAIL: mitigation $m broke architectural equivalence" >&2
+            status=1
+        fi
+    done
 fi
 
 if [ "$run_bench" = 1 ]; then

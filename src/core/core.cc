@@ -235,7 +235,7 @@ Core::fastForward(std::uint64_t max_insts)
             // and ends the run normally.
             break;
         }
-        if (uop.op == Op::JmpReg) {
+        if (uop.isIndirect()) {
             const std::uint32_t target = static_cast<std::uint32_t>(
                 regVal[renameMap.lookup(uop.src1)]);
             if (cshadow.on()) {
@@ -243,8 +243,10 @@ Core::fastForward(std::uint64_t max_insts)
                     pc, cshadow.regLabel(renameMap.lookup(uop.src1))
                             .secret);
             }
-            // Train the BTB exactly like commit does.
-            btb[pc] = target;
+            // Train the BTB exactly like commit does. JmpRegRet
+            // never touches the BTB, in warmup or in the core.
+            if (uop.op == Op::JmpReg)
+                btb[pc] = target;
             pc = target;
             ++n;
             continue;
@@ -429,7 +431,10 @@ Core::commitPhase()
             --branchesInFlight;
             if (inst.uop.op == Op::JmpReg) {
                 btb[inst.pc] = inst.actualTarget;
-            } else if (inst.uop.op != Op::Jmp) {
+            } else if (inst.uop.op != Op::Jmp
+                       && inst.uop.op != Op::JmpRegRet) {
+                // JmpRegRet is the retpoline indirect: it trains
+                // neither the BTB nor the direction predictor.
                 predictor.update(inst.pc, inst.histSnapshot,
                                  inst.actualTaken);
             }
@@ -579,9 +584,11 @@ Core::executeBranch(DynInst &inst)
     inst.completed = true;
 
     // An indirect jump's destination is its operand value; direct
-    // branches take the static target or fall through.
+    // branches take the static target or fall through. JmpRegRet is
+    // fetched as a fall-through (predTaken false, no BTB lookup), so
+    // its generic predicted_next is pc + 1: the capture pad.
     const std::uint32_t correct_next =
-        inst.uop.op == Op::JmpReg
+        inst.uop.isIndirect()
             ? static_cast<std::uint32_t>(s1)
             : (inst.actualTaken ? inst.uop.target : inst.pc + 1);
     const std::uint32_t predicted_next =
@@ -594,7 +601,7 @@ Core::executeBranch(DynInst &inst)
         ++st.branchMispredicts;
         trace("mispredict", inst);
         squash(inst.seq, correct_next);
-        if (inst.uop.op != Op::Jmp && inst.uop.op != Op::JmpReg) {
+        if (inst.uop.op != Op::Jmp && !inst.uop.isIndirect()) {
             ghist = (inst.histSnapshot << 1)
                     | (inst.actualTaken ? 1u : 0u);
         }
@@ -985,6 +992,15 @@ Core::renamePhase()
             ++st.lsuFullStalls;
             break;
         }
+        if (inst.uop.op == Op::Fence && !rob.empty()) {
+            // Speculation barrier: serialize at rename until every
+            // older instruction has committed. Older in-flight
+            // instructions are already renamed (rename is in-order),
+            // so they drain independently; a wrong-path fence is
+            // removed by the squash of its shadowing branch.
+            ++st.fenceStalls;
+            break;
+        }
 
         if (inst.uop.hasSrc1())
             inst.psrc1 = renameMap.lookup(inst.uop.src1);
@@ -1014,7 +1030,10 @@ Core::renamePhase()
         if (inst.isBranch())
             ++branchesInFlight;
 
-        if (inst.uop.op == Op::Nop || inst.uop.isHalt()) {
+        if (inst.uop.op == Op::Nop || inst.uop.op == Op::Fence
+            || inst.uop.isHalt()) {
+            // A fence that reaches this point renamed into an empty
+            // ROB; it completes immediately, like a Nop.
             inst.completed = true;
         } else {
             dispatchQueue.push_back(h);
@@ -1153,7 +1172,7 @@ Core::squash(SeqNum from_seq, std::uint32_t new_pc)
         if (inst.isBranch()) {
             sb_assert(branchesInFlight > 0, "branch count underflow");
             --branchesInFlight;
-            if (inst.uop.op != Op::Jmp && inst.uop.op != Op::JmpReg)
+            if (inst.uop.op != Op::Jmp && !inst.uop.isIndirect())
                 ghist_restore = inst.histSnapshot;
         }
         rob.pop_back();

@@ -92,6 +92,7 @@ struct CoreStats
           freelistStalls(g.counter("freelist_stalls")),
           branchCapStalls(g.counter("branch_cap_stalls")),
           lsuFullStalls(g.counter("lsu_full_stalls")),
+          fenceStalls(g.counter("fence_stalls")),
           squashedInsts(g.counter("squashed_insts")),
           squashes(g.counter("squashes")),
           decodeCacheHits(g.counter("decode_cache_hits")),
@@ -124,6 +125,8 @@ struct CoreStats
     Counter &freelistStalls;
     Counter &branchCapStalls;
     Counter &lsuFullStalls;
+    /** Cycles rename held a Fence back waiting for the ROB to drain. */
+    Counter &fenceStalls;
     Counter &squashedInsts;
     Counter &squashes;
     /** Engine health: decode-cache effectiveness + slab churn. */

@@ -124,6 +124,11 @@ class DecodeCache
         } else if (uop.op == Op::Jmp) {
             d.kind = FetchKind::Jmp;
             d.tmpl.predTaken = true;
+        } else if (uop.op == Op::JmpRegRet) {
+            // Retpoline-style indirect: the front end deliberately
+            // falls through (into the capture pad) and never consults
+            // or trains the BTB; execute redirects to src1's value.
+            d.kind = FetchKind::Plain;
         } else if (uop.isBranch()) {
             d.kind = FetchKind::CondBranch;
         } else {

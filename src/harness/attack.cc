@@ -38,29 +38,40 @@ runGadgetAttack(const GadgetProgram &gadget,
                 const CoreConfig &core_config,
                 const SchemeConfig &scheme_config,
                 std::unique_ptr<SecureScheme> scheme,
-                std::uint8_t secret_byte)
+                std::uint8_t secret_byte,
+                const TransformedProgram *mitigated)
 {
     using gadget_layout::array2Base;
     using gadget_layout::probeStride;
 
     Core core(core_config, scheme_config, std::move(scheme),
-              gadget.program);
+              mitigated ? mitigated->program : gadget.program);
     core.enableObservationTrace();
     // The battery always judges contracts, whatever the build default
     // (the engine is a pure observer, so timing is unaffected).
     core.setContractShadowEnabled(true);
 
     // Commit-time receiver: record the commit cycle of each probe.
+    // Under a mitigation committed PCs are mapped back to the PC of
+    // the original instruction they stand for — mitigation thunks
+    // are appended past firstProbePc and must not read as probes.
     std::vector<Cycle> commit_cycle(256, 0);
     bool rounds_done = false;
     const std::uint32_t first_probe_pc = gadget.firstProbePc;
     core.setCommitHook([&](const DynInst &inst, Cycle at) {
-        if (inst.pc >= first_probe_pc && inst.isLoad()) {
-            const unsigned v = 1 + (inst.pc - first_probe_pc) / 4;
+        std::int64_t opc = inst.pc;
+        if (mitigated) {
+            opc = mitigated->origin(inst.pc);
+            if (opc < 0)
+                return; // Inserted glue: invisible to the receiver.
+        }
+        if (opc >= first_probe_pc && inst.isLoad()) {
+            const unsigned v =
+                1 + static_cast<unsigned>(opc - first_probe_pc) / 4;
             if (v < 256)
                 commit_cycle[v] = at;
         }
-        if (inst.pc == gadget.barrierPc)
+        if (static_cast<std::uint32_t>(opc) == gadget.barrierPc)
             rounds_done = true;
     });
 

@@ -22,6 +22,7 @@
 #include "common/config.hh"
 #include "core/contract_shadow.hh"
 #include "core/scheme_iface.hh"
+#include "isa/transform.hh"
 #include "trace/gadgets.hh"
 
 namespace sb
@@ -70,12 +71,20 @@ AttackResult runGadget(GadgetKind kind, const CoreConfig &core_config,
  * Run a pre-built gadget with an explicit scheme instance — the
  * injection point the differential-checker tests use to verify that
  * an intentionally leaky scheme is caught.
+ *
+ * When @p mitigated is non-null the core executes its (software-
+ * hardened) program instead of gadget.program, and the commit-time
+ * receiver maps committed PCs through TransformedProgram::origin so
+ * the probe-slot arithmetic and barrier detection stay exact: thunk
+ * PCs live past firstProbePc and would otherwise misread as probes.
  */
 AttackResult runGadgetAttack(const GadgetProgram &gadget,
                              const CoreConfig &core_config,
                              const SchemeConfig &scheme_config,
                              std::unique_ptr<SecureScheme> scheme,
-                             std::uint8_t secret_byte);
+                             std::uint8_t secret_byte,
+                             const TransformedProgram *mitigated =
+                                 nullptr);
 
 /** The original Spectre-v1 entry point (kept for the seed tests). */
 AttackResult runSpectreV1(const CoreConfig &core_config,

@@ -85,16 +85,29 @@ ConformanceCell
 runConformanceCell(const Program &program, const CoreConfig &core_cfg,
                    const SchemeConfig &scheme_config,
                    std::unique_ptr<SecureScheme> scheme,
-                   std::uint64_t max_cycles)
+                   std::uint64_t max_cycles,
+                   const TransformedProgram *mitigated)
 {
     Core core(core_cfg, scheme_config, std::move(scheme), program);
     core.setInvariantsEnabled(true);
     core.setContractShadowEnabled(true);
     core.setSoftWatchdog(100000);
 
+    // Under a mitigation the fingerprint is taken modulo inserted
+    // glue: committed PCs map back through origin(), glue commits
+    // vanish from both the digest and the instruction count.
     std::uint64_t commit_hash = fnv1aBasis;
-    core.setCommitHook([&commit_hash](const DynInst &inst, Cycle) {
-        commit_hash = fnv1aWord(commit_hash, inst.pc);
+    std::uint64_t useful = 0;
+    core.setCommitHook([&](const DynInst &inst, Cycle) {
+        std::int64_t opc = inst.pc;
+        if (mitigated) {
+            opc = mitigated->origin(inst.pc);
+            if (opc < 0)
+                return;
+        }
+        commit_hash =
+            fnv1aWord(commit_hash, static_cast<std::uint64_t>(opc));
+        ++useful;
     });
 
     const RunResult r =
@@ -102,7 +115,7 @@ runConformanceCell(const Program &program, const CoreConfig &core_cfg,
                  max_cycles);
 
     ConformanceCell cell;
-    cell.instructions = r.instructions;
+    cell.instructions = mitigated ? useful : r.instructions;
     cell.cycles = r.cycles;
     cell.halted = r.halted;
     cell.watchdogTripped = r.watchdogTripped;
@@ -141,9 +154,18 @@ runFuzzCell(const RunSpec &spec)
     gen.outerIterations = iterations;
     const Program program = generateProgram(gen);
 
-    const ConformanceCell cell =
-        runConformanceCell(program, spec.core, spec.scheme,
-                           makeScheme(spec.scheme), spec.maxCycles);
+    ConformanceCell cell;
+    if (spec.mitigation.enabled()) {
+        const TransformedProgram mitigated =
+            applyMitigation(spec.mitigation.kind, program);
+        cell = runConformanceCell(mitigated.program, spec.core,
+                                  spec.scheme, makeScheme(spec.scheme),
+                                  spec.maxCycles, &mitigated);
+    } else {
+        cell = runConformanceCell(program, spec.core, spec.scheme,
+                                  makeScheme(spec.scheme),
+                                  spec.maxCycles);
+    }
 
     RunOutcome out;
     out.workload = spec.workload;
@@ -186,24 +208,40 @@ FuzzFailure::repro(const std::string &core_name) const
                       + opMixProfileName(profile);
     if (!core_name.empty() && core_name != "mega")
         cmd += " --core " + core_name;
+    if (mitigation != Mitigation::None)
+        cmd += std::string(" --mitigation ") + mitigationName(mitigation);
     return cmd;
 }
 
 std::vector<RunSpec>
 fuzzSpecs(const FuzzParams &params)
 {
+    const bool mitigated = params.mitigation != Mitigation::None;
     std::vector<RunSpec> specs;
-    specs.reserve(params.programs * allSchemeConfigs().size());
+    specs.reserve(params.programs
+                  * (allSchemeConfigs().size() + (mitigated ? 1 : 0)));
     for (unsigned p = 0; p < params.programs; ++p) {
+        const std::string workload =
+            fuzzWorkloadName(params.profileFor(p), params.programSeed(p),
+                             params.outerIterations);
+        if (mitigated) {
+            // The architectural oracle: the untransformed program on
+            // the Baseline core. Every mitigated cell — including the
+            // mitigated Baseline — is judged against this one.
+            RunSpec oracle;
+            oracle.core = params.core;
+            oracle.scheme = allSchemeConfigs().front();
+            oracle.workload = workload;
+            oracle.maxCycles = params.maxCycles;
+            specs.push_back(std::move(oracle));
+        }
         for (const SchemeConfig &scheme : allSchemeConfigs()) {
             RunSpec spec;
             spec.core = params.core;
             spec.scheme = scheme;
-            spec.workload =
-                fuzzWorkloadName(params.profileFor(p),
-                                 params.programSeed(p),
-                                 params.outerIterations);
+            spec.workload = workload;
             spec.maxCycles = params.maxCycles;
+            spec.mitigation.kind = params.mitigation;
             specs.push_back(std::move(spec));
         }
     }
@@ -249,7 +287,9 @@ foldFuzzOutcomes(const FuzzParams &params,
                  const std::vector<RunOutcome> &outcomes)
 {
     const std::vector<SchemeConfig> schemes = allSchemeConfigs();
-    sb_assert(outcomes.size() == params.programs * schemes.size(),
+    const bool mitigated = params.mitigation != Mitigation::None;
+    const std::size_t stride = schemes.size() + (mitigated ? 1 : 0);
+    sb_assert(outcomes.size() == params.programs * stride,
               "fuzz outcome count does not match the campaign");
     sb_assert(!schemes.empty()
                   && schemes.front().scheme == Scheme::Baseline,
@@ -259,6 +299,7 @@ foldFuzzOutcomes(const FuzzParams &params,
     report.programs = params.programs;
     report.cells = static_cast<unsigned>(outcomes.size());
     report.coreName = params.core.name;
+    report.mitigation = params.mitigation;
 
     // The contract each scheme declares is constant per scheme:
     // resolve the descriptors once, not per (program, scheme) cell.
@@ -270,16 +311,20 @@ foldFuzzOutcomes(const FuzzParams &params,
     for (unsigned p = 0; p < params.programs; ++p) {
         const std::uint64_t seed = params.programSeed(p);
         const OpMixProfile profile = params.profileFor(p);
-        const std::size_t base_idx = std::size_t(p) * schemes.size();
+        const std::size_t base_idx = std::size_t(p) * stride;
+        // The oracle: with a mitigation the extra leading unmitigated
+        // Baseline cell; otherwise the roster's Baseline cell itself.
         const ConformanceCell baseline =
             cellFromOutcome(outcomes[base_idx]);
 
         auto add = [&](Scheme scheme, const char *kind,
-                       std::string detail) {
+                       std::string detail,
+                       Mitigation m = Mitigation::None) {
             FuzzFailure f;
             f.seed = seed;
             f.profile = profile;
             f.scheme = scheme;
+            f.mitigation = m;
             f.kind = kind;
             f.detail = std::move(detail);
             report.failures.push_back(std::move(f));
@@ -298,16 +343,21 @@ foldFuzzOutcomes(const FuzzParams &params,
                     + " invariant violation(s) under Baseline");
         }
 
-        for (std::size_t s = 1; s < schemes.size(); ++s) {
+        // With a mitigation even the (mitigated) Baseline cell is
+        // judged against the unmitigated oracle — that comparison IS
+        // the transform-correctness check.
+        for (std::size_t s = mitigated ? 0 : 1; s < schemes.size();
+             ++s) {
             const Scheme scheme = schemes[s].scheme;
-            const ConformanceCell cell =
-                cellFromOutcome(outcomes[base_idx + s]);
+            const ConformanceCell cell = cellFromOutcome(
+                outcomes[base_idx + s + (mitigated ? 1 : 0)]);
 
             if (!cell.halted || cell.watchdogTripped) {
                 add(scheme, "deadlock",
                     cell.watchdogTripped
                         ? "no commit within the watchdog window"
-                        : "cycle budget exhausted before halt");
+                        : "cycle budget exhausted before halt",
+                    params.mitigation);
                 continue;
             }
             if (!cell.architecturallyEqual(baseline)) {
@@ -325,12 +375,14 @@ foldFuzzOutcomes(const FuzzParams &params,
                     detail += " insts "
                               + std::to_string(cell.instructions) + "!="
                               + std::to_string(baseline.instructions);
-                add(scheme, "divergence", std::move(detail));
+                add(scheme, "divergence", std::move(detail),
+                    params.mitigation);
             }
             if (cell.invariantViolations) {
                 add(scheme, "invariant",
                     std::to_string(cell.invariantViolations)
-                        + " invariant violation(s)");
+                        + " invariant violation(s)",
+                    params.mitigation);
             }
 
             // Monitor obligations: only the ones the scheme's
@@ -342,14 +394,16 @@ foldFuzzOutcomes(const FuzzParams &params,
                 add(scheme, "monitor",
                     std::to_string(cell.transmitViolations)
                         + " transmit violation(s) against a "
-                          "transmitter-safety obligation");
+                          "transmitter-safety obligation",
+                    params.mitigation);
             }
             if (contracts[s].obligesConsumeSafety
                 && cell.consumeViolations) {
                 add(scheme, "monitor",
                     std::to_string(cell.consumeViolations)
                         + " consume violation(s) against a "
-                          "consume-safety obligation");
+                          "consume-safety obligation",
+                    params.mitigation);
             }
 
             // Contract shadow check, on the generated programs'
@@ -369,7 +423,8 @@ foldFuzzOutcomes(const FuzzParams &params,
                         + contractPolicyName(policy)
                         + " contract; first at cycle "
                         + std::to_string(cell.firstSandboxCycle)
-                        + " pc " + std::to_string(cell.firstSandboxPc));
+                        + " pc " + std::to_string(cell.firstSandboxPc),
+                    params.mitigation);
             }
         }
     }
@@ -394,6 +449,7 @@ toJson(const FuzzReport &report)
     doc.set("programs", Json::num(std::uint64_t(report.programs)));
     doc.set("cells", Json::num(std::uint64_t(report.cells)));
     doc.set("core", Json::str(report.coreName));
+    doc.set("mitigation", Json::str(mitigationName(report.mitigation)));
     doc.set("ok", Json::boolean(report.ok()));
     Json failures = Json::array();
     for (const FuzzFailure &f : report.failures) {
@@ -401,6 +457,7 @@ toJson(const FuzzReport &report)
         entry.set("seed", Json::num(f.seed));
         entry.set("profile", Json::str(opMixProfileName(f.profile)));
         entry.set("scheme", Json::str(schemeName(f.scheme)));
+        entry.set("mitigation", Json::str(mitigationName(f.mitigation)));
         entry.set("kind", Json::str(f.kind));
         entry.set("detail", Json::str(f.detail));
         entry.set("repro", Json::str(f.repro(report.coreName)));
@@ -413,17 +470,29 @@ toJson(const FuzzReport &report)
 void
 printFuzzReport(const FuzzReport &report, std::FILE *out)
 {
-    std::fprintf(out,
-                 "=== Differential conformance: %u program(s) x "
-                 "%zu scheme(s) on %s ===\n",
-                 report.programs, allSchemeConfigs().size(),
-                 report.coreName.c_str());
+    if (report.mitigation != Mitigation::None) {
+        std::fprintf(out,
+                     "=== Differential conformance: %u program(s) x "
+                     "%zu scheme(s) on %s, mitigation=%s ===\n",
+                     report.programs, allSchemeConfigs().size(),
+                     report.coreName.c_str(),
+                     mitigationName(report.mitigation));
+    } else {
+        std::fprintf(out,
+                     "=== Differential conformance: %u program(s) x "
+                     "%zu scheme(s) on %s ===\n",
+                     report.programs, allSchemeConfigs().size(),
+                     report.coreName.c_str());
+    }
     if (report.failures.empty()) {
         std::fprintf(out,
-                     "all %u cells architecturally identical to "
+                     "all %u cells architecturally %s to "
                      "Baseline; no deadlocks, no invariant "
                      "violations\nverdict: PASS\n",
-                     report.cells);
+                     report.cells,
+                     report.mitigation != Mitigation::None
+                         ? "equivalent (modulo transform glue)"
+                         : "identical");
         return;
     }
     for (const FuzzFailure &f : report.failures) {

@@ -37,6 +37,7 @@
 #include "common/json.hh"
 #include "harness/experiment.hh"
 #include "isa/generator.hh"
+#include "isa/transform.hh"
 
 namespace sb
 {
@@ -101,12 +102,21 @@ struct ConformanceCell
  * checkers force-enabled and a soft watchdog (a deadlock returns with
  * watchdogTripped instead of aborting). The timing path is untouched:
  * the harness observes, never perturbs.
+ *
+ * When @p mitigated is non-null, @p program must be its .program and
+ * the fingerprint is taken *modulo the transform's glue*: committed
+ * PCs are mapped through TransformedProgram::origin, inserted glue
+ * (origin < 0) is dropped from the commit digest, and `instructions`
+ * counts only origin-mapped commits — so a correct transform produces
+ * a cell architecturallyEqual() to the untransformed Baseline run.
  */
 ConformanceCell runConformanceCell(const Program &program,
                                    const CoreConfig &core,
                                    const SchemeConfig &scheme_config,
                                    std::unique_ptr<SecureScheme> scheme,
-                                   std::uint64_t max_cycles);
+                                   std::uint64_t max_cycles,
+                                   const TransformedProgram *mitigated =
+                                       nullptr);
 
 /**
  * Execute one fuzz cell (ExperimentRunner::runOne dispatches here for
@@ -131,6 +141,12 @@ struct FuzzParams
     unsigned jobs = 0;
     /** Result-cache directory; empty disables the disk cache. */
     std::string cacheDir;
+    /** Software mitigation applied to every non-oracle cell. When set
+     *  the campaign grows an extra *unmitigated* Baseline cell per
+     *  program (the oracle) and every scheme — including Baseline —
+     *  runs the transformed program, judged for architectural
+     *  equivalence against that oracle modulo inserted glue. */
+    Mitigation mitigation = Mitigation::None;
 
     /** Program seed of the @p index -th program in the campaign. */
     std::uint64_t programSeed(unsigned index) const
@@ -148,6 +164,8 @@ struct FuzzFailure
     std::uint64_t seed = 0;
     OpMixProfile profile = OpMixProfile::Mixed;
     Scheme scheme = Scheme::Baseline;
+    /** Mitigation active in the failing cell (None for oracle cells). */
+    Mitigation mitigation = Mitigation::None;
     /** "divergence" | "deadlock" | "invariant" | "monitor" |
      *  "contract" (shadow-engine sandboxing breach against a declared
      *  dataflow policy). */
@@ -164,13 +182,17 @@ struct FuzzReport
     unsigned programs = 0;
     unsigned cells = 0;
     std::string coreName;
+    Mitigation mitigation = Mitigation::None;
     std::vector<FuzzFailure> failures;
 
     bool ok() const { return cells > 0 && failures.empty(); }
 };
 
 /** The campaign's RunSpecs: for each program, every scheme in roster
- *  order with Baseline first (foldFuzzOutcomes relies on the order). */
+ *  order with Baseline first (foldFuzzOutcomes relies on the order).
+ *  With params.mitigation set, each program additionally *leads* with
+ *  an unmitigated Baseline oracle cell, so the per-program stride is
+ *  schemes + 1. */
 std::vector<RunSpec> fuzzSpecs(const FuzzParams &params);
 
 /** Fold engine outcomes (in fuzzSpecs() order) into the verdict. */

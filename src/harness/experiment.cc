@@ -32,8 +32,9 @@ RunSpec::canonical() const
     std::ostringstream oss;
     oss << "schema=" << specSchemaVersion << "|core{"
         << core.canonical() << "}|scheme{" << scheme.canonical()
-        << "}|workload=" << workload << "|warmup=" << warmupInsts
-        << "|measure=" << measureInsts << "|maxcycles=" << maxCycles;
+        << "}|workload=" << workload << "|" << mitigation.canonical()
+        << "|warmup=" << warmupInsts << "|measure=" << measureInsts
+        << "|maxcycles=" << maxCycles;
     return oss.str();
 }
 
@@ -92,8 +93,21 @@ ExperimentRunner::runOne(const RunSpec &spec, const RunHooks &hooks)
         return runFuzzCell(spec);
 
     const Workload workload = SpecSuite::make(spec.workload);
+    const TransformedProgram transformed =
+        applyMitigation(spec.mitigation.kind, workload.program);
     Core core(spec.core, spec.scheme, makeScheme(spec.scheme),
-              workload.program);
+              transformed.program);
+
+    // Under a mitigation the raw committed-instruction count includes
+    // pass glue; track *useful* commits (instructions standing for an
+    // original one) so overhead reports can compare like with like.
+    std::uint64_t useful = 0;
+    if (spec.mitigation.enabled()) {
+        core.setCommitHook([&](const DynInst &inst, Cycle) {
+            if (transformed.origin(inst.pc) >= 0)
+                ++useful;
+        });
+    }
 
     if (hooks.wallDeadlineSec > 0) {
         core.setWallDeadline(hooks.wallDeadlineSec);
@@ -109,6 +123,7 @@ ExperimentRunner::runOne(const RunSpec &spec, const RunHooks &hooks)
     core.stats().reset();
     const Cycle cycles0 = core.now();
     const std::uint64_t insts0 = core.committedInstructions();
+    const std::uint64_t useful0 = useful;
 
     core.run(spec.measureInsts, spec.maxCycles);
 
@@ -126,6 +141,8 @@ ExperimentRunner::runOne(const RunSpec &spec, const RunHooks &hooks)
     out.consumeViolations = core.monitor().consumeViolations();
     for (const auto &kv : core.stats().counters())
         out.stats[kv.first] = kv.second.value();
+    if (spec.mitigation.enabled())
+        out.stats["useful_instructions"] = useful - useful0;
     if (core.watchdogTripped()) {
         // Supervision artifact, not a measurement: the cell ran out
         // of wall clock (or was interrupted, or genuinely stalled).

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "isa/transform.hh"
 
 namespace sb
 {
@@ -25,7 +26,7 @@ namespace sb
  * cache lines then miss instead of resurfacing stale results. CI
  * keys its persisted result cache on this constant.
  */
-constexpr unsigned specSchemaVersion = 4;
+constexpr unsigned specSchemaVersion = 5;
 
 /** One simulation to run. */
 struct RunSpec
@@ -35,6 +36,9 @@ struct RunSpec
     /** SPEC stand-in name, or a "gadget:" security-battery cell
      *  (see harness/verify.hh). */
     std::string workload;
+    /** Software mitigation applied to the program before simulation
+     *  (isa/transform.hh); None runs the workload as written. */
+    MitigationConfig mitigation;
     std::uint64_t warmupInsts = 30000;
     std::uint64_t measureInsts = 120000;
     std::uint64_t maxCycles = 40'000'000;

@@ -312,6 +312,7 @@ toJson(const RunSpec &spec)
     j.set("core", toJson(spec.core));
     j.set("scheme", toJson(spec.scheme));
     j.set("workload", Json::str(spec.workload));
+    j.set("mitigation", Json::str(mitigationName(spec.mitigation.kind)));
     j.set("warmup", Json::num(spec.warmupInsts));
     j.set("measure", Json::num(spec.measureInsts));
     j.set("maxcycles", Json::num(spec.maxCycles));
@@ -324,10 +325,13 @@ runSpecFromJson(const Json &json, RunSpec &out)
     if (!json.isObject())
         return false;
     RunSpec s;
+    std::string mitigation;
     if (!json.has("core") || !coreConfigFromJson(json.at("core"), s.core)
         || !json.has("scheme")
         || !schemeConfigFromJson(json.at("scheme"), s.scheme)
         || !getString(json, "workload", s.workload)
+        || !getString(json, "mitigation", mitigation)
+        || !mitigationFromName(mitigation, s.mitigation.kind)
         || !getU64(json, "warmup", s.warmupInsts)
         || !getU64(json, "measure", s.measureInsts)
         || !getU64(json, "maxcycles", s.maxCycles))

@@ -40,7 +40,7 @@ namespace sb
 
 /** Protocol version, carried in the hello message. A dispatcher
  *  refuses a worker answering with a different version. */
-constexpr unsigned shardProtocolVersion = 1;
+constexpr unsigned shardProtocolVersion = 2;
 
 /** Upper bound on one frame; larger lengths mean a corrupt stream. */
 constexpr std::uint32_t maxFrameBytes = 64u << 20;

@@ -15,6 +15,7 @@ ScenarioRegistry::instance()
         ScenarioRegistry r;
         registerPaperScenarios(r);
         registerSecurityScenarios(r);
+        registerMitigationScenarios(r);
         registerConformanceScenarios(r);
         return r;
     }();

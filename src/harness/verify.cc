@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -96,8 +97,18 @@ runGadgetCell(const RunSpec &spec)
     if (!parseGadgetWorkload(spec.workload, kind, secret, seed))
         sb_fatal("malformed gadget workload '", spec.workload, "'");
 
-    const AttackResult res =
-        runGadget(kind, spec.core, spec.scheme, secret, seed);
+    AttackResult res;
+    if (spec.mitigation.enabled()) {
+        const GadgetProgram gadget =
+            buildGadgetProgram(kind, secret, seed);
+        const TransformedProgram mitigated =
+            applyMitigation(spec.mitigation.kind, gadget.program);
+        res = runGadgetAttack(gadget, spec.core, spec.scheme,
+                              makeScheme(spec.scheme), secret,
+                              &mitigated);
+    } else {
+        res = runGadget(kind, spec.core, spec.scheme, secret, seed);
+    }
 
     RunOutcome out;
     out.workload = spec.workload;
@@ -385,6 +396,290 @@ registerSecurityScenarios(ScenarioRegistry &registry)
                   std::FILE *out) {
         printVerifyMatrix(foldVerifyOutcomes(outcomes), out);
     };
+    registry.add(std::move(s));
+}
+
+// --- Software-mitigation co-study ---------------------------------------
+
+bool
+mitigationCloses(Mitigation m, GadgetKind gadget)
+{
+    switch (m) {
+      case Mitigation::None:
+        return false;
+      case Mitigation::Slh:
+      case Mitigation::Fence:
+        return gadget == GadgetKind::SpectreV1
+               || gadget == GadgetKind::SpectreV1Mask;
+      case Mitigation::Retpoline:
+        return gadget == GadgetKind::SpectreV2Indirect;
+    }
+    return false;
+}
+
+bool
+MitigationCell::pass() const
+{
+    if (policy == ContractPolicy::None)
+        return target ? closed : armed;
+    return schemePass;
+}
+
+std::vector<RunSpec>
+mitigationBatterySpecs(const CoreConfig &core,
+                       const std::vector<SchemeConfig> &schemes,
+                       Mitigation m)
+{
+    std::vector<RunSpec> specs = verifyBatterySpecs(core, schemes);
+    const std::size_t half = specs.size();
+    for (std::size_t i = 0; i < half; ++i) {
+        RunSpec s = specs[i];
+        s.mitigation.kind = m;
+        specs.push_back(std::move(s));
+    }
+    return specs;
+}
+
+MitigationReport
+foldMitigationOutcomes(Mitigation m,
+                       const std::vector<RunOutcome> &outcomes)
+{
+    sb_assert(outcomes.size() % 2 == 0,
+              "mitigation battery outcomes must split into matching "
+              "unmitigated/mitigated halves");
+    const std::size_t half = outcomes.size() / 2;
+    const VerifyMatrix base = foldVerifyOutcomes(
+        {outcomes.begin(), outcomes.begin() + half});
+    const VerifyMatrix mit = foldVerifyOutcomes(
+        {outcomes.begin() + half, outcomes.end()});
+    sb_assert(base.cells.size() == mit.cells.size(),
+              "mitigation fold halves disagree");
+
+    MitigationReport report;
+    report.mitigation = m;
+    for (std::size_t i = 0; i < base.cells.size(); ++i) {
+        const VerifyCell &b = base.cells[i];
+        const VerifyCell &v = mit.cells[i];
+        sb_assert(b.gadget == v.gadget && b.scheme == v.scheme,
+                  "mitigation fold pair mismatch: ", b.gadget, " vs ",
+                  v.gadget);
+        GadgetKind kind;
+        sb_assert(gadgetFromName(v.gadget, kind),
+                  "unknown gadget in fold: ", v.gadget);
+
+        MitigationCell cell;
+        cell.gadget = v.gadget;
+        cell.scheme = v.scheme;
+        cell.policy = v.contract.policy;
+        cell.target = cell.policy == ContractPolicy::None
+                      && mitigationCloses(m, kind);
+        cell.closed = !v.leaked && !v.firstCtViolation.valid();
+        cell.armed = v.armed;
+        cell.schemePass = v.pass();
+        cell.cyclesBase = b.cyclesA;
+        cell.cyclesMitigated = v.cyclesA;
+        cell.overhead =
+            b.cyclesA == 0 ? 0.0
+                           : static_cast<double>(v.cyclesA)
+                                 / static_cast<double>(b.cyclesA);
+        report.cells.push_back(std::move(cell));
+    }
+    return report;
+}
+
+Json
+toJson(const MitigationReport &report)
+{
+    Json doc = Json::object();
+    doc.set("schema", Json::num(std::uint64_t(1)));
+    doc.set("mitigation",
+            Json::str(mitigationName(report.mitigation)));
+    doc.set("ok", Json::boolean(report.ok()));
+    Json cells = Json::array();
+    for (const MitigationCell &cell : report.cells) {
+        Json c = Json::object();
+        c.set("gadget", Json::str(cell.gadget));
+        c.set("scheme", Json::str(schemeName(cell.scheme)));
+        c.set("contract", Json::str(contractPolicyName(cell.policy)));
+        c.set("target", Json::boolean(cell.target));
+        c.set("closed", Json::boolean(cell.closed));
+        c.set("armed", Json::boolean(cell.armed));
+        c.set("scheme_pass", Json::boolean(cell.schemePass));
+        c.set("cycles_base", Json::num(cell.cyclesBase));
+        c.set("cycles_mitigated", Json::num(cell.cyclesMitigated));
+        c.set("overhead_pct",
+              Json::num(std::uint64_t(cell.overhead * 100.0 + 0.5)));
+        c.set("pass", Json::boolean(cell.pass()));
+        cells.push(std::move(c));
+    }
+    doc.set("cells", std::move(cells));
+    return doc;
+}
+
+void
+printMitigationReport(const MitigationReport &report, std::FILE *out)
+{
+    std::fprintf(out,
+                 "=== Software mitigation co-study: %s over the "
+                 "gadget battery ===\n\n",
+                 mitigationName(report.mitigation));
+    TextTable t;
+    t.header({"gadget", "scheme", "contract", "target", "closed",
+              "armed", "cycles", "overhead", "verdict"});
+    for (const MitigationCell &cell : report.cells) {
+        char overhead[32];
+        std::snprintf(overhead, sizeof(overhead), "%.2fx",
+                      cell.overhead);
+        t.row({cell.gadget, schemeName(cell.scheme),
+               contractPolicyName(cell.policy),
+               cell.target ? "yes" : "no",
+               cell.closed ? "yes" : "no", cell.armed ? "yes" : "no",
+               std::to_string(cell.cyclesMitigated), overhead,
+               cell.pass() ? "pass" : "FAIL"});
+    }
+    std::fprintf(out, "%s\n", t.render().c_str());
+    std::fprintf(out,
+                 "On the unprotected core the mitigation must close "
+                 "exactly its target gadgets (closed = no recovery and\n"
+                 "no pinpointed contract violation) and leave the "
+                 "others demonstrably armed; under a declared hardware\n"
+                 "scheme the combination is redundant and must still "
+                 "pass the scheme's own contract. Overhead is the\n"
+                 "mitigated/unmitigated cycle ratio of the same "
+                 "gadget cell.\n");
+    std::fprintf(out, "verdict: %s\n", report.ok() ? "PASS" : "FAIL");
+}
+
+namespace
+{
+
+/** Kernel-suite slice the grid sweeps (one per character class). */
+const std::vector<std::string> &
+mitigationKernelSlice()
+{
+    static const std::vector<std::string> kernels = {
+        "502.gcc",    "505.mcf",  "525.x264",
+        "531.deepsjeng", "541.leela", "557.xz",
+    };
+    return kernels;
+}
+
+std::vector<RunSpec>
+mitigationGridSpecs()
+{
+    std::vector<RunSpec> specs;
+    for (Mitigation m : allMitigations()) {
+        // Battery block: closure under every scheme.
+        for (RunSpec &s : verifyBatterySpecs(CoreConfig::mega(),
+                                             allSchemeConfigs())) {
+            s.mitigation.kind = m;
+            specs.push_back(std::move(s));
+        }
+        // Kernel block: what the mitigation costs real workloads.
+        for (const SchemeConfig &scheme : allSchemeConfigs()) {
+            for (const std::string &name : mitigationKernelSlice()) {
+                RunSpec s;
+                s.core = CoreConfig::mega();
+                s.scheme = scheme;
+                s.workload = name;
+                s.mitigation.kind = m;
+                specs.push_back(std::move(s));
+            }
+        }
+    }
+    return specs;
+}
+
+void
+mitigationGridReport(const std::vector<RunOutcome> &outcomes,
+                     std::FILE *out)
+{
+    const std::size_t schemes = allSchemeConfigs().size();
+    const std::size_t battery = allGadgets().size() * 2 * schemes;
+    const std::size_t kernels =
+        mitigationKernelSlice().size() * schemes;
+    const std::size_t block = battery + kernels;
+    sb_assert(outcomes.size() == block * allMitigations().size(),
+              "mitigation grid outcome count mismatch");
+
+    // Block 0 is Mitigation::None: the overhead baseline, and the
+    // unmitigated half of each closure fold.
+    std::fprintf(out, "=== Mitigation grid: (software mitigation x "
+                      "hardware scheme) co-study ===\n\n");
+    const std::vector<Mitigation> &roster = allMitigations();
+    for (std::size_t mi = 1; mi < roster.size(); ++mi) {
+        std::vector<RunOutcome> fold;
+        fold.insert(fold.end(), outcomes.begin(),
+                    outcomes.begin() + battery);
+        fold.insert(fold.end(), outcomes.begin() + mi * block,
+                    outcomes.begin() + mi * block + battery);
+        printMitigationReport(foldMitigationOutcomes(roster[mi], fold),
+                              out);
+        std::fprintf(out, "\n");
+    }
+
+    // Kernel overhead: per (mitigation, scheme) geomean over the
+    // kernel slice, relative to the unmitigated same-scheme cell.
+    TextTable t;
+    std::vector<std::string> header = {"scheme"};
+    for (std::size_t mi = 1; mi < roster.size(); ++mi)
+        header.push_back(mitigationName(roster[mi]));
+    t.header(header);
+    const std::vector<SchemeConfig> &scheme_list = allSchemeConfigs();
+    const std::size_t per_scheme = mitigationKernelSlice().size();
+    for (std::size_t si = 0; si < scheme_list.size(); ++si) {
+        std::vector<std::string> row = {
+            schemeName(scheme_list[si].scheme)};
+        for (std::size_t mi = 1; mi < roster.size(); ++mi) {
+            double log_sum = 0.0;
+            unsigned n = 0;
+            for (std::size_t ki = 0; ki < per_scheme; ++ki) {
+                const std::size_t at = battery + si * per_scheme + ki;
+                const RunOutcome &base = outcomes[at];
+                const RunOutcome &mit = outcomes[mi * block + at];
+                // Windows are counted in *committed* instructions, and
+                // a transform pads the stream with glue — so compare
+                // cycles per unit of original-program work: the
+                // mitigated cell's origin-mapped commit count against
+                // the unmitigated cell's full count.
+                const std::uint64_t mit_useful =
+                    mit.stat("useful_instructions");
+                if (base.cycles == 0 || mit.cycles == 0
+                    || base.instructions == 0 || mit_useful == 0)
+                    continue;
+                const double base_cpi =
+                    static_cast<double>(base.cycles)
+                    / static_cast<double>(base.instructions);
+                const double mit_cpi =
+                    static_cast<double>(mit.cycles)
+                    / static_cast<double>(mit_useful);
+                log_sum += std::log(mit_cpi / base_cpi);
+                ++n;
+            }
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.2fx",
+                          n ? std::exp(log_sum / n) : 0.0);
+            row.push_back(buf);
+        }
+        t.row(row);
+    }
+    std::fprintf(out, "Kernel-suite slowdown (geomean over %zu "
+                      "kernels, mega core, vs the same scheme "
+                      "unmitigated):\n%s\n",
+                 per_scheme, t.render().c_str());
+}
+
+} // anonymous namespace
+
+void
+registerMitigationScenarios(ScenarioRegistry &registry)
+{
+    Scenario s;
+    s.name = "mitigation_grid";
+    s.title = "Software-mitigation co-study: (slh|fence|retpoline) x "
+              "schemes over the gadget battery + kernel slice";
+    s.specs = mitigationGridSpecs;
+    s.report = mitigationGridReport;
     registry.add(std::move(s));
 }
 

@@ -178,6 +178,94 @@ void printVerifyMatrix(const VerifyMatrix &matrix, std::FILE *out);
 /** Register the "security" scenario (the whole battery) into @p r. */
 void registerSecurityScenarios(ScenarioRegistry &registry);
 
+// --- Software-mitigation co-study (isa/transform.hh) --------------------
+
+/**
+ * Closure map: is @p m designed to close @p gadget on an unprotected
+ * core? SLH and conservative fencing neutralize the bounds-check
+ * bypasses (v1 and masked v1) — their machinery keys on conditional
+ * branches, so v2 (BTB) and v4 (store bypass) stay open. Retpoline
+ * starves the BTB and closes exactly v2. Nothing in the software
+ * roster closes v4.
+ */
+bool mitigationCloses(Mitigation m, GadgetKind gadget);
+
+/** One (gadget x scheme) row of the mitigation co-study. */
+struct MitigationCell
+{
+    std::string gadget;
+    Scheme scheme = Scheme::Baseline;
+    /** The hardware scheme's declared policy (None = unprotected). */
+    ContractPolicy policy = ContractPolicy::None;
+    /** Closure expected: unprotected core x a gadget the mitigation
+     *  targets (mitigationCloses()). */
+    bool target = false;
+    /** Mitigated cell stopped leaking AND the shadow engine's
+     *  first-violation record is gone. */
+    bool closed = false;
+    /** Mitigated cell still demonstrably leaks on both paired runs. */
+    bool armed = false;
+    /** Declared schemes: the mitigated cell still passes its
+     *  hardware contract (redundancy confirmed, not broken). */
+    bool schemePass = false;
+    /** Secret-A cycles, unmitigated vs mitigated, and their ratio. */
+    std::uint64_t cyclesBase = 0;
+    std::uint64_t cyclesMitigated = 0;
+    double overhead = 0.0;
+
+    /**
+     * Unprotected target cells must close; unprotected non-target
+     * cells must stay armed (the pass must not quietly perturb a
+     * gadget it does not claim); declared schemes must still pass.
+     */
+    bool pass() const;
+};
+
+/** The folded co-study for one mitigation. */
+struct MitigationReport
+{
+    Mitigation mitigation = Mitigation::None;
+    std::vector<MitigationCell> cells;
+
+    bool
+    ok() const
+    {
+        for (const MitigationCell &cell : cells)
+            if (!cell.pass())
+                return false;
+        return !cells.empty();
+    }
+};
+
+/**
+ * Specs for `sbsim verify --mitigation`: the unmitigated battery
+ * followed by the same battery under @p m (foldMitigationOutcomes()
+ * relies on the halves lining up).
+ */
+std::vector<RunSpec>
+mitigationBatterySpecs(const CoreConfig &core,
+                       const std::vector<SchemeConfig> &schemes,
+                       Mitigation m);
+
+/** Fold engine outcomes (in mitigationBatterySpecs() order). */
+MitigationReport
+foldMitigationOutcomes(Mitigation m,
+                       const std::vector<RunOutcome> &outcomes);
+
+/** Machine-readable co-study (the SBSIM_verify_<m>.json document). */
+Json toJson(const MitigationReport &report);
+
+/** Human-readable closure + overhead matrix. */
+void printMitigationReport(const MitigationReport &report,
+                           std::FILE *out);
+
+/**
+ * Register the "mitigation_grid" scenario: (mitigations x schemes)
+ * over the gadget battery plus a kernel-suite slice, reporting the
+ * closure matrix and per-scheme software-mitigation overheads.
+ */
+void registerMitigationScenarios(ScenarioRegistry &registry);
+
 } // namespace sb
 
 #endif // SB_HARNESS_VERIFY_HH

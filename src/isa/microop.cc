@@ -13,7 +13,10 @@ MicroOp::opClass() const
     switch (op) {
       case Op::Nop:
       case Op::Halt:
+      case Op::Fence:
         return OpClass::Nop;
+      case Op::Slt:
+      case Op::Sltu:
       case Op::MovImm:
       case Op::Add:
       case Op::AddImm:
@@ -44,6 +47,7 @@ MicroOp::opClass() const
       case Op::Bge:
       case Op::Jmp:
       case Op::JmpReg:
+      case Op::JmpRegRet:
         return OpClass::Branch;
     }
     sb_panic("unknown op");
@@ -59,6 +63,7 @@ MicroOp::isBranch() const
       case Op::Bge:
       case Op::Jmp:
       case Op::JmpReg:
+      case Op::JmpRegRet:
         return true;
       default:
         return false;
@@ -99,8 +104,16 @@ evalAlu(const MicroOp &uop, Word src1, Word src2)
         return src1 * src2 + 1;
       case Op::FDiv:
         return src2 == 0 ? ~Word(0) : (src1 / src2) + 1;
+      case Op::Slt:
+        return static_cast<std::int64_t>(src1)
+                       < static_cast<std::int64_t>(src2)
+                   ? 1
+                   : 0;
+      case Op::Sltu:
+        return src1 < src2 ? 1 : 0;
       case Op::Nop:
       case Op::Halt:
+      case Op::Fence:
         return 0;
       default:
         sb_panic("evalAlu on non-ALU op ", uop.disassemble());
@@ -123,6 +136,7 @@ evalBranch(const MicroOp &uop, Word src1, Word src2)
                >= static_cast<std::int64_t>(src2);
       case Op::Jmp:
       case Op::JmpReg:
+      case Op::JmpRegRet:
         return true;
       default:
         sb_panic("evalBranch on non-branch op");
@@ -135,7 +149,8 @@ MicroOp::disassemble() const
     static const char *names[] = {
         "nop", "movi", "add", "addi", "sub", "and", "or", "xor", "shl",
         "shr", "mul", "div", "fadd", "fmul", "fdiv", "ld", "st", "beq",
-        "bne", "blt", "bge", "jmp", "jr", "halt",
+        "bne", "blt", "bge", "jmp", "jr", "halt", "slt", "sltu",
+        "fence", "jrr",
     };
     std::ostringstream oss;
     oss << names[static_cast<unsigned>(op)];
@@ -149,7 +164,7 @@ MicroOp::disassemble() const
         || op == Op::Store) {
         oss << ", " << imm;
     }
-    if (isBranch() && op != Op::JmpReg)
+    if (isBranch() && !isIndirect())
         oss << " -> " << target;
     return oss.str();
 }

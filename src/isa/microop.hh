@@ -48,6 +48,13 @@ enum class Op : std::uint8_t
     Jmp,     ///< unconditional branch to target
     JmpReg,  ///< indirect branch: jump to the address held in src1
     Halt,    ///< stop the program (drains and ends simulation)
+    // Appended after Halt so pre-existing encodings stay stable.
+    Slt,     ///< dst = (signed) src1 < src2 ? 1 : 0
+    Sltu,    ///< dst = (unsigned) src1 < src2 ? 1 : 0
+    Fence,   ///< speculation barrier: rename stalls until the ROB drains
+    JmpRegRet, ///< indirect branch that never touches the BTB: the
+               ///< front end falls through (retpoline capture pad)
+               ///< while execute redirects to the value in src1
 };
 
 /** Scheduling class of an operation (selects latency and ports). */
@@ -84,6 +91,12 @@ struct MicroOp
     bool isStore() const { return op == Op::Store; }
     bool isBranch() const;
     bool isHalt() const { return op == Op::Halt; }
+    /** Indirect branches: target is the runtime value of src1. */
+    bool
+    isIndirect() const
+    {
+        return op == Op::JmpReg || op == Op::JmpRegRet;
+    }
     bool hasDst() const { return dst != invalidArchReg; }
     bool hasSrc1() const { return src1 != invalidArchReg; }
     bool hasSrc2() const { return src2 != invalidArchReg; }

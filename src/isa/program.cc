@@ -249,6 +249,18 @@ ProgramBuilder::div(ArchReg dst, ArchReg src1, ArchReg src2)
 }
 
 std::uint32_t
+ProgramBuilder::slt(ArchReg dst, ArchReg src1, ArchReg src2)
+{
+    return emit(threeReg(Op::Slt, dst, src1, src2));
+}
+
+std::uint32_t
+ProgramBuilder::sltu(ArchReg dst, ArchReg src1, ArchReg src2)
+{
+    return emit(threeReg(Op::Sltu, dst, src1, src2));
+}
+
+std::uint32_t
 ProgramBuilder::fadd(ArchReg dst, ArchReg src1, ArchReg src2)
 {
     return emit(threeReg(Op::FAdd, dst, src1, src2));
@@ -328,6 +340,23 @@ ProgramBuilder::jr(ArchReg target_reg)
 }
 
 std::uint32_t
+ProgramBuilder::jrr(ArchReg target_reg)
+{
+    MicroOp uop;
+    uop.op = Op::JmpRegRet;
+    uop.src1 = target_reg;
+    return emit(uop);
+}
+
+std::uint32_t
+ProgramBuilder::fence()
+{
+    MicroOp uop;
+    uop.op = Op::Fence;
+    return emit(uop);
+}
+
+std::uint32_t
 ProgramBuilder::halt()
 {
     MicroOp uop;
@@ -349,7 +378,7 @@ ProgramBuilder::build(std::string name)
     // Resolve future labels. JmpReg carries no static target: its
     // destination is the runtime value of src1.
     for (auto &uop : code) {
-        if (uop.op == Op::JmpReg)
+        if (uop.isIndirect())
             continue;
         if (uop.isBranch() && uop.target >= unboundBase) {
             const std::size_t idx = uop.target - unboundBase;
@@ -360,7 +389,7 @@ ProgramBuilder::build(std::string name)
         }
     }
     for (const auto &uop : code) {
-        if (uop.isBranch() && uop.op != Op::JmpReg) {
+        if (uop.isBranch() && !uop.isIndirect()) {
             sb_assert(uop.target < code.size(),
                       "branch target out of range");
         }

@@ -156,6 +156,8 @@ class ProgramBuilder
     std::uint32_t shr(ArchReg dst, ArchReg src1, ArchReg src2);
     std::uint32_t mul(ArchReg dst, ArchReg src1, ArchReg src2);
     std::uint32_t div(ArchReg dst, ArchReg src1, ArchReg src2);
+    std::uint32_t slt(ArchReg dst, ArchReg src1, ArchReg src2);
+    std::uint32_t sltu(ArchReg dst, ArchReg src1, ArchReg src2);
     std::uint32_t fadd(ArchReg dst, ArchReg src1, ArchReg src2);
     std::uint32_t fmul(ArchReg dst, ArchReg src1, ArchReg src2);
     std::uint32_t fdiv(ArchReg dst, ArchReg src1, ArchReg src2);
@@ -167,6 +169,8 @@ class ProgramBuilder
     std::uint32_t bge(ArchReg src1, ArchReg src2, Label target);
     std::uint32_t jmp(Label target);
     std::uint32_t jr(ArchReg target_reg); ///< Indirect jump via register.
+    std::uint32_t jrr(ArchReg target_reg); ///< BTB-free indirect (retpoline).
+    std::uint32_t fence(); ///< Speculation barrier (drains the ROB).
     std::uint32_t halt();
 
     /** Direct access to the memory image being built. */

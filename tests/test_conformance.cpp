@@ -342,9 +342,20 @@ TEST(SpecKey, GoldenStability)
     fuzz.scheme.scheme = sb::Scheme::DelayOnMiss;
     fuzz.maxCycles = 4'000'000;
 
-    EXPECT_EQ(bench.specKey(), "3e315373bd4c5454");
-    EXPECT_EQ(gadget.specKey(), "6abf369e3053fc49");
-    EXPECT_EQ(fuzz.specKey(), "d80d6efc9ae36cb5");
+    // Schema 5: MitigationConfig joined the canonical serialization
+    // (every spec now carries "|mitigation=<name>|").
+    EXPECT_EQ(bench.specKey(), "a2d58888409bb91f");
+    EXPECT_EQ(gadget.specKey(), "b868eccdb877aa84");
+    EXPECT_EQ(fuzz.specKey(), "ed0c76e0c4c7565a");
+
+    // A mitigated cell must address a *different* cache cell than the
+    // same spec unmitigated.
+    sb::RunSpec mitigated = gadget;
+    mitigated.mitigation.kind = sb::Mitigation::Slh;
+    EXPECT_EQ(mitigated.specKey(), "b0d45f125f181f39");
+    EXPECT_NE(mitigated.specKey(), gadget.specKey());
+    EXPECT_NE(mitigated.canonical().find("|mitigation=slh|"),
+              std::string::npos);
 }
 
 // ---------------------------------------------------------------------

@@ -192,20 +192,33 @@ TEST(Protocol, RunSpecSurvivesJsonRoundTripForEveryPresetAndScheme)
     // canonical equality is the strongest available check.
     for (const sb::CoreConfig &core : sb::CoreConfig::boomPresets()) {
         for (const sb::SchemeConfig &scheme : sb::allSchemeConfigs()) {
-            sb::RunSpec spec;
-            spec.core = core;
-            spec.scheme = scheme;
-            spec.workload = "557.xz";
-            spec.warmupInsts = 123;
-            spec.measureInsts = 4567;
-            spec.maxCycles = 89012;
+            for (const sb::Mitigation m : sb::allMitigations()) {
+                sb::RunSpec spec;
+                spec.core = core;
+                spec.scheme = scheme;
+                spec.workload = "557.xz";
+                spec.warmupInsts = 123;
+                spec.measureInsts = 4567;
+                spec.maxCycles = 89012;
+                spec.mitigation.kind = m;
 
-            sb::RunSpec back;
-            ASSERT_TRUE(sb::runSpecFromJson(sb::toJson(spec), back));
-            EXPECT_EQ(back.canonical(), spec.canonical());
-            EXPECT_EQ(back.specKey(), spec.specKey());
+                sb::RunSpec back;
+                ASSERT_TRUE(sb::runSpecFromJson(sb::toJson(spec), back));
+                EXPECT_EQ(back.canonical(), spec.canonical());
+                EXPECT_EQ(back.specKey(), spec.specKey());
+            }
         }
     }
+
+    // A frame missing the mitigation field is from a pre-v2 worker:
+    // the parse must fail loudly, not default the field (the cache
+    // would fill with mislabeled cells).
+    sb::RunSpec spec;
+    spec.workload = "557.xz";
+    sb::Json j = sb::toJson(spec);
+    j.set("mitigation", sb::Json::str("not-a-mitigation"));
+    sb::RunSpec back;
+    EXPECT_FALSE(sb::runSpecFromJson(j, back));
 }
 
 TEST(Protocol, DoneMessageRoundTripsOutcome)

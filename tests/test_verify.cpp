@@ -12,6 +12,8 @@
 #include "harness/attack.hh"
 #include "harness/engine.hh"
 #include "harness/verify.hh"
+#include "isa/transform.hh"
+#include "secure/factory.hh"
 
 namespace
 {
@@ -369,6 +371,179 @@ TEST(Battery, ConstantTimeOverrideJudgesDeclaredCells)
         EXPECT_TRUE(cell.pass());
     }
     EXPECT_TRUE(matrix.ok());
+}
+
+// ---------------------------------------------------------------------
+// Software-mitigation closure (isa/transform.hh co-study)
+// ---------------------------------------------------------------------
+
+/** One attack run on the unprotected core with @p m applied. */
+sb::AttackResult
+runMitigated(sb::GadgetKind kind, sb::Mitigation m,
+             std::uint8_t secret)
+{
+    const sb::GadgetProgram gadget =
+        sb::buildGadgetProgram(kind, secret, sb::verifyGadgetSeed);
+    const sb::TransformedProgram mitigated =
+        sb::applyMitigation(m, gadget.program);
+    sb::SchemeConfig scfg; // Unprotected Baseline.
+    return sb::runGadgetAttack(gadget, sb::CoreConfig::mega(), scfg,
+                               sb::makeScheme(scfg), secret,
+                               &mitigated);
+}
+
+TEST(MitigationClosure, ClosureMapMatchesTheDesign)
+{
+    using sb::GadgetKind;
+    using sb::Mitigation;
+    for (const GadgetKind g : sb::allGadgets())
+        EXPECT_FALSE(sb::mitigationCloses(Mitigation::None, g));
+    for (const Mitigation m : {Mitigation::Slh, Mitigation::Fence}) {
+        EXPECT_TRUE(sb::mitigationCloses(m, GadgetKind::SpectreV1));
+        EXPECT_TRUE(sb::mitigationCloses(m, GadgetKind::SpectreV1Mask));
+        EXPECT_FALSE(
+            sb::mitigationCloses(m, GadgetKind::SpectreV2Indirect));
+        EXPECT_FALSE(
+            sb::mitigationCloses(m, GadgetKind::SpectreV4StoreBypass));
+    }
+    EXPECT_TRUE(sb::mitigationCloses(Mitigation::Retpoline,
+                                     GadgetKind::SpectreV2Indirect));
+    EXPECT_FALSE(sb::mitigationCloses(Mitigation::Retpoline,
+                                      GadgetKind::SpectreV1));
+    // Nothing in the software roster closes the store-bypass channel.
+    for (const Mitigation m : sb::allMitigations())
+        EXPECT_FALSE(
+            sb::mitigationCloses(m, GadgetKind::SpectreV4StoreBypass));
+}
+
+TEST(MitigationClosure, TargetGadgetsFlipToClosedOnBaseline)
+{
+    const struct
+    {
+        sb::Mitigation m;
+        sb::GadgetKind g;
+    } targets[] = {
+        {sb::Mitigation::Slh, sb::GadgetKind::SpectreV1},
+        {sb::Mitigation::Slh, sb::GadgetKind::SpectreV1Mask},
+        {sb::Mitigation::Fence, sb::GadgetKind::SpectreV1},
+        {sb::Mitigation::Fence, sb::GadgetKind::SpectreV1Mask},
+        {sb::Mitigation::Retpoline, sb::GadgetKind::SpectreV2Indirect},
+    };
+    sb::SchemeConfig scfg;
+    for (const auto &t : targets) {
+        ASSERT_TRUE(sb::mitigationCloses(t.m, t.g));
+        const std::string label = std::string(sb::mitigationName(t.m))
+                                  + " x " + sb::gadgetName(t.g);
+
+        // Unmitigated Baseline: demonstrably armed, with the contract
+        // shadow engine's pinpointed (cycle, seq, pc) leak record.
+        const auto bare =
+            sb::runGadget(t.g, sb::CoreConfig::mega(), scfg,
+                          sb::verifySecretA, sb::verifyGadgetSeed);
+        ASSERT_TRUE(bare.leaked) << label;
+        ASSERT_TRUE(bare.firstCtViolation.valid()) << label;
+
+        // Mitigated: the cell flips to PASS — no recovery through
+        // either receiver, and the first-violation record is *gone*
+        // (the secret never reached a transmitter at all).
+        const auto hard = runMitigated(t.g, t.m, sb::verifySecretA);
+        EXPECT_FALSE(hard.leaked) << label;
+        EXPECT_FALSE(hard.firstCtViolation.valid()) << label;
+        EXPECT_EQ(hard.ctViolations, 0u) << label;
+    }
+}
+
+TEST(MitigationClosure, NonTargetGadgetsStayArmed)
+{
+    // A pass must not quietly perturb a gadget it does not claim:
+    // the attack still recovers the secret through the rewritten
+    // program.
+    const struct
+    {
+        sb::Mitigation m;
+        sb::GadgetKind g;
+    } non_targets[] = {
+        {sb::Mitigation::Slh, sb::GadgetKind::SpectreV2Indirect},
+        {sb::Mitigation::Slh, sb::GadgetKind::SpectreV4StoreBypass},
+        {sb::Mitigation::Fence, sb::GadgetKind::SpectreV2Indirect},
+        {sb::Mitigation::Fence, sb::GadgetKind::SpectreV4StoreBypass},
+        {sb::Mitigation::Retpoline, sb::GadgetKind::SpectreV1},
+    };
+    for (const auto &t : non_targets) {
+        ASSERT_FALSE(sb::mitigationCloses(t.m, t.g));
+        const auto res = runMitigated(t.g, t.m, sb::verifySecretA);
+        EXPECT_TRUE(res.leaked)
+            << sb::mitigationName(t.m) << " x " << sb::gadgetName(t.g);
+    }
+}
+
+TEST(MitigationClosure, WeakenedSlhIsStillCaught)
+{
+    // SLH with a control-flow-derived (not data-dependent) mask keeps
+    // the full pass shape but hardens nothing: transient execution
+    // runs the wrong pad's immediate. The verifier must still catch
+    // the leak — this is the leaky-dummy-scheme test for transforms.
+    const sb::GadgetProgram gadget = sb::buildGadgetProgram(
+        sb::GadgetKind::SpectreV1, sb::verifySecretA,
+        sb::verifyGadgetSeed);
+    const sb::TransformedProgram weak =
+        sb::applySlh(gadget.program, /*data_dependent_mask=*/false);
+    // Same instrumentation shape as the honest pass...
+    const sb::TransformedProgram honest =
+        sb::applySlh(gadget.program, /*data_dependent_mask=*/true);
+    EXPECT_EQ(weak.stats.hardenedLoads, honest.stats.hardenedLoads);
+    EXPECT_EQ(weak.stats.instrumentedBranches,
+              honest.stats.instrumentedBranches);
+
+    sb::SchemeConfig scfg;
+    const auto res = sb::runGadgetAttack(
+        gadget, sb::CoreConfig::mega(), scfg, sb::makeScheme(scfg),
+        sb::verifySecretA, &weak);
+    EXPECT_TRUE(res.leaked);
+    EXPECT_TRUE(res.firstCtViolation.valid());
+
+    // ...while the honest mask closes the same gadget.
+    const auto closed = sb::runGadgetAttack(
+        gadget, sb::CoreConfig::mega(), scfg, sb::makeScheme(scfg),
+        sb::verifySecretA, &honest);
+    EXPECT_FALSE(closed.leaked);
+    EXPECT_FALSE(closed.firstCtViolation.valid());
+}
+
+TEST(MitigationBattery, SpecsHalvesAlignAndFoldJudgesClosure)
+{
+    sb::SchemeConfig baseline;
+    const auto specs = sb::mitigationBatterySpecs(
+        sb::CoreConfig::mega(), {baseline}, sb::Mitigation::Slh);
+    const std::size_t half = specs.size() / 2;
+    ASSERT_EQ(specs.size(), 4 * sb::allGadgets().size());
+    for (std::size_t i = 0; i < half; ++i) {
+        EXPECT_EQ(specs[i].workload, specs[half + i].workload);
+        EXPECT_FALSE(specs[i].mitigation.enabled());
+        EXPECT_EQ(specs[half + i].mitigation.kind, sb::Mitigation::Slh);
+    }
+
+    sb::ExperimentEngine engine;
+    const sb::MitigationReport report = sb::foldMitigationOutcomes(
+        sb::Mitigation::Slh, engine.run(specs));
+    ASSERT_EQ(report.cells.size(), sb::allGadgets().size());
+    for (const sb::MitigationCell &cell : report.cells) {
+        const bool is_v1 = cell.gadget == "spectre-v1"
+                           || cell.gadget == "spectre-v1-mask";
+        EXPECT_EQ(cell.target, is_v1) << cell.gadget;
+        EXPECT_EQ(cell.closed, is_v1) << cell.gadget;
+        EXPECT_EQ(cell.armed, !is_v1) << cell.gadget;
+        EXPECT_GT(cell.cyclesBase, 0u);
+        EXPECT_GT(cell.cyclesMitigated, 0u);
+        EXPECT_TRUE(cell.pass()) << cell.gadget;
+    }
+    EXPECT_TRUE(report.ok());
+
+    const sb::Json doc = sb::toJson(report);
+    EXPECT_EQ(doc.at("mitigation").asString(), "slh");
+    EXPECT_TRUE(doc.at("ok").asBool());
+    EXPECT_EQ(doc.at("cells").items().size(),
+              sb::allGadgets().size());
 }
 
 TEST(Differential, SecureSchemeTracesAreEquivalent)

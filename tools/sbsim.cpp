@@ -33,6 +33,13 @@
  *                   the unprotected baseline keeps its armed-proof
  *                   role (and its constant-time violation record is
  *                   the printed evidence against it).
+ *   --mitigation M  software co-study: run the gadget battery twice
+ *                   (unmitigated + under M in {slh, fence, retpoline})
+ *                   and fold the closure + overhead matrix; exits
+ *                   nonzero unless M closes its target gadgets on the
+ *                   unprotected core, leaves the others armed, and
+ *                   keeps every hardware contract intact. With --json
+ *                   writes SBSIM_verify_<M>.json.
  *
  * SIGINT/SIGTERM stop dispatch gracefully: in-flight work is cut
  * short, finished cells stay in the cache, the partial grid summary
@@ -45,6 +52,10 @@
  *   --seed S        base seed; program i uses seed S+i (default 0xC0FFEE)
  *   --profile P     op-mix profile (mixed|alu|mem|branch|all; default all)
  *   --core C        core preset (small|medium|large|mega; default mega)
+ *   --mitigation M  apply a software mitigation (isa/transform.hh) to
+ *                   every cell and judge architectural equivalence —
+ *                   modulo the transform's inserted glue — against an
+ *                   extra unmitigated Baseline oracle per program
  *
  * All requested scenarios are collected into one ExperimentEngine
  * batch, so overlapping grid cells are simulated once (in-batch
@@ -105,14 +116,41 @@ usage(const char *argv0)
                  "       %s all [common] [--shards N] [--cell-timeout S]\n"
                  "       %s verify [common]"
                  " [--contract declared|sandboxing|constant-time]\n"
+                 "               [--mitigation slh|fence|retpoline]\n"
                  "       %s fuzz [common] [--programs N] [--seed S]"
-                 " [--profile P] [--core C]\n"
+                 " [--profile P] [--core C] [--mitigation M]\n"
                  "       %s serve [--fd N] [--cache-dir D]\n"
                  "common options (identical for run/all/verify/fuzz):\n"
                  "       [--jobs N] [--cache-dir D] [--no-cache]"
                  " [--json]\n",
                  argv0, argv0, argv0, argv0, argv0, argv0);
     return 2;
+}
+
+/** "mixed|alu|...|all" — derived from the enum roster, so the CLI
+ *  diagnostics cannot drift from the profiles that actually exist. */
+std::string
+profileVocabulary()
+{
+    std::string vocab;
+    for (const sb::OpMixProfile p : sb::allOpMixProfiles()) {
+        vocab += sb::opMixProfileName(p);
+        vocab += '|';
+    }
+    return vocab + "all";
+}
+
+/** "small|medium|..." — derived from the preset roster. */
+std::string
+coreVocabulary()
+{
+    std::string vocab;
+    for (const sb::CoreConfig &preset : sb::CoreConfig::boomPresets()) {
+        if (!vocab.empty())
+            vocab += '|';
+        vocab += preset.name;
+    }
+    return vocab;
 }
 
 /** Options every simulating verb accepts with identical semantics. */
@@ -329,7 +367,8 @@ fuzzMain(int argc, char **argv)
         char *end = nullptr;
         errno = 0;
         if (arg == "--programs" || arg == "--seed"
-            || arg == "--profile" || arg == "--core") {
+            || arg == "--profile" || arg == "--core"
+            || arg == "--mitigation") {
             if (++i >= argc)
                 return usage(argv[0]);
         }
@@ -358,10 +397,8 @@ fuzzMain(int argc, char **argv)
             } else if (sb::opMixProfileFromName(argv[i], profile)) {
                 params.profiles = {profile};
             } else {
-                std::fprintf(stderr,
-                             "unknown profile '%s' (want mixed|alu|"
-                             "mem|branch|all)\n",
-                             argv[i]);
+                std::fprintf(stderr, "unknown profile '%s' (want %s)\n",
+                             argv[i], profileVocabulary().c_str());
                 return 2;
             }
         } else if (arg == "--core") {
@@ -375,12 +412,20 @@ fuzzMain(int argc, char **argv)
                 }
             }
             if (!found) {
-                std::fprintf(stderr,
-                             "unknown core '%s' (want small|medium|"
-                             "large|mega)\n",
-                             argv[i]);
+                std::fprintf(stderr, "unknown core '%s' (want %s)\n",
+                             argv[i], coreVocabulary().c_str());
                 return 2;
             }
+        } else if (arg == "--mitigation") {
+            sb::Mitigation m;
+            if (!sb::mitigationFromName(argv[i], m)) {
+                std::fprintf(stderr,
+                             "unknown mitigation '%s' (want %s)\n",
+                             argv[i],
+                             sb::mitigationVocabulary().c_str());
+                return 2;
+            }
+            params.mitigation = m;
         } else {
             std::fprintf(stderr, "unknown fuzz option '%s'\n",
                          arg.c_str());
@@ -390,11 +435,14 @@ fuzzMain(int argc, char **argv)
     params.jobs = common.jobs;
     params.cacheDir = common.useCache ? common.cacheDir : std::string();
 
+    const std::size_t stride =
+        sb::allSchemeConfigs().size()
+        + (params.mitigation != sb::Mitigation::None ? 1 : 0);
     std::printf("sbsim fuzz: %u program(s), %zu cells, base seed %llu, "
-                "cache %s\n",
-                params.programs,
-                params.programs * sb::allSchemeConfigs().size(),
+                "mitigation %s, cache %s\n",
+                params.programs, params.programs * stride,
                 static_cast<unsigned long long>(params.baseSeed),
+                sb::mitigationName(params.mitigation),
                 common.useCache ? common.cacheDir.c_str() : "off");
     const sb::FuzzReport report = sb::runFuzz(params);
     printFuzzReport(report, stdout);
@@ -403,6 +451,62 @@ fuzzMain(int argc, char **argv)
     if (!report.ok()) {
         std::fprintf(stderr,
                      "sbsim fuzz: conformance oracle failed\n");
+        return 1;
+    }
+    return 0;
+}
+
+/**
+ * `sbsim verify --mitigation M`: the gadget battery twice — once
+ * unmitigated, once under M — folded into the closure + overhead
+ * co-study. Exits nonzero unless M closes every gadget it targets on
+ * the unprotected core, leaves non-target gadgets demonstrably armed,
+ * and breaks no hardware scheme's contract.
+ */
+int
+verifyMitigationMain(sb::Mitigation m, const CommonOpts &common)
+{
+    const std::vector<sb::RunSpec> specs = sb::mitigationBatterySpecs(
+        sb::CoreConfig::mega(), sb::allSchemeConfigs(), m);
+
+    sb::ExperimentEngine::Options options;
+    options.jobs = common.jobs;
+    options.cacheDir =
+        common.useCache ? common.cacheDir : std::string();
+    sb::ExperimentEngine engine(options);
+
+    std::printf("sbsim verify: mitigation %s, %zu cells, %u jobs, "
+                "cache %s\n",
+                sb::mitigationName(m), specs.size(), engine.jobs(),
+                common.useCache ? common.cacheDir.c_str() : "off");
+    const auto outcomes = engine.run(specs);
+    const sb::MitigationReport report =
+        sb::foldMitigationOutcomes(m, outcomes);
+    sb::printMitigationReport(report, stdout);
+
+    if (common.emitJson) {
+        const std::string path = std::string("SBSIM_verify_")
+                                 + sb::mitigationName(m) + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        } else {
+            std::fprintf(f, "%s\n", sb::toJson(report).dump().c_str());
+            std::fclose(f);
+            std::printf("wrote %s\n", path.c_str());
+        }
+    }
+
+    if (engine.stats().interrupted) {
+        std::fprintf(stderr, "sbsim: interrupted; partial results\n");
+        const int sig = sb::interruptSignal();
+        return sig > 0 ? 128 + sig : 130;
+    }
+    if (!report.ok()) {
+        std::fprintf(stderr,
+                     "sbsim verify: mitigation %s failed its closure "
+                     "contract\n",
+                     sb::mitigationName(m));
         return 1;
     }
     return 0;
@@ -435,6 +539,7 @@ main(int argc, char **argv)
     unsigned shards = 0;
     double cell_timeout = 0;
     std::optional<sb::ContractPolicy> contract_override;
+    std::optional<sb::Mitigation> mitigation;
 
     for (int i = 2; i < argc; ++i) {
         const int consumed = parseCommonOpt(argc, argv, i, common);
@@ -488,6 +593,19 @@ main(int argc, char **argv)
                              want.c_str());
                 return 2;
             }
+        } else if (arg == "--mitigation" && command == "verify") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            sb::Mitigation m;
+            if (!sb::mitigationFromName(argv[i], m)
+                || m == sb::Mitigation::None) {
+                std::fprintf(stderr,
+                             "--mitigation wants slh, fence, or "
+                             "retpoline (got '%s')\n",
+                             argv[i]);
+                return 2;
+            }
+            mitigation = m;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "unknown %s option '%s'\n",
                          command.c_str(), arg.c_str());
@@ -495,6 +613,12 @@ main(int argc, char **argv)
         } else {
             names.push_back(arg);
         }
+    }
+
+    if (mitigation) {
+        if (!names.empty())
+            return usage(argv[0]);
+        return verifyMitigationMain(*mitigation, common);
     }
 
     const auto &registry = sb::ScenarioRegistry::instance();
