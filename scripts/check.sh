@@ -17,6 +17,8 @@
 #   scripts/check.sh --docs    # Also run the markdown docs link check
 #   scripts/check.sh --shards  # Also run the shard-tier smoke
 #                              # (cold sharded run == in-process run)
+#   scripts/check.sh --tenants # Also run the multi-tenant server mix
+#                              # and gate on its cross-tenant verdict
 #
 # SB_JOBS bounds simulation worker threads (tests and sbsim).
 # Flags compose: e.g. `check.sh --asan --verify`.
@@ -39,6 +41,7 @@ run_fuzz=0
 run_mitigations=0
 run_docs=0
 run_shards=0
+run_tenants=0
 for arg in "$@"; do
     case "$arg" in
       --asan)
@@ -71,10 +74,13 @@ for arg in "$@"; do
       --shards)
         run_shards=1
         ;;
+      --tenants)
+        run_tenants=1
+        ;;
       *)
         echo "usage: $0 [--asan] [--quick] [--bench] [--verify]" \
              "[--contracts] [--fuzz] [--mitigations] [--docs]" \
-             "[--shards]" >&2
+             "[--shards] [--tenants]" >&2
         exit 2
         ;;
     esac
@@ -199,6 +205,42 @@ if [ "$run_shards" = 1 ]; then
         status=1
     fi
     rm -rf "$shard_tmp"
+fi
+
+if [ "$run_tenants" = 1 ]; then
+    # Multi-tenant gate: the consolidated-server mix across the
+    # scheme roster x switch policies. --no-cache like the battery: a
+    # cached verdict must never green-light a broken scheme. The
+    # verdict itself lives in the JSON: Baseline must show a
+    # cross-tenant transmit (the battery is armed) and every dataflow
+    # scheme must show none; DoM is sandboxing-only and exempt.
+    if (cd "$build_dir" \
+        && ./sbsim run multi_tenant --no-cache > /dev/null) \
+       && python3 - "$build_dir/SBSIM_multi_tenant_summary.json" <<'EOF'
+import json, sys
+cells = json.load(open(sys.argv[1]))["cells"]
+dataflow = {"STT-Rename", "STT-Issue", "NDA", "NDA-Strict", "DelayAll"}
+baseline_leaks = any(c["cross_tenant_violations"] > 0
+                     for c in cells if c["scheme"] == "Baseline")
+dataflow_leaks = [c for c in cells
+                  if c["scheme"] in dataflow
+                  and c["cross_tenant_violations"] > 0]
+ok = baseline_leaks and not dataflow_leaks
+if not baseline_leaks:
+    print("tenant gate: Baseline showed no cross-tenant transmit "
+          "(battery disarmed)", file=sys.stderr)
+for c in dataflow_leaks:
+    print(f"tenant gate: {c['scheme']} leaked "
+          f"({c['cross_tenant_violations']} violations)",
+          file=sys.stderr)
+sys.exit(0 if ok else 1)
+EOF
+    then
+        echo "multi-tenant report: $build_dir/SBSIM_multi_tenant_summary.json"
+    else
+        echo "FAIL: multi-tenant cross-domain gate" >&2
+        status=1
+    fi
 fi
 
 if [ "$run_docs" = 1 ]; then

@@ -16,6 +16,7 @@
 #ifndef SB_BRANCH_PREDICTOR_HH
 #define SB_BRANCH_PREDICTOR_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -34,6 +35,15 @@ class BranchPredictor
     /** Train with the committed outcome under the predict-time history. */
     virtual void update(std::uint64_t pc, std::uint64_t hist,
                         bool taken) = 0;
+
+    /**
+     * Drop every trained direction so the next lookup predicts from
+     * the cold (reset) state. Wired to the flush-on-context-switch
+     * policy: without it, predictor state trained by one protection
+     * domain steers speculation in the next (the Spectre v2 / swapgs
+     * training channel). Stats survive the flush.
+     */
+    virtual void flushSpeculativeState() {}
 };
 
 /** 2-bit-counter bimodal predictor (ablation / unit-test baseline). */
@@ -57,6 +67,12 @@ class BimodalPredictor : public BranchPredictor
             ++ctr;
         else if (!taken && ctr > 0)
             --ctr;
+    }
+
+    void
+    flushSpeculativeState() override
+    {
+        std::fill(table.begin(), table.end(), 1);
     }
 
   private:

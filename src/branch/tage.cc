@@ -21,6 +21,16 @@ TagePredictor::TagePredictor(unsigned log_entries)
     }
 }
 
+void
+TagePredictor::flushSpeculativeState()
+{
+    std::fill(base.begin(), base.end(), 1);
+    for (Component &c : components) {
+        std::fill(c.entries.begin(), c.entries.end(), TaggedEntry{});
+    }
+    allocSeed = 0x1234;
+}
+
 std::uint64_t
 TagePredictor::fold(std::uint64_t hist, unsigned len, unsigned bits)
 {

@@ -47,6 +47,15 @@ class TagePredictor : public BranchPredictor
     bool predict(std::uint64_t pc, std::uint64_t hist) override;
     void update(std::uint64_t pc, std::uint64_t hist, bool taken) override;
 
+    /**
+     * Reset the bimodal base and invalidate every tagged entry,
+     * returning the predictor to its construction state (cold base
+     * counters predict not-taken). The allocation seed is also reset
+     * so a flushed predictor is bit-identical to a fresh one — flushes
+     * keep runs deterministic and cache-reproducible. Stats survive.
+     */
+    void flushSpeculativeState() override;
+
     StatGroup &stats() { return statGroup; }
 
   private:

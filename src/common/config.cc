@@ -93,6 +93,12 @@ CoreConfig::canonical() const
     // result-cache cells addressed by it) stays byte-identical.
     if (warmupInsts != 0)
         oss << ";ffwd=" << warmupInsts;
+    // Same gating: the tenant knobs only reach the key when they
+    // differ from the single-tenant defaults.
+    if (flushPredictorsOnSwitch)
+        oss << ";swflush=1";
+    if (contextSwitchPenalty != 48)
+        oss << ";swpen=" << contextSwitchPenalty;
     return oss.str();
 }
 
@@ -182,6 +188,15 @@ CoreConfig::mega()
     c.numPhysRegs = 128;
     c.maxBranches = 20;
     c.l1d.mshrs = 8;
+    return c;
+}
+
+CoreConfig
+CoreConfig::megaFlush()
+{
+    CoreConfig c = mega();
+    c.name = "mega-flush";
+    c.flushPredictorsOnSwitch = true;
     return c;
 }
 

@@ -132,11 +132,31 @@ struct CoreConfig
      */
     std::uint64_t warmupInsts = 0;
 
+    // --- Protection domains --------------------------------------------
+    /**
+     * Flush predictor state (TAGE tables, BTB, global history) on a
+     * context switch. The default (keep) models hardware without
+     * cross-domain predictor isolation — the state trained by one
+     * tenant steers the next tenant's speculation, which is exactly
+     * the Spectre v2 / swapgs training channel. Programs without
+     * switch points never exercise either policy.
+     */
+    bool flushPredictorsOnSwitch = false;
+
+    /**
+     * Fetch-stall cycles charged on every context switch (pipeline
+     * refill + privileged-state swap cost), on top of the squash.
+     */
+    unsigned contextSwitchPenalty = 48;
+
     /** Named presets (Table 1). */
     static CoreConfig small();
     static CoreConfig medium();
     static CoreConfig large();
     static CoreConfig mega();
+
+    /** mega() with the flush-on-switch predictor policy. */
+    static CoreConfig megaFlush();
 
     /** gem5 setups of the original papers (Table 5, Sec. 9.5). */
     static CoreConfig gem5Stt();

@@ -24,6 +24,33 @@ Histogram::sample(std::uint64_t value)
     ++buckets[idx];
     ++samples;
     sum += value;
+    maxSeen = std::max(maxSeen, value);
+}
+
+std::uint64_t
+Histogram::quantile(double q) const
+{
+    if (samples == 0)
+        return 0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Rank of the quantile sample, 1-based: ceil(q * samples), with
+    // q=0 mapping to the first sample.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(samples) + 0.9999999999);
+    if (rank == 0)
+        rank = 1;
+    if (rank > samples)
+        rank = samples;
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= rank) {
+            if (i + 1 == buckets.size())
+                return maxSeen; // Overflow bucket: unbounded above.
+            return static_cast<std::uint64_t>(i) * width + (width - 1);
+        }
+    }
+    return maxSeen;
 }
 
 double
@@ -47,6 +74,7 @@ Histogram::reset()
     std::fill(buckets.begin(), buckets.end(), 0);
     samples = 0;
     sum = 0;
+    maxSeen = 0;
 }
 
 Counter &

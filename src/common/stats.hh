@@ -52,6 +52,15 @@ class Histogram
     std::uint64_t bucketCount(unsigned idx) const;
     unsigned numBuckets() const { return buckets.size(); }
 
+    /**
+     * Value at quantile @p q in [0, 1] (q=0.5 is the median): the
+     * upper edge of the bucket holding the ceil(q * count)-th sample,
+     * i.e. an upper bound at bucket_width resolution. Returns 0 with
+     * no samples; the overflow bucket reports the largest sample seen
+     * (the histogram has no upper edge there).
+     */
+    std::uint64_t quantile(double q) const;
+
     /** Drop all samples (bucket geometry is kept). */
     void reset();
 
@@ -60,6 +69,7 @@ class Histogram
     unsigned width;
     std::uint64_t samples = 0;
     std::uint64_t sum = 0;
+    std::uint64_t maxSeen = 0;
 };
 
 /**

@@ -53,6 +53,17 @@ using YRoT = SeqNum;
 /** Number of integer architectural registers in the modelled ISA. */
 constexpr unsigned numArchRegs = 32;
 
+/**
+ * Protection-domain (tenant) identifier. Every instruction executes on
+ * behalf of exactly one tenant, and every secret region is owned by
+ * one; context switches (program switch points) move the core between
+ * them. Single-tenant programs run entirely as tenant 0.
+ */
+using TenantId = std::uint16_t;
+
+/** Sentinel for "no tenant" (e.g. an unowned label). */
+constexpr TenantId invalidTenant = std::numeric_limits<TenantId>::max();
+
 } // namespace sb
 
 #endif // SB_COMMON_TYPES_HH

@@ -33,14 +33,15 @@ ContractShadow::defaultActive()
 }
 
 void
-ContractShadow::markSecretRegion(Addr base, std::uint64_t bytes)
+ContractShadow::markSecretRegion(Addr base, std::uint64_t bytes,
+                                 TenantId owner)
 {
     if (bytes == 0)
         return;
     const Addr first = alignWord(base);
     const Addr last = alignWord(base + bytes - 1);
     for (Addr a = first; a <= last; a += 8)
-        secretWords.insert(a);
+        secretWords[a] = owner;
 }
 
 bool
@@ -49,11 +50,18 @@ ContractShadow::memSecret(Addr addr) const
     return secretWords.count(alignWord(addr)) != 0;
 }
 
+TenantId
+ContractShadow::memOwner(Addr addr) const
+{
+    auto it = secretWords.find(alignWord(addr));
+    return it == secretWords.end() ? invalidTenant : it->second;
+}
+
 void
-ContractShadow::setMemSecret(Addr addr, bool secret)
+ContractShadow::setMemSecret(Addr addr, bool secret, TenantId owner)
 {
     if (secret)
-        secretWords.insert(alignWord(addr));
+        secretWords[alignWord(addr)] = owner;
     else
         secretWords.erase(alignWord(addr));
 }
@@ -77,6 +85,7 @@ ContractShadow::onLoadValue(const DynInst &load, SeqNum forward_source)
             label = it->second;
     } else if (load.effAddrValid && memSecret(load.effAddr)) {
         label.secret = true;
+        label.owner = memOwner(load.effAddr);
     }
     pendingLoads[load.seq] = label;
 }
@@ -119,7 +128,7 @@ ContractShadow::onStoreCommit(const DynInst &store)
         storeData.erase(it);
     }
     if (store.effAddrValid)
-        setMemSecret(store.effAddr, label.secret);
+        setMemSecret(store.effAddr, label.secret, label.owner);
 }
 
 SeqNum
@@ -137,6 +146,7 @@ ContractShadow::onConsume(const DynInst &inst, Cycle now, SeqNum vp,
 {
     bool secret = false;
     SeqNum root = invalidSeqNum;
+    TenantId owner = 0;
 
     auto check_src = [&](PhysReg reg) {
         if (reg == invalidPhysReg)
@@ -144,6 +154,7 @@ ContractShadow::onConsume(const DynInst &inst, Cycle now, SeqNum vp,
         if (!regs[reg].secret)
             return;
         secret = true;
+        owner = regs[reg].owner;
         const SeqNum r = liveRoot(reg, vp);
         if (r != invalidSeqNum && (root == invalidSeqNum || r > root))
             root = r;
@@ -160,6 +171,14 @@ ContractShadow::onConsume(const DynInst &inst, Cycle now, SeqNum vp,
         ++ctViol;
         if (!firstCt.valid())
             firstCt = {now, inst.seq, inst.pc};
+        // Protection domains: the transmitting instruction ran under
+        // one tenant while the secret belongs to another — the
+        // cross-tenant escalation of the same observation.
+        if (owner != inst.tenant) {
+            ++crossTenantViol;
+            if (!firstCrossTenant.valid())
+                firstCrossTenant = {now, inst.seq, inst.pc};
+        }
         // Sandboxing: only out-of-sandbox (still-speculative) secret
         // acquisition violates the observational contract.
         if (root != invalidSeqNum) {
@@ -175,6 +194,7 @@ ContractShadow::onConsume(const DynInst &inst, Cycle now, SeqNum vp,
     if (inst.pdst != invalidPhysReg && !inst.isLoad()) {
         regs[inst.pdst].secret = secret;
         regs[inst.pdst].root = root;
+        regs[inst.pdst].owner = owner;
     }
 }
 
@@ -212,8 +232,10 @@ ContractShadow::reset()
     storeData.clear();
     sandboxViol = 0;
     ctViol = 0;
+    crossTenantViol = 0;
     firstSandbox = ContractViolation{};
     firstCt = ContractViolation{};
+    firstCrossTenant = ContractViolation{};
 }
 
 } // namespace sb

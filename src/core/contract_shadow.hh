@@ -34,7 +34,6 @@
 
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.hh"
@@ -67,11 +66,16 @@ class ContractShadow
     bool on() const { return active; }
     void setActive(bool enable) { active = enable; }
 
-    /** Seed memory labels from a program secret region. */
-    void markSecretRegion(Addr base, std::uint64_t bytes);
+    /** Seed memory labels from a program secret region; @p owner is
+     *  the protection domain the secret belongs to. */
+    void markSecretRegion(Addr base, std::uint64_t bytes,
+                          TenantId owner = 0);
 
     /** True if the word containing @p addr is secret-labelled. */
     bool memSecret(Addr addr) const;
+
+    /** Owning tenant of a secret word (invalidTenant if not secret). */
+    TenantId memOwner(Addr addr) const;
 
     // --- Core hooks (all no-ops unless on()) --------------------------
 
@@ -120,11 +124,14 @@ class ContractShadow
         /** Youngest still-speculative load the secret flowed through;
          *  invalidSeqNum = architecturally acquired. */
         SeqNum root = invalidSeqNum;
+        /** Protection domain the secret belongs to (meaningful only
+         *  while secret is set). */
+        TenantId owner = 0;
     };
 
     Label regLabel(PhysReg reg) const { return regs[reg]; }
     void setRegLabel(PhysReg reg, Label label) { regs[reg] = label; }
-    void setMemSecret(Addr addr, bool secret);
+    void setMemSecret(Addr addr, bool secret, TenantId owner = 0);
 
     /** A transmitter executed architecturally (fast-forward) with
      *  @p secret_operand: constant-time check only. */
@@ -134,11 +141,19 @@ class ContractShadow
 
     std::uint64_t sandboxViolations() const { return sandboxViol; }
     std::uint64_t ctViolations() const { return ctViol; }
+    /** Transmitters that executed with a secret operand owned by a
+     *  *different* tenant than the executing instruction's — the
+     *  protection-domain escalation of a constant-time violation. */
+    std::uint64_t crossTenantViolations() const { return crossTenantViol; }
     const ContractViolation &firstSandboxViolation() const
     {
         return firstSandbox;
     }
     const ContractViolation &firstCtViolation() const { return firstCt; }
+    const ContractViolation &firstCrossTenantViolation() const
+    {
+        return firstCrossTenant;
+    }
 
     void reset();
 
@@ -151,8 +166,9 @@ class ContractShadow
     bool active = false;
     std::vector<Label> regs;
 
-    /** 8-aligned word addresses currently holding secret data. */
-    std::unordered_set<Addr> secretWords;
+    /** 8-aligned word addresses currently holding secret data, mapped
+     *  to the protection domain that owns the secret. */
+    std::unordered_map<Addr, TenantId> secretWords;
 
     /** Labels captured at finishLoad, pending writeback (by seq). */
     std::unordered_map<SeqNum, Label> pendingLoads;
@@ -162,8 +178,10 @@ class ContractShadow
 
     std::uint64_t sandboxViol = 0;
     std::uint64_t ctViol = 0;
+    std::uint64_t crossTenantViol = 0;
     ContractViolation firstSandbox;
     ContractViolation firstCt;
+    ContractViolation firstCrossTenant;
 };
 
 } // namespace sb

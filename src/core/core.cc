@@ -47,7 +47,12 @@ Core::Core(const CoreConfig &config, const SchemeConfig &scheme_config,
     shadows.attachSlab(&slab);
     dcache.attach(prog);
     for (const SecretRegion &region : prog.secretRegions)
-        cshadow.markSecretRegion(region.base, region.bytes);
+        cshadow.markSecretRegion(region.base, region.bytes,
+                                 region.tenant);
+    for (const SwitchPoint &sp : prog.switchPoints)
+        switchAt[sp.pc] = sp.to;
+    for (const TenantEntry &te : prog.tenantEntries)
+        tenantEntry[te.tenant] = te.pc;
     schemePtr->attach(*this);
 }
 
@@ -223,6 +228,11 @@ Core::fastForward(std::uint64_t max_insts)
 {
     sb_assert(cycle == 0 && committedCount == 0 && nextSeq == 1,
               "fast-forward requires a fresh core");
+    // Multi-tenant programs context-switch at commit, which the
+    // functional interpreter does not model; such cells run with
+    // warmup disabled.
+    sb_assert(program->switchPoints.empty(),
+              "fast-forward cannot cross context switches");
     // With no instructions in flight the RAT is the architectural
     // map, so architectural state lives directly in regVal through
     // renameMap.lookup — exactly what readArchReg() reads and what
@@ -246,7 +256,7 @@ Core::fastForward(std::uint64_t max_insts)
             // Train the BTB exactly like commit does. JmpRegRet
             // never touches the BTB, in warmup or in the core.
             if (uop.op == Op::JmpReg)
-                btb[pc] = target;
+                btb.train(pc, target);
             pc = target;
             ++n;
             continue;
@@ -293,9 +303,11 @@ Core::fastForward(std::uint64_t max_insts)
                 cshadow.onArchTransmit(
                     pc, cshadow.regLabel(renameMap.lookup(uop.src1))
                             .secret);
+                const bool sec = cshadow.memSecret(addr);
                 cshadow.setRegLabel(
                     renameMap.lookup(uop.dst),
-                    {cshadow.memSecret(addr), invalidSeqNum});
+                    {sec, invalidSeqNum,
+                     sec ? cshadow.memOwner(addr) : TenantId(0)});
             }
             mem.warmAccess(addr, pc, 0);
             ++pc;
@@ -311,9 +323,9 @@ Core::fastForward(std::uint64_t max_insts)
                 cshadow.onArchTransmit(
                     pc, cshadow.regLabel(renameMap.lookup(uop.src1))
                             .secret);
-                cshadow.setMemSecret(
-                    addr, cshadow.regLabel(renameMap.lookup(uop.src2))
-                              .secret);
+                const ContractShadow::Label data =
+                    cshadow.regLabel(renameMap.lookup(uop.src2));
+                cshadow.setMemSecret(addr, data.secret, data.owner);
             }
             mem.warmAccess(addr, pc, 0);
             ++pc;
@@ -430,7 +442,7 @@ Core::commitPhase()
             sb_assert(branchesInFlight > 0, "branch count underflow");
             --branchesInFlight;
             if (inst.uop.op == Op::JmpReg) {
-                btb[inst.pc] = inst.actualTarget;
+                btb.train(inst.pc, inst.actualTarget);
             } else if (inst.uop.op != Op::Jmp
                        && inst.uop.op != Op::JmpRegRet) {
                 // JmpRegRet is the retpoline indirect: it trains
@@ -458,11 +470,24 @@ Core::commitPhase()
         // The record dies with its ROB entry; the store drain below
         // commit works entirely from the SQ entry's cached fields.
         const bool is_halt = inst.uop.isHalt();
+        const SeqNum seq = inst.seq;
+        const std::uint32_t inst_pc = inst.pc;
         slab.free(h);
 
         if (is_halt) {
             haltedFlag = true;
             break;
+        }
+
+        // A committed context-switch marker hands the core to the
+        // next protection domain; commit stops for this cycle (the
+        // squash empties the ROB anyway).
+        if (!switchAt.empty()) {
+            auto sw = switchAt.find(inst_pc);
+            if (sw != switchAt.end()) {
+                performContextSwitch(seq, inst_pc, sw->second);
+                break;
+            }
         }
     }
 }
@@ -533,14 +558,19 @@ void
 Core::executePhase()
 {
     // Oldest first so an older mispredict squashes younger work
-    // before it takes effect. Every handle is live at this point
-    // (commit only frees completed instructions, and squashes happen
-    // inside this phase, below), so the comparator can use get();
-    // the loop revalidates per element because an older branch may
-    // squash the rest of the list.
+    // before it takes effect. Handles may already be stale here: a
+    // context-switch marker committing this cycle squashes every
+    // in-flight younger instruction during the commit phase, so the
+    // comparator must revalidate (stale entries order last); the loop
+    // below revalidates again per element because an older branch may
+    // squash the rest of the list mid-phase.
+    constexpr std::uint64_t staleSeq = ~std::uint64_t(0);
     std::sort(execNow.begin(), execNow.end(),
               [this](InstHandle a, InstHandle b) {
-                  return slab.get(a).seq < slab.get(b).seq;
+                  const DynInst *ia = slab.tryGet(a);
+                  const DynInst *ib = slab.tryGet(b);
+                  return (ia ? ia->seq : staleSeq)
+                         < (ib ? ib->seq : staleSeq);
               });
     for (InstHandle h : execNow) {
         DynInst *instp = slab.tryGet(h);
@@ -1084,13 +1114,13 @@ Core::fetchPhase()
         DynInst &inst = slab.get(h);
         inst = d.tmpl;
         inst.seq = nextSeq++;
+        inst.tenant = currentTenant;
 
         if (d.kind == FetchKind::JmpReg) {
             // Always taken; the BTB supplies the target. An untrained
             // entry predicts fall-through, so laying the preferred
             // target right after the jr makes a cold BTB harmless.
-            const auto hit = btb.find(pc);
-            inst.predTarget = hit != btb.end() ? hit->second : pc + 1;
+            inst.predTarget = btb.predict(pc);
             fetchQueue.push_back(h);
             ++n;
             pc = inst.predTarget;
@@ -1197,6 +1227,79 @@ Core::squash(SeqNum from_seq, std::uint32_t new_pc)
     fetchHalted = false;
     st.squashedInsts += count;
     ++st.squashes;
+}
+
+// ---------------------------------------------------------------------
+// Context switch (protection domains)
+// ---------------------------------------------------------------------
+
+void
+Core::performContextSwitch(SeqNum marker_seq, std::uint32_t marker_pc,
+                           TenantId to)
+{
+    // Kill every in-flight instruction younger than the committed
+    // marker. The walk-back restores the committed RAT, so the
+    // renameMap lookups below read architectural state.
+    squash(marker_seq, marker_pc + 1);
+
+    // Bank out the outgoing tenant's architectural registers (and
+    // their shadow labels, so taint does not bleed across domains
+    // through physical-register reuse).
+    TenantCtx &out = tenantCtxs[currentTenant];
+    out.archRegs.assign(numArchRegs, 0);
+    out.archLabels.assign(numArchRegs, ContractShadow::Label{});
+    for (unsigned r = 0; r < numArchRegs; ++r) {
+        const PhysReg p = renameMap.lookup(static_cast<ArchReg>(r));
+        out.archRegs[r] = regVal[p];
+        if (cshadow.on())
+            out.archLabels[r] = cshadow.regLabel(p);
+    }
+    out.resumePc = marker_pc + 1;
+    out.started = true;
+
+    // Bank in the incoming tenant. A tenant never scheduled before
+    // starts at its recorded entry point with zeroed registers:
+    // domain setup is the tenant's own architectural code.
+    TenantCtx &in = tenantCtxs[to];
+    std::uint32_t resume;
+    if (in.started) {
+        for (unsigned r = 0; r < numArchRegs; ++r) {
+            const PhysReg p =
+                renameMap.lookup(static_cast<ArchReg>(r));
+            regVal[p] = in.archRegs[r];
+            if (cshadow.on())
+                cshadow.setRegLabel(p, in.archLabels[r]);
+        }
+        resume = in.resumePc;
+    } else {
+        for (unsigned r = 0; r < numArchRegs; ++r) {
+            const PhysReg p =
+                renameMap.lookup(static_cast<ArchReg>(r));
+            regVal[p] = 0;
+            if (cshadow.on())
+                cshadow.setRegLabel(p, ContractShadow::Label{});
+        }
+        auto e = tenantEntry.find(to);
+        resume = e != tenantEntry.end() ? e->second : marker_pc + 1;
+    }
+    currentTenant = to;
+
+    // Predictor hygiene policy: flush models hardware with
+    // cross-domain prediction isolation; keep models shared predictor
+    // state — the Spectre v2 / swapgs training channel.
+    if (cfg.flushPredictorsOnSwitch) {
+        predictor.flushSpeculativeState();
+        btb.flush();
+        ghist = 0;
+    }
+
+    pc = resume;
+    fetchHalted = false;
+    // The squash charged its one-cycle redirect; the switch charges
+    // the full pipeline-refill + state-swap cost on top.
+    fetchStallUntil = cycle + cfg.contextSwitchPenalty;
+    ++switchCount;
+    ++st.contextSwitches;
 }
 
 } // namespace sb

@@ -39,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "branch/btb.hh"
 #include "branch/tage.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
@@ -98,7 +99,8 @@ struct CoreStats
           decodeCacheHits(g.counter("decode_cache_hits")),
           decodeCacheMisses(g.counter("decode_cache_misses")),
           slabHighWater(g.counter("slab_high_water")),
-          handlesRecycled(g.counter("handles_recycled"))
+          handlesRecycled(g.counter("handles_recycled")),
+          contextSwitches(g.counter("context_switches"))
     {
     }
 
@@ -134,6 +136,8 @@ struct CoreStats
     Counter &decodeCacheMisses;
     Counter &slabHighWater;
     Counter &handlesRecycled;
+    /** Protection-domain switches performed (commit-time markers). */
+    Counter &contextSwitches;
 };
 
 /**
@@ -282,6 +286,12 @@ class Core
         std::function<void(const char *, const DynInst &, Cycle)>;
     void setTraceHook(TraceHook hook) { traceHook = std::move(hook); }
 
+    /** Protection domain instructions are currently fetched under. */
+    TenantId activeTenant() const { return currentTenant; }
+
+    /** Context switches performed so far. */
+    std::uint64_t contextSwitchCount() const { return switchCount; }
+
     /** Read an architectural register (through the RAT; for tests). */
     Word readArchReg(ArchReg reg) const;
 
@@ -391,6 +401,17 @@ class Core
      */
     void squash(SeqNum from_seq, std::uint32_t new_pc);
 
+    /**
+     * Switch to protection domain @p to: squash every in-flight
+     * instruction younger than the committed marker at (@p marker_seq,
+     * @p marker_pc), bank out the outgoing tenant's architectural
+     * registers (and shadow labels), bank in the incoming tenant's,
+     * flush predictor state per CoreConfig::flushPredictorsOnSwitch,
+     * and charge CoreConfig::contextSwitchPenalty of fetch stall.
+     */
+    void performContextSwitch(SeqNum marker_seq,
+                              std::uint32_t marker_pc, TenantId to);
+
     bool speculativeSchedulingEnabled() const;
 
     // --- Configuration -----------------------------------------------------
@@ -465,13 +486,32 @@ class Core
     // --- Front-end state -------------------------------------------------------
     std::uint32_t pc = 0;
     std::uint64_t ghist = 0;
-    /** Branch target buffer for indirect jumps (JmpReg): last
-     *  committed target per static PC. Trained at commit so wrong-path
-     *  execution cannot pollute it (keeps runs deterministic). */
-    std::unordered_map<std::uint32_t, std::uint32_t> btb;
+    /** Branch target buffer for indirect jumps (JmpReg): fixed
+     *  set-associative table of last committed targets per static PC.
+     *  Trained at commit so wrong-path execution cannot pollute it
+     *  (keeps runs deterministic); flushed on a context switch under
+     *  CoreConfig::flushPredictorsOnSwitch. */
+    BranchTargetBuffer btb;
     Cycle fetchStallUntil = 0;
     bool fetchHalted = false;
     unsigned frontendExtraDelay = 0;
+
+    // --- Protection-domain state ------------------------------------------------
+    /** Banked architectural state of a descheduled tenant. */
+    struct TenantCtx
+    {
+        std::vector<Word> archRegs;
+        std::vector<ContractShadow::Label> archLabels;
+        std::uint32_t resumePc = 0;
+        bool started = false; ///< Has run before (resumePc is valid).
+    };
+    /** Commit-time switch markers: marker pc -> incoming tenant. */
+    std::unordered_map<std::uint32_t, TenantId> switchAt;
+    /** First-dispatch entry pc per tenant (Program::tenantEntries). */
+    std::unordered_map<TenantId, std::uint32_t> tenantEntry;
+    std::unordered_map<TenantId, TenantCtx> tenantCtxs;
+    TenantId currentTenant = 0;
+    std::uint64_t switchCount = 0;
 
     // --- Execution state ---------------------------------------------------------
     Cycle cycle = 0;

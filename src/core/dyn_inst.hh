@@ -28,6 +28,8 @@ struct DynInst
     // --- Identity -----------------------------------------------------
     SeqNum seq = 0;           ///< Global program-order sequence number.
     std::uint32_t pc = 0;     ///< Static code index.
+    /** Protection domain this instruction was fetched under. */
+    TenantId tenant = 0;
     MicroOp uop;
 
     // --- Rename -------------------------------------------------------

@@ -132,6 +132,11 @@ runGadgetAttack(const GadgetProgram &gadget,
     res.firstSandboxViolation =
         core.contractShadow().firstSandboxViolation();
     res.firstCtViolation = core.contractShadow().firstCtViolation();
+    res.crossTenantViolations =
+        core.contractShadow().crossTenantViolations();
+    res.firstCrossTenantViolation =
+        core.contractShadow().firstCrossTenantViolation();
+    res.contextSwitches = core.contextSwitchCount();
     res.leaked = res.timingByte == secret_byte
                  || res.oracleByte == secret_byte;
     res.traceHash = hashObservations(core.observationTrace());

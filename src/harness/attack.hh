@@ -45,10 +45,16 @@ struct AttackResult
      *  constant-time = a secret reached a transmitter at all. */
     std::uint64_t sandboxViolations = 0;
     std::uint64_t ctViolations = 0;
+    /** Transmits of a secret owned by a different tenant than the
+     *  transmitting instruction's (protection-domain model). */
+    std::uint64_t crossTenantViolations = 0;
     /** Pinpointed first violation of each contract (invalid seq if
      *  the contract was never violated). */
     ContractViolation firstSandboxViolation;
     ContractViolation firstCtViolation;
+    ContractViolation firstCrossTenantViolation;
+    /** Context switches the core performed during the run. */
+    std::uint64_t contextSwitches = 0;
     /** Median / minimum probe gaps (diagnostics). */
     double medianGap = 0.0;
     double minGap = 0.0;

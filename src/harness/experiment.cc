@@ -12,6 +12,7 @@
 #include "common/signals.hh"
 #include "core/core.hh"
 #include "harness/conformance.hh"
+#include "harness/tenant.hh"
 #include "harness/verify.hh"
 #include "secure/factory.hh"
 #include "trace/spec_suite.hh"
@@ -91,6 +92,8 @@ ExperimentRunner::runOne(const RunSpec &spec, const RunHooks &hooks)
         return runGadgetCell(spec);
     if (isFuzzWorkload(spec.workload))
         return runFuzzCell(spec);
+    if (isTenantWorkload(spec.workload))
+        return runServerMixCell(spec);
 
     const Workload workload = SpecSuite::make(spec.workload);
     const TransformedProgram transformed =

@@ -240,6 +240,9 @@ toJson(const CoreConfig &config)
     j.set("mem", Json::num(std::uint64_t(config.memLatency)));
     j.set("specsched", Json::boolean(config.speculativeScheduling));
     j.set("festages", Json::num(std::uint64_t(config.frontendStages)));
+    j.set("swflush", Json::boolean(config.flushPredictorsOnSwitch));
+    j.set("swpen",
+          Json::num(std::uint64_t(config.contextSwitchPenalty)));
     return j;
 }
 
@@ -272,7 +275,9 @@ coreConfigFromJson(const Json &json, CoreConfig &out)
         || !json.has("l2") || !cacheConfigFromJson(json.at("l2"), c.l2)
         || !getUnsigned(json, "mem", c.memLatency)
         || !getBool(json, "specsched", c.speculativeScheduling)
-        || !getUnsigned(json, "festages", c.frontendStages))
+        || !getUnsigned(json, "festages", c.frontendStages)
+        || !getBool(json, "swflush", c.flushPredictorsOnSwitch)
+        || !getUnsigned(json, "swpen", c.contextSwitchPenalty))
         return false;
     out = c;
     return true;

@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "harness/conformance.hh"
 #include "harness/engine.hh"
+#include "harness/tenant.hh"
 #include "harness/verify.hh"
 
 namespace sb
@@ -17,6 +18,7 @@ ScenarioRegistry::instance()
         registerSecurityScenarios(r);
         registerMitigationScenarios(r);
         registerConformanceScenarios(r);
+        registerTenantScenarios(r);
         return r;
     }();
     return registry;

@@ -144,13 +144,35 @@ runGadgetCell(const RunSpec &spec)
     };
     record("gadget_first_sandbox", res.firstSandboxViolation);
     record("gadget_first_ct", res.firstCtViolation);
+    // Protection-domain verdicts. The flush-policy bit is recorded so
+    // the fold can tell an expected-closed cross-domain cell (flush
+    // core, unprotected) from an armed-proof one without re-deriving
+    // the core configuration from its name.
+    out.stats["gadget_cross_viol"] = res.crossTenantViolations;
+    record("gadget_first_cross", res.firstCrossTenantViolation);
+    out.stats["gadget_context_switches"] = res.contextSwitches;
+    out.stats["gadget_flush_on_switch"] =
+        spec.core.flushPredictorsOnSwitch ? 1 : 0;
     return out;
+}
+
+bool
+gadgetIsCrossDomain(GadgetKind kind)
+{
+    return kind == GadgetKind::SpectreV2CrossDomain
+           || kind == GadgetKind::SpectreV1Swapgs;
 }
 
 bool
 VerifyCell::pass() const
 {
     if (judgedPolicy == ContractPolicy::None) {
+        // A cross-domain cell on a flush-on-switch core: the *core
+        // policy* is the mitigation under test, so the unprotected
+        // verdict flips — the channel must be closed, and closed
+        // without secret-dependent divergence.
+        if (expectClosed)
+            return !leaked && !diverged;
         // A non-declaring scheme (the unsafe baseline) must
         // demonstrably leak on both paired runs — proof the gadget is
         // armed — and the shadow engine must have pinpointed the
@@ -159,6 +181,10 @@ VerifyCell::pass() const
         return armed && firstCtViolation.valid();
     }
     if (leaked || diverged)
+        return false;
+    // Declared schemes must also keep secrets inside their owning
+    // protection domain (vacuous for single-tenant gadgets).
+    if (crossTenantViolations != 0)
         return false;
     if (contract.obligesTransmitterSafety && transmitViolations != 0)
         return false;
@@ -272,6 +298,20 @@ foldVerifyOutcomes(const std::vector<RunOutcome> &outcomes,
         const ContractViolation ca = first(a, "gadget_first_ct");
         cell.firstCtViolation =
             ca.valid() ? ca : first(b, "gadget_first_ct");
+        cell.crossTenantViolations =
+            std::max(a.stat("gadget_cross_viol"),
+                     b.stat("gadget_cross_viol"));
+        const ContractViolation xa = first(a, "gadget_first_cross");
+        cell.firstCrossTenantViolation =
+            xa.valid() ? xa : first(b, "gadget_first_cross");
+        cell.contextSwitches =
+            std::max(a.stat("gadget_context_switches"),
+                     b.stat("gadget_context_switches"));
+        cell.crossDomain = gadgetIsCrossDomain(kind_a);
+        cell.expectClosed =
+            cell.crossDomain
+            && cell.judgedPolicy == ContractPolicy::None
+            && a.stat("gadget_flush_on_switch") != 0;
         matrix.cells.push_back(std::move(cell));
     }
     return matrix;
@@ -325,6 +365,15 @@ toJson(const VerifyMatrix &matrix)
         c.set("first_sandbox_violation",
               record(cell.firstSandboxViolation));
         c.set("first_ct_violation", record(cell.firstCtViolation));
+        c.set("cross_tenant_violations",
+              Json::num(cell.crossTenantViolations));
+        c.set("first_cross_tenant_violation",
+              record(cell.firstCrossTenantViolation));
+        c.set("context_switches", Json::num(cell.contextSwitches));
+        c.set("cross_domain", Json::boolean(cell.crossDomain));
+        c.set("expect_closed", Json::boolean(cell.expectClosed));
+        c.set("cross_tenant_leak",
+              Json::boolean(cell.crossDomain && cell.leaked));
         c.set("pass", Json::boolean(cell.pass()));
         cells.push(std::move(c));
     }
@@ -340,7 +389,7 @@ printVerifyMatrix(const VerifyMatrix &matrix, std::FILE *out)
     TextTable t;
     t.header({"gadget", "scheme", "core", "contract", "leaked",
               "diverged", "t-viol", "c-viol", "sbx-viol", "ct-viol",
-              "first-viol", "verdict"});
+              "x-tenant", "first-viol", "verdict"});
     for (const VerifyCell &cell : matrix.cells) {
         // The pinpointed repro: the sandboxing record when the judged
         // contract has one, else the constant-time record (what the
@@ -358,13 +407,17 @@ printVerifyMatrix(const VerifyMatrix &matrix, std::FILE *out)
             contract += "->";
             contract += contractPolicyName(cell.judgedPolicy);
         }
+        // Cross-domain cells report the tenant-boundary verdict: did
+        // the observing tenant recover another tenant's secret?
+        const std::string xtenant =
+            !cell.crossDomain ? "-" : (cell.leaked ? "LEAK" : "closed");
         t.row({cell.gadget, schemeName(cell.scheme), cell.core,
                contract, cell.leaked ? "yes" : "no",
                cell.diverged ? "yes" : "no",
                std::to_string(cell.transmitViolations),
                std::to_string(cell.consumeViolations),
                std::to_string(cell.sandboxViolations),
-               std::to_string(cell.ctViolations), repro,
+               std::to_string(cell.ctViolations), xtenant, repro,
                cell.pass() ? "pass" : "FAIL"});
     }
     std::fprintf(out, "%s\n", t.render().c_str());
@@ -389,8 +442,29 @@ registerSecurityScenarios(ScenarioRegistry &registry)
     s.title = "Security: Spectre gadget battery + differential "
               "leakage check (leak matrix)";
     s.specs = [] {
-        return verifyBatterySpecs(CoreConfig::mega(),
-                                  allSchemeConfigs());
+        std::vector<RunSpec> specs =
+            verifyBatterySpecs(CoreConfig::mega(),
+                               allSchemeConfigs());
+        // The cross-domain gadgets again, unprotected, on the same
+        // core with the flush-predictors-on-switch policy: the fold
+        // flips those cells to expect-closed, proving the software-
+        // visible context-switch hygiene alone severs the channel.
+        SchemeConfig baseline;
+        for (GadgetKind kind : {GadgetKind::SpectreV2CrossDomain,
+                                GadgetKind::SpectreV1Swapgs}) {
+            for (std::uint8_t secret : {verifySecretA,
+                                        verifySecretB}) {
+                RunSpec spec;
+                spec.core = CoreConfig::megaFlush();
+                spec.scheme = baseline;
+                spec.workload = gadgetWorkloadName(kind, secret,
+                                                   verifyGadgetSeed);
+                spec.warmupInsts = 0;
+                spec.measureInsts = 0;
+                specs.push_back(std::move(spec));
+            }
+        }
+        return specs;
     };
     s.report = [](const std::vector<RunOutcome> &outcomes,
                   std::FILE *out) {
@@ -409,10 +483,18 @@ mitigationCloses(Mitigation m, GadgetKind gadget)
         return false;
       case Mitigation::Slh:
       case Mitigation::Fence:
+        // Conditional-branch instrumentation: the swapgs variant's
+        // transient entry is a trained conditional branch, so both
+        // passes sever it exactly like the bounds-check bypasses.
         return gadget == GadgetKind::SpectreV1
-               || gadget == GadgetKind::SpectreV1Mask;
+               || gadget == GadgetKind::SpectreV1Mask
+               || gadget == GadgetKind::SpectreV1Swapgs;
       case Mitigation::Retpoline:
-        return gadget == GadgetKind::SpectreV2Indirect;
+        // Both v2s enter through a BTB-predicted indirect; the
+        // lowering starves the BTB whether the poisoning tenant is
+        // the victim itself or a neighbour across a context switch.
+        return gadget == GadgetKind::SpectreV2Indirect
+               || gadget == GadgetKind::SpectreV2CrossDomain;
     }
     return false;
 }

@@ -80,6 +80,10 @@ bool parseGadgetWorkload(const std::string &workload, GadgetKind &kind,
  */
 RunOutcome runGadgetCell(const RunSpec &spec);
 
+/** Does @p kind leak across a protection-domain boundary (observer
+ *  tenant != secret-owner tenant)? Static property of the kind. */
+bool gadgetIsCrossDomain(GadgetKind kind);
+
 /** One folded (gadget x scheme x core) battery cell. */
 struct VerifyCell
 {
@@ -119,6 +123,20 @@ struct VerifyCell
      *  both runs violated; invalid seq when neither did). */
     ContractViolation firstSandboxViolation;
     ContractViolation firstCtViolation;
+    /** Worst-case cross-tenant shadow count over the pair (transmits
+     *  of a secret owned by a different protection domain than the
+     *  transmitting instruction). */
+    std::uint64_t crossTenantViolations = 0;
+    ContractViolation firstCrossTenantViolation;
+    /** Context switches per run (identical across the pair). */
+    std::uint64_t contextSwitches = 0;
+    /** The gadget's observer and secret owner are different tenants:
+     *  a recovered byte is a cross-tenant leak. */
+    bool crossDomain = false;
+    /** Unprotected cell whose cross-domain channel the *core policy*
+     *  (flush-predictors-on-switch) is expected to close: the verdict
+     *  flips from must-demonstrably-leak to must-not-leak. */
+    bool expectClosed = false;
 
     /**
      * Contract check under judgedPolicy: a scheme with a declared
@@ -183,10 +201,11 @@ void registerSecurityScenarios(ScenarioRegistry &registry);
 /**
  * Closure map: is @p m designed to close @p gadget on an unprotected
  * core? SLH and conservative fencing neutralize the bounds-check
- * bypasses (v1 and masked v1) — their machinery keys on conditional
- * branches, so v2 (BTB) and v4 (store bypass) stay open. Retpoline
- * starves the BTB and closes exactly v2. Nothing in the software
- * roster closes v4.
+ * bypasses (v1, masked v1, and the cross-tenant swapgs variant — all
+ * enter through a conditional branch), so v2 (BTB, same- or
+ * cross-domain) and v4 (store bypass) stay open under them.
+ * Retpoline starves the BTB and closes exactly the two v2s. Nothing
+ * in the software roster closes v4.
  */
 bool mitigationCloses(Mitigation m, GadgetKind gadget);
 

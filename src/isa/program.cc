@@ -365,11 +365,27 @@ ProgramBuilder::halt()
 }
 
 void
-ProgramBuilder::markSecret(Addr base, std::uint64_t bytes)
+ProgramBuilder::markSecret(Addr base, std::uint64_t bytes, TenantId owner)
 {
     if (bytes == 0)
         return;
-    secrets.push_back({base, bytes});
+    secrets.push_back({base, bytes, owner});
+}
+
+void
+ProgramBuilder::tenantEntry(TenantId t)
+{
+    for (const TenantEntry &e : tenantStarts)
+        sb_assert(e.tenant != t, "tenant entry recorded twice");
+    tenantStarts.push_back({t, here()});
+}
+
+std::uint32_t
+ProgramBuilder::switchTenant(TenantId to)
+{
+    const std::uint32_t pc = nop();
+    switches.push_back({pc, to});
+    return pc;
 }
 
 Program
@@ -399,6 +415,8 @@ ProgramBuilder::build(std::string name)
     p.memory = std::move(mem);
     p.name = std::move(name);
     p.secretRegions = std::move(secrets);
+    p.switchPoints = std::move(switches);
+    p.tenantEntries = std::move(tenantStarts);
     return p;
 }
 

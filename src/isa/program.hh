@@ -99,6 +99,31 @@ struct SecretRegion
 {
     Addr base = 0;
     std::uint64_t bytes = 0;
+    /** Protection domain that owns this secret. The contract shadow
+     *  threads the owner through its labels, so a transmit of secret
+     *  data inside a *different* tenant's instruction stream is
+     *  distinguishable as a cross-tenant violation. */
+    TenantId tenant = 0;
+};
+
+/**
+ * A context-switch point: when the instruction at @p pc commits, the
+ * core switches to protection domain @p to — architectural registers
+ * are banked out/in, every in-flight younger instruction is squashed,
+ * and predictor state is flushed or kept per
+ * CoreConfig::flushPredictorsOnSwitch.
+ */
+struct SwitchPoint
+{
+    std::uint32_t pc = 0;
+    TenantId to = 0;
+};
+
+/** First-dispatch entry point of one tenant's instruction stream. */
+struct TenantEntry
+{
+    TenantId tenant = 0;
+    std::uint32_t pc = 0;
 };
 
 /** A complete runnable program: code, entry point, and initial memory. */
@@ -112,7 +137,18 @@ struct Program
     /** Byte ranges of `memory` holding secret-labelled data. */
     std::vector<SecretRegion> secretRegions;
 
+    /** Commit-time context-switch markers (empty = single-tenant). */
+    std::vector<SwitchPoint> switchPoints;
+
+    /** Where each tenant's stream starts the first time it is
+     *  scheduled (tenants absent here start at the switch target's
+     *  fall-through; tenant 0 starts at `entry`). */
+    std::vector<TenantEntry> tenantEntries;
+
     std::size_t size() const { return code.size(); }
+
+    /** Does this program ever switch protection domains? */
+    bool multiTenant() const { return !switchPoints.empty(); }
 
     /** Disassemble the whole program, one op per line. */
     std::string disassemble() const;
@@ -177,8 +213,18 @@ class ProgramBuilder
     MemoryImage &memory() { return mem; }
 
     /** Annotate a byte range of the initial image as secret-labelled
-     *  (word-granular; the range is widened to 8-byte alignment). */
-    void markSecret(Addr base, std::uint64_t bytes);
+     *  (word-granular; the range is widened to 8-byte alignment),
+     *  owned by tenant @p owner. */
+    void markSecret(Addr base, std::uint64_t bytes, TenantId owner = 0);
+
+    /** Record the current position as tenant @p t's entry point. */
+    void tenantEntry(TenantId t);
+
+    /**
+     * Emit a context-switch marker (a nop): when it commits, the core
+     * switches to tenant @p to. Returns the marker's code index.
+     */
+    std::uint32_t switchTenant(TenantId to);
 
     /** Finalise: checks all labels bound and targets in range. */
     Program build(std::string name = "program");
@@ -194,6 +240,8 @@ class ProgramBuilder
     std::vector<std::int64_t> futureTargets; ///< -1 until bound.
     MemoryImage mem;
     std::vector<SecretRegion> secrets;
+    std::vector<SwitchPoint> switches;
+    std::vector<TenantEntry> tenantStarts;
 };
 
 } // namespace sb

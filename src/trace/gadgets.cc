@@ -20,6 +20,13 @@ constexpr Addr secretOffset = 0x10000;   ///< Out-of-range index.
 constexpr Addr idxArrayBase = 0x600000;
 constexpr Addr staleBase = 0xA00000;     ///< v4 sanitised-pointer slots.
 constexpr Addr chaseBase = 0x800000;
+/** Cross-domain v2: slot holding the attacker's training target. */
+constexpr Addr targSlotAddr = 0x700000;
+/** Swapgs flag chains: the attacker's sits in one line (resolves
+ *  fast); the victim's spans three cold lines (slow resolve = the
+ *  speculation window). */
+constexpr Addr flagChainA = 0xB00000;
+constexpr Addr flagChainB = 0xB10000;
 constexpr unsigned chaseNodes = 2048;
 constexpr unsigned trainingRounds = 48;
 constexpr std::int64_t inRangeLength = 8;
@@ -82,14 +89,16 @@ buildChase(ProgramBuilder &b, Rng &rng)
 }
 
 /** In-range victim entries are all zero, so architectural execution
- *  only ever warms probe slot 0 (excluded from scoring). */
+ *  only ever warms probe slot 0 (excluded from scoring). The secret
+ *  belongs to tenant @p owner (0 for the single-tenant gadgets). */
 void
-initVictimArrays(ProgramBuilder &b, std::uint8_t secret_byte)
+initVictimArrays(ProgramBuilder &b, std::uint8_t secret_byte,
+                 TenantId owner = 0)
 {
     for (unsigned i = 0; i < inRangeLength; ++i)
         b.memory().write(array1Base + 8 * i, 0);
     b.memory().write(array1Base + secretOffset, secret_byte);
-    b.markSecret(array1Base + secretOffset, 8);
+    b.markSecret(array1Base + secretOffset, 8, owner);
 }
 
 /** Common register preamble; gadget-specific registers ride along. */
@@ -347,6 +356,183 @@ buildV4(std::uint8_t secret_byte, std::uint64_t seed)
     return out;
 }
 
+// ---------------------------------------------------------------------
+// Spectre v2 cross-domain: BTB injection across a context switch
+// ---------------------------------------------------------------------
+
+/**
+ * Attacker tenant A (= 0, the observer) architecturally drives a
+ * shared dispatcher `jr targ` at its gadget target for trainingRounds,
+ * planting a BTB entry, then context-switches to victim tenant B
+ * (= 1, the secret owner). B holds — legitimately — a pointer to its
+ * own secret and jumps through the same dispatcher at a target that
+ * skips the gadget, with the target riding three cold dependent loads.
+ * If predictor state survives the switch, fetch follows A's BTB entry
+ * into the gadget with B's registers: B's secret is read and
+ * transmitted transiently. B switches back and A reads the probe.
+ *
+ * The gadget deliberately does NOT sit at the dispatcher's
+ * fall-through: a cold (flushed) BTB predicts fall-through, which is a
+ * harmless trampoline, so the flush-on-switch policy closes the
+ * channel. A retpoline (JmpRegRet) never consults the BTB and closes
+ * it the same way.
+ */
+GadgetProgram
+buildV2Cross(std::uint8_t secret_byte, std::uint64_t seed)
+{
+    ProgramBuilder b;
+    Rng rng(seed);
+
+    initVictimArrays(b, secret_byte, /*owner=*/1);
+    const ChaseChain chain = buildChase(b, rng);
+
+    // --- Tenant A: training loop ----------------------------------
+    emitPreamble(b, chain, trainingRounds);
+    b.movi(Regs::idx, 0);               // Public in-range index.
+    b.movi(Regs::paddr, targSlotAddr);  // Training-target slot.
+
+    const auto round = b.here();
+    const auto exit_a = b.futureLabel();
+    b.beq(Regs::cnt, Regs::lim, exit_a);
+    b.add(Regs::cnt, Regs::cnt, Regs::one);
+    b.load(Regs::targ, Regs::paddr, 0); // = gadget pc (warm).
+    // D: the shared dispatcher. A falls into it; B jumps to it.
+    const std::uint32_t dispatcher_pc = b.jr(Regs::targ);
+    // Fall-through = what a cold BTB predicts: a harmless trampoline.
+    b.jmp(round);
+    // G: the gadget body (the trained target).
+    const std::uint32_t gadget_pc = b.here();
+    const std::uint32_t transmit_pc = emitTransmitter(b);
+    b.jmp(round);
+
+    b.bind(exit_a);
+    b.switchTenant(1);
+    // A resumes here after B switches back. The fence keeps any
+    // wrong path that runs ahead of a switch marker from renaming
+    // receiver code; the fresh chase head gives the barrier a fully
+    // cold segment (B walked nodes 0..2).
+    b.fence();
+    b.movi(Regs::chase, chain.nodeAddr(16));
+    GadgetProgram out;
+    out.transmitPc = transmit_pc;
+    emitBarrierAndProbe(b, out);
+
+    // --- Tenant B: the victim -------------------------------------
+    b.tenantEntry(1);
+    b.movi(Regs::a1, array1Base);
+    b.movi(Regs::a2, array2Base);
+    b.movi(Regs::byteMask, 0xff);
+    b.movi(Regs::nine, 9);
+    b.movi(Regs::acc, 0);
+    b.movi(Regs::idx, secretOffset); // B's pointer to B's own secret.
+    b.movi(Regs::chase, chain.nodeAddr(0));
+    b.load(Regs::hop1, Regs::chase, 0);  // Cold …
+    b.load(Regs::hop2, Regs::hop1, 0);   // … serial …
+    b.load(Regs::targ, Regs::hop2, 16);  // … ≈300-cycle resolve.
+    b.jmp(dispatcher_pc);
+    const std::uint32_t b_cont = b.here(); // B's architectural target.
+    b.switchTenant(0);
+    b.halt();
+
+    // Build-time backpatches now that the pcs are known.
+    b.memory().write(targSlotAddr, gadget_pc);
+    b.memory().write(chain.nodeAddr(2) + 16, b_cont);
+
+    out.secretOwner = 1;
+    out.observer = 0;
+    out.program = b.build("spectre-v2-cross");
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Spectre v1 swapgs-style: branch-path injection across a switch
+// ---------------------------------------------------------------------
+
+/**
+ * CVE-2019-1125 shape: a shared entry routine resolves a flag through
+ * dependent loads and conditionally takes a privileged path that
+ * dereferences a caller-supplied pointer. Attacker tenant A trains the
+ * branch taken (its flag chain resolves fast to 0, its pointer is
+ * public). Victim tenant B's flag chain spans three cold lines and
+ * resolves to 1 — architecturally B falls through — but a predictor
+ * kept across the switch steers B transiently into the privileged
+ * path with B's secret-pointing registers.
+ *
+ * The privileged path is the branch's TAKEN side, so a flushed
+ * predictor (cold bimodal predicts not-taken) closes the channel, as
+ * do the conditional-branch software mitigations (SLH, fences). A
+ * retpoline is irrelevant here: the gadget must stay armed under it.
+ */
+GadgetProgram
+buildV1Swapgs(std::uint8_t secret_byte, std::uint64_t seed)
+{
+    ProgramBuilder b;
+    Rng rng(seed);
+
+    initVictimArrays(b, secret_byte, /*owner=*/1);
+    const ChaseChain chain = buildChase(b, rng);
+
+    // Flag chains (see flagChainA/flagChainB above).
+    b.memory().write(flagChainA + 0, flagChainA + 8);
+    b.memory().write(flagChainA + 8, flagChainA + 16);
+    b.memory().write(flagChainA + 16, 0); // A: flag = 0 → taken.
+    b.memory().write(flagChainB + 0, flagChainB + 0x1000);
+    b.memory().write(flagChainB + 0x1000, flagChainB + 0x2000);
+    b.memory().write(flagChainB + 0x2000, 1); // B: flag = 1 → fall.
+
+    // --- Tenant A: train the privileged path taken ----------------
+    emitPreamble(b, chain, trainingRounds);
+    b.movi(Regs::idx, 0);             // Public pointer offset.
+    b.movi(Regs::preg, flagChainA);   // A's flag chain head.
+
+    const auto round = b.here();
+    b.load(Regs::hop1, Regs::preg, 0);
+    b.load(Regs::hop2, Regs::hop1, 0);
+    b.load(Regs::bound, Regs::hop2, 0); // The flag.
+    const auto danger = b.futureLabel();
+    const auto b_switch = b.futureLabel();
+    b.beq(Regs::bound, Regs::zero, danger);
+    // Fall-through: only B's architectural path (flag = 1).
+    b.jmp(b_switch);
+    // The privileged path: dereference the caller's pointer.
+    b.bind(danger);
+    const std::uint32_t transmit_pc = emitTransmitter(b);
+    b.add(Regs::cnt, Regs::cnt, Regs::one);
+    const auto exit_a = b.futureLabel();
+    b.beq(Regs::cnt, Regs::lim, exit_a);
+    b.jmp(round);
+
+    b.bind(exit_a);
+    b.switchTenant(1);
+    // A's resume point: fence (wrong-path hygiene, as in the cross-v2
+    // gadget), then an all-cold barrier segment.
+    b.fence();
+    b.movi(Regs::chase, chain.nodeAddr(0));
+    GadgetProgram out;
+    out.transmitPc = transmit_pc;
+    emitBarrierAndProbe(b, out);
+
+    // --- Tenant B: the victim -------------------------------------
+    b.tenantEntry(1);
+    b.movi(Regs::a1, array1Base);
+    b.movi(Regs::a2, array2Base);
+    b.movi(Regs::byteMask, 0xff);
+    b.movi(Regs::nine, 9);
+    b.movi(Regs::acc, 0);
+    b.movi(Regs::idx, secretOffset); // B's pointer to B's own secret.
+    b.movi(Regs::preg, flagChainB);  // B's (cold) flag chain head.
+    b.jmp(round);
+
+    b.bind(b_switch);
+    b.switchTenant(0);
+    b.halt();
+
+    out.secretOwner = 1;
+    out.observer = 0;
+    out.program = b.build("spectre-v1-swapgs");
+    return out;
+}
+
 } // anonymous namespace
 
 const char *
@@ -361,6 +547,10 @@ gadgetName(GadgetKind kind)
         return "spectre-v2-indirect";
       case GadgetKind::SpectreV4StoreBypass:
         return "spectre-v4-ssb";
+      case GadgetKind::SpectreV2CrossDomain:
+        return "spectre-v2-cross";
+      case GadgetKind::SpectreV1Swapgs:
+        return "spectre-v1-swapgs";
     }
     sb_panic("unknown gadget kind");
 }
@@ -382,7 +572,9 @@ allGadgets()
 {
     return {GadgetKind::SpectreV1, GadgetKind::SpectreV1Mask,
             GadgetKind::SpectreV2Indirect,
-            GadgetKind::SpectreV4StoreBypass};
+            GadgetKind::SpectreV4StoreBypass,
+            GadgetKind::SpectreV2CrossDomain,
+            GadgetKind::SpectreV1Swapgs};
 }
 
 GadgetProgram
@@ -400,6 +592,10 @@ buildGadgetProgram(GadgetKind kind, std::uint8_t secret_byte,
         return buildV2(secret_byte, seed);
       case GadgetKind::SpectreV4StoreBypass:
         return buildV4(secret_byte, seed);
+      case GadgetKind::SpectreV2CrossDomain:
+        return buildV2Cross(secret_byte, seed);
+      case GadgetKind::SpectreV1Swapgs:
+        return buildV1Swapgs(secret_byte, seed);
     }
     sb_panic("unknown gadget kind");
 }

@@ -31,6 +31,18 @@
  *    store's address resolves late, so a younger load reads the stale
  *    malicious index and feeds it to the transmitter before the
  *    memory-order violation is detected.
+ *  - SpectreV2CrossDomain: cross-tenant indirect-target injection —
+ *    attacker tenant A trains a shared dispatcher's BTB entry at the
+ *    gadget, context-switches to victim tenant B whose architectural
+ *    target skips it, and (if predictor state survives the switch)
+ *    B's own pointer to its own secret is transiently dereferenced
+ *    and transmitted; A reads the probe after switching back.
+ *  - SpectreV1Swapgs: cross-tenant conditional-path injection after
+ *    CVE-2019-1125 — a shared entry routine conditionally takes a
+ *    privileged path; tenant A trains the branch taken, tenant B's
+ *    slow-resolving flag architecturally falls through, but the
+ *    trained predictor transiently steers B into the privileged path
+ *    with B's secret-pointing registers.
  *
  * Architecturally, no gadget ever touches a secret-dependent probe
  * slot: committed execution only ever warms slot 0 (excluded from
@@ -57,6 +69,9 @@ enum class GadgetKind
     SpectreV1Mask,       ///< v1 behind an ineffective index mask.
     SpectreV2Indirect,   ///< Indirect-branch target misprediction.
     SpectreV4StoreBypass,///< Speculative store bypass (SSB).
+    SpectreV2CrossDomain,///< Cross-tenant BTB injection over a switch.
+    SpectreV1Swapgs,     ///< Cross-tenant branch-path injection
+                         ///< (CVE-2019-1125 style).
 };
 
 /** Stable CLI / JSON handle, e.g. "spectre-v1". */
@@ -80,6 +95,15 @@ struct GadgetProgram
      *  transmitter — where the contract shadow engine pinpoints an
      *  out-of-contract transmit. */
     std::uint32_t transmitPc = 0;
+
+    /** Protection domain that owns the secret region. */
+    TenantId secretOwner = 0;
+    /** Protection domain that reads the probe (the attacker). A
+     *  cross-domain gadget has observer != secretOwner: a recovered
+     *  byte is then a cross-tenant leak, not just a transient one. */
+    TenantId observer = 0;
+
+    bool crossDomain() const { return observer != secretOwner; }
 };
 
 /** Shared memory layout the receiver and harness agree on. */

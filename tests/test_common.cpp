@@ -123,6 +123,36 @@ TEST(Stats, HistogramBuckets)
     EXPECT_DOUBLE_EQ(h.mean(), (0 + 9 + 10 + 35 + 1000) / 5.0);
 }
 
+TEST(Stats, HistogramQuantiles)
+{
+    // Unit-width buckets make quantiles exact: samples 1..100 pin the
+    // tail-latency extraction the multi-tenant report relies on.
+    sb::Histogram h(128, 1);
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.quantile(0.50), 50u);
+    EXPECT_EQ(h.quantile(0.95), 95u);
+    EXPECT_EQ(h.quantile(0.99), 99u);
+    EXPECT_EQ(h.quantile(0.0), 1u);
+    EXPECT_EQ(h.quantile(1.0), 100u);
+
+    // Wider buckets report the bucket's upper edge (an upper bound).
+    sb::Histogram w(16, 10);
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        w.sample(v);
+    EXPECT_EQ(w.quantile(0.50), 59u);
+
+    // The overflow bucket has no upper edge: it reports the largest
+    // sample seen instead.
+    sb::Histogram o(4, 10);
+    o.sample(5);
+    o.sample(500);
+    EXPECT_EQ(o.quantile(1.0), 500u);
+
+    sb::Histogram empty(4, 10);
+    EXPECT_EQ(empty.quantile(0.5), 0u);
+}
+
 TEST(Stats, GroupRegistersAndRenders)
 {
     sb::StatGroup g("core");

@@ -401,15 +401,23 @@ TEST(MitigationClosure, ClosureMapMatchesTheDesign)
     for (const Mitigation m : {Mitigation::Slh, Mitigation::Fence}) {
         EXPECT_TRUE(sb::mitigationCloses(m, GadgetKind::SpectreV1));
         EXPECT_TRUE(sb::mitigationCloses(m, GadgetKind::SpectreV1Mask));
+        EXPECT_TRUE(
+            sb::mitigationCloses(m, GadgetKind::SpectreV1Swapgs));
         EXPECT_FALSE(
             sb::mitigationCloses(m, GadgetKind::SpectreV2Indirect));
+        EXPECT_FALSE(
+            sb::mitigationCloses(m, GadgetKind::SpectreV2CrossDomain));
         EXPECT_FALSE(
             sb::mitigationCloses(m, GadgetKind::SpectreV4StoreBypass));
     }
     EXPECT_TRUE(sb::mitigationCloses(Mitigation::Retpoline,
                                      GadgetKind::SpectreV2Indirect));
+    EXPECT_TRUE(sb::mitigationCloses(Mitigation::Retpoline,
+                                     GadgetKind::SpectreV2CrossDomain));
     EXPECT_FALSE(sb::mitigationCloses(Mitigation::Retpoline,
                                       GadgetKind::SpectreV1));
+    EXPECT_FALSE(sb::mitigationCloses(Mitigation::Retpoline,
+                                      GadgetKind::SpectreV1Swapgs));
     // Nothing in the software roster closes the store-bypass channel.
     for (const Mitigation m : sb::allMitigations())
         EXPECT_FALSE(
@@ -425,9 +433,13 @@ TEST(MitigationClosure, TargetGadgetsFlipToClosedOnBaseline)
     } targets[] = {
         {sb::Mitigation::Slh, sb::GadgetKind::SpectreV1},
         {sb::Mitigation::Slh, sb::GadgetKind::SpectreV1Mask},
+        {sb::Mitigation::Slh, sb::GadgetKind::SpectreV1Swapgs},
         {sb::Mitigation::Fence, sb::GadgetKind::SpectreV1},
         {sb::Mitigation::Fence, sb::GadgetKind::SpectreV1Mask},
+        {sb::Mitigation::Fence, sb::GadgetKind::SpectreV1Swapgs},
         {sb::Mitigation::Retpoline, sb::GadgetKind::SpectreV2Indirect},
+        {sb::Mitigation::Retpoline,
+         sb::GadgetKind::SpectreV2CrossDomain},
     };
     sb::SchemeConfig scfg;
     for (const auto &t : targets) {
@@ -465,9 +477,12 @@ TEST(MitigationClosure, NonTargetGadgetsStayArmed)
     } non_targets[] = {
         {sb::Mitigation::Slh, sb::GadgetKind::SpectreV2Indirect},
         {sb::Mitigation::Slh, sb::GadgetKind::SpectreV4StoreBypass},
+        {sb::Mitigation::Slh, sb::GadgetKind::SpectreV2CrossDomain},
         {sb::Mitigation::Fence, sb::GadgetKind::SpectreV2Indirect},
         {sb::Mitigation::Fence, sb::GadgetKind::SpectreV4StoreBypass},
+        {sb::Mitigation::Fence, sb::GadgetKind::SpectreV2CrossDomain},
         {sb::Mitigation::Retpoline, sb::GadgetKind::SpectreV1},
+        {sb::Mitigation::Retpoline, sb::GadgetKind::SpectreV1Swapgs},
     };
     for (const auto &t : non_targets) {
         ASSERT_FALSE(sb::mitigationCloses(t.m, t.g));
@@ -528,8 +543,12 @@ TEST(MitigationBattery, SpecsHalvesAlignAndFoldJudgesClosure)
         sb::Mitigation::Slh, engine.run(specs));
     ASSERT_EQ(report.cells.size(), sb::allGadgets().size());
     for (const sb::MitigationCell &cell : report.cells) {
+        // SLH keys on conditional branches: it closes the classic and
+        // masked bounds-check bypasses plus the swapgs variant (whose
+        // transient entry is also a trained conditional branch).
         const bool is_v1 = cell.gadget == "spectre-v1"
-                           || cell.gadget == "spectre-v1-mask";
+                           || cell.gadget == "spectre-v1-mask"
+                           || cell.gadget == "spectre-v1-swapgs";
         EXPECT_EQ(cell.target, is_v1) << cell.gadget;
         EXPECT_EQ(cell.closed, is_v1) << cell.gadget;
         EXPECT_EQ(cell.armed, !is_v1) << cell.gadget;
